@@ -1,0 +1,101 @@
+// Reproduces the Sec. V accuracy claims with REAL calculations: LS3DF vs
+// direct DFT on the same grid/basis, as a function of the fragment buffer
+// size (the knob that plays the paper's "fragment size" role at fixed
+// division). Paper claims to reproduce:
+//  - total energies agree to a few meV/atom at production settings;
+//  - the accuracy improves rapidly (the paper: exponentially) with
+//    fragment size;
+//  - the single-fragment limit is exactly the direct calculation.
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/timer.h"
+#include "dft/scf.h"
+#include "fragment/ls3df.h"
+
+using namespace ls3df;
+
+namespace {
+
+Structure h2_chain(int ncells, double a = 6.0) {
+  Structure s(Lattice({a * ncells, a, a}));
+  for (int c = 0; c < ncells; ++c) {
+    s.add_atom(Species::kH, {a * c + 0.5 * a - 0.7, 0.5 * a, 0.5 * a});
+    s.add_atom(Species::kH, {a * c + 0.5 * a + 0.7, 0.5 * a, 0.5 * a});
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. V accuracy reproduction: LS3DF vs direct DFT\n");
+  Structure s = h2_chain(3);
+  std::printf("system: %d-atom H2 chain, division 3x1x1\n\n", s.size());
+
+  Ls3dfOptions lo;
+  lo.division = {3, 1, 1};
+  lo.points_per_cell = 8;
+  lo.ecut = 1.0;
+  lo.extra_bands = 3;
+  lo.eig.max_iterations = 8;
+  lo.max_iterations = 60;
+  lo.l1_tol = 1e-5;
+
+  // Direct reference on the identical grid/basis.
+  Ls3dfSolver probe(s, lo);
+  GVectors basis(s.lattice(), probe.global_grid(), lo.ecut);
+  Hamiltonian h(s, basis);
+  FieldR vion = h.local_potential();
+  FieldR rho0 = build_initial_density(s, probe.global_grid());
+  ScfOptions so;
+  so.ecut = lo.ecut;
+  so.max_iterations = 80;
+  so.l1_tol = lo.l1_tol;
+  so.eig = lo.eig;
+  so.n_bands = static_cast<int>(std::ceil(s.num_electrons() / 2)) + 3;
+  ScfResult direct =
+      run_scf(h, vion, effective_potential(vion, rho0, s.lattice()), so);
+  std::printf("direct DFT: E = %.8f Ha (%d iterations)\n",
+              direct.energy.total, direct.iterations);
+
+  std::printf("\n%8s | %14s | %12s | %10s | %8s\n", "buffer", "E_LS3DF (Ha)",
+              "dE (meV/atom)", "charge err", "wall (s)");
+  for (int bp : {1, 2, 3, 4}) {
+    Ls3dfOptions run = lo;
+    run.buffer_points = bp;
+    Timer t;
+    Ls3dfSolver solver(s, run);
+    Ls3dfResult r = solver.solve();
+    const double dmev = (r.energy.total - direct.energy.total) / s.size() *
+                        units::kHartreeToMeV;
+    std::printf("%7dp | %14.8f | %12.3f | %10.2e | %8.1f\n", bp,
+                r.energy.total, dmev, r.charge_patch_error, t.seconds());
+  }
+
+  // Single-fragment limit: exact agreement.
+  Structure cell = h2_chain(1);
+  Ls3dfOptions one = lo;
+  one.division = {1, 1, 1};
+  one.points_per_cell = 12;
+  Ls3dfSolver single(cell, one);
+  Ls3dfResult rs = single.solve();
+  GVectors b1(cell.lattice(), single.global_grid(), one.ecut);
+  Hamiltonian h1(cell, b1);
+  FieldR vion1 = h1.local_potential();
+  FieldR rho1 = build_initial_density(cell, single.global_grid());
+  ScfOptions so1 = so;
+  so1.n_bands = static_cast<int>(std::ceil(cell.num_electrons() / 2)) + 3;
+  so1.seed = one.seed ^ 0x9e37u;  // fragment 0's wavefunction seed
+  ScfResult d1 = run_scf(h1, vion1,
+                         effective_potential(vion1, rho1, cell.lattice()),
+                         so1);
+  std::printf("\nsingle-fragment limit: |E_LS3DF - E_direct| = %.2e Ha "
+              "(machine-precision-level agreement expected)\n",
+              std::abs(rs.energy.total - d1.energy.total));
+  std::printf("\npaper: \"the total energy differed by only a few meV per "
+              "atom, and the atomic forces differed by 1e-5 a.u.\"\n");
+  return 0;
+}

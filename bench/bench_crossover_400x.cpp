@@ -1,0 +1,46 @@
+// Reproduces the Sec. VI O(N) vs O(N^3) comparison: the PARATEC-class
+// cost model (calibrated to 340 s/iter for 512 atoms on 320 cores)
+// against the LS3DF model. Paper claims to reproduce: crossover at about
+// 600 atoms; ~400x at 13,824 atoms on 17,280 cores; six weeks vs three
+// hours for a converged 60-iteration calculation.
+#include <cstdio>
+#include <vector>
+
+#include "perfmodel/crossover.h"
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+
+using namespace ls3df;
+
+int main() {
+  const auto& m = machine_franklin();
+
+  std::printf("Sec. VI reproduction: LS3DF vs direct O(N^3) DFT\n\n");
+  std::printf("sweep at %d cores (PARATEC benchmark core count), Np = 10:\n",
+              paper::kParatecCores);
+  std::printf("%8s | %12s %12s | %8s\n", "atoms", "direct s/it",
+              "LS3DF s/it", "ratio");
+  for (int atoms : {64, 128, 216, 512, 1000, 1728, 3456, 6400, 13824}) {
+    const double td = direct_dft_seconds_per_iteration(atoms, 320);
+    const double tl = ls3df_seconds_per_iteration(m, atoms, 320, 10);
+    std::printf("%8d | %12.1f %12.1f | %8.2f\n", atoms, td, tl, td / tl);
+  }
+
+  const double cross = crossover_atoms(m, 320, 10);
+  std::printf("\ncrossover: %.0f atoms   (paper: about %.0f)\n", cross,
+              paper::kCrossoverAtoms);
+
+  const double ratio = speedup_over_direct(m, 13824, 17280, 10);
+  std::printf("13,824 atoms @ 17,280 cores: LS3DF %.0fx faster  (paper: "
+              "roughly %.0fx, a conservative rounding)\n",
+              ratio, paper::kSpeedupAt13824Atoms);
+
+  const double ls_hours =
+      60.0 * ls3df_seconds_per_iteration(m, 13824, 17280, 10) / 3600.0;
+  const double dir_weeks =
+      60.0 * direct_dft_seconds_per_iteration(13824, 17280) / 86400.0 / 7.0;
+  std::printf("converged 60-iteration run: LS3DF %.1f hours vs direct %.1f "
+              "weeks  (paper: ~3 hours vs ~6 weeks)\n",
+              ls_hours, dir_weeks);
+  return 0;
+}

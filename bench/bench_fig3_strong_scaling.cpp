@@ -1,0 +1,54 @@
+// Reproduces Fig. 3: strong-scaling speedup of LS3DF and its PEtot_F
+// component for the 3,456-atom 8x6x9 system on Franklin, 1,080 to 17,280
+// cores (Np = 40), together with the Amdahl's-law least-squares fits the
+// paper reports in Sec. VI (Ps = 2.39 Gflop/s; serial fractions
+// ~1/101,000 LS3DF and ~1/362,000 PEtot_F; mean |rel dev| 0.26%).
+#include <cstdio>
+#include <vector>
+
+#include "perfmodel/amdahl.h"
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+using namespace ls3df;
+
+int main() {
+  const auto& m = machine_franklin();
+  const Vec3i div{8, 6, 9};
+  const int np = 40;
+  std::vector<int> cores_list{1080, 2160, 4320, 8640, 17280};
+
+  std::printf("Fig. 3 reproduction: strong scaling, 8x6x9 (3,456 atoms), "
+              "Franklin, Np = 40\n\n");
+  std::printf("%7s | %9s %9s %9s | %9s %9s\n", "cores", "t_iter(s)",
+              "LS3DF spd", "LS3DF eff", "PEtotF spd", "PEtotF eff");
+
+  std::vector<double> xs, ls3df_gflops, petotf_gflops;
+  const double t0 = simulate_scf_iteration(m, div, cores_list[0], np).t_iter;
+  const double p0 = simulate_petot_f_seconds(m, div, cores_list[0], np);
+  for (int cores : cores_list) {
+    SimResult s = simulate_scf_iteration(m, div, cores, np);
+    const double tp = simulate_petot_f_seconds(m, div, cores, np);
+    const double rel = static_cast<double>(cores) / cores_list[0];
+    std::printf("%7d | %9.1f %9.2f %8.1f%% %9.2f %8.1f%%\n", cores, s.t_iter,
+                t0 / s.t_iter, 100.0 * t0 / s.t_iter / rel, p0 / tp,
+                100.0 * p0 / tp / rel);
+    xs.push_back(cores);
+    ls3df_gflops.push_back(s.workload_flops / s.t_iter / 1e9);
+    petotf_gflops.push_back(s.workload_flops / tp / 1e9);
+  }
+
+  AmdahlFit f_ls = fit_amdahl(xs, ls3df_gflops);
+  AmdahlFit f_pf = fit_amdahl(xs, petotf_gflops);
+  std::printf("\nAmdahl fits (model)          vs paper:\n");
+  std::printf("  LS3DF : Ps = %.2f Gflop/s, alpha = 1/%.0f   (paper: 2.39, 1/101,000)\n",
+              f_ls.ps, 1.0 / f_ls.serial_fraction);
+  std::printf("  PEtotF: Ps = %.2f Gflop/s, alpha = 1/%.0f   (paper: 2.39, 1/362,000)\n",
+              f_pf.ps, 1.0 / f_pf.serial_fraction);
+  std::printf("  mean |rel dev| of LS3DF fit: %.3f%%   (paper: 0.26%%)\n",
+              100 * f_ls.mean_abs_rel_dev);
+  std::printf("\npaper headline: speedup 13.8 (86.3%%) LS3DF, 15.3 (95.8%%) "
+              "PEtot_F at 16x cores\n");
+  return 0;
+}

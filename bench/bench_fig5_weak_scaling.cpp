@@ -1,0 +1,59 @@
+// Reproduces Fig. 5: weak-scaling total Tflop/s on the three machines
+// (constant atoms-per-core series, log-log). The paper's observations:
+// fairly straight lines (near-linear weak scaling); Jaguar fastest per
+// core; Intrepid reaching the largest aggregate rate (107.5 Tflop/s).
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+using namespace ls3df;
+
+namespace {
+
+void run_series(const MachineModel& m,
+                const std::vector<paper::TableRow>& rows) {
+  std::printf("--- %s ---\n", m.name.c_str());
+  std::printf("%8s %8s | %9s %9s | %s\n", "cores", "atoms", "model TF",
+              "paper TF", "log-log slope");
+  double prev_tf = 0;
+  int prev_cores = 0;
+  for (const auto& row : rows) {
+    SimResult s = simulate_scf_iteration(m, row.division, row.cores, row.np);
+    double slope = 0;
+    if (prev_cores > 0)
+      slope = std::log(s.tflops / prev_tf) /
+              std::log(static_cast<double>(row.cores) / prev_cores);
+    std::printf("%8d %8d | %9.2f %9.2f |", row.cores, row.atoms, s.tflops,
+                row.tflops);
+    if (prev_cores > 0)
+      std::printf(" %.3f\n", slope);
+    else
+      std::printf("   -\n");
+    prev_tf = s.tflops;
+    prev_cores = row.cores;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5 reproduction: weak-scaling flop rates\n\n");
+  // Weak-scaling subsets of Table I (constant atoms/core within series).
+  for (const char* name : {"Franklin", "Jaguar", "Intrepid"}) {
+    std::vector<paper::TableRow> rows;
+    for (const auto& r : paper::table1()) {
+      if (std::string(r.machine) != name) continue;
+      // Keep the weak-scaling-like progression: atoms/cores ratio within
+      // a factor 2 of the machine's typical value.
+      rows.push_back(r);
+    }
+    run_series(machine_by_name(name), rows);
+  }
+  std::printf("\npaper: straight log-log lines; Jaguar fastest per core; "
+              "Intrepid largest total (107.5 Tflop/s at 131,072 cores)\n");
+  return 0;
+}

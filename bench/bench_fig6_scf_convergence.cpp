@@ -1,0 +1,73 @@
+// Reproduces Fig. 6: LS3DF self-consistency convergence -- the metric
+// int |V_out(r) - V_in(r)| d3r per outer iteration for a ZnTeO alloy.
+// This is a REAL LS3DF run (fragment solves, +- patching, global Poisson)
+// on the scaled-down model alloy (DESIGN.md substitution #3). The paper's
+// observations to reproduce: a steady overall decay over the iterations,
+// occasional upward jumps (potential mixing is not monotone), and a final
+// residual orders of magnitude below the start.
+#include <cstdio>
+#include <cmath>
+
+#include "atoms/builders.h"
+#include "common/timer.h"
+#include "fragment/ls3df.h"
+#include "perfmodel/paper_data.h"
+
+using namespace ls3df;
+
+int main() {
+  // Model Zn7Te7O2-per-9-cells alloy (the paper's production system is
+  // Zn1728 Te1674 O54 in an 8x6x9 supercell).
+  Structure s = build_model_znteo({3, 1, 1}, 1, 42);
+  std::printf("Fig. 6 reproduction: LS3DF SCF convergence\n");
+  std::printf("system: %d-atom model ZnTeO alloy (%d O), division 3x1x1\n\n",
+              s.size(), s.count_species(Species::kO));
+
+  Ls3dfOptions lo;
+  lo.division = {3, 1, 1};
+  lo.points_per_cell = 8;
+  lo.buffer_points = 4;
+  lo.ecut = 0.9;
+  lo.extra_bands = 4;
+  lo.fragment_smearing = 0.01;
+  // Passivation-free periodic buffers patch best for this model (the
+  // wide O wells interact badly with repulsive walls; see DESIGN.md).
+  lo.wall_height = 0.0;
+  lo.atom_margin = 0.0;
+  lo.eig.max_iterations = 5;
+  lo.max_iterations = 40;
+  lo.l1_tol = 5e-3;
+
+  Timer t;
+  Ls3dfSolver solver(s, lo);
+  Ls3dfResult r = solver.solve();
+  const double wall = t.seconds();
+
+  std::printf("iter |  int |V_out - V_in| d3r (a.u.)\n");
+  double prev = 0;
+  int jumps = 0;
+  for (std::size_t i = 0; i < r.conv_history.size(); ++i) {
+    const double v = r.conv_history[i];
+    // Log-scale bar, Fig. 6 style.
+    const int bars =
+        std::max(0, static_cast<int>(8 * (std::log10(v) + 4.0)));
+    std::printf("%4zu | %10.3e  %s\n", i + 1, v, std::string(bars, '#').c_str());
+    if (i > 0 && v > prev) ++jumps;
+    prev = v;
+  }
+  std::printf("\nconverged: %s in %d iterations (%.0f s wall)\n",
+              r.converged ? "yes" : "no", r.iterations, wall);
+  std::printf("decay factor: %.1e (first / last iteration)\n",
+              r.conv_history.front() / r.conv_history.back());
+  std::printf("non-monotone jumps: %d  (the paper's Fig. 6 also shows a few)\n",
+              jumps);
+  std::printf("charge patching residual before normalization: %.2e e\n",
+              r.charge_patch_error);
+  std::printf("\nper-phase wall time (s): Gen_VF %.2f | PEtot_F %.2f | "
+              "Gen_dens %.2f | GENPOT %.2f\n",
+              r.profile.total("Gen_VF"), r.profile.total("PEtot_F"),
+              r.profile.total("Gen_dens"), r.profile.total("GENPOT"));
+  std::printf("paper: %d iterations to ~%.0e a.u. on the 3,456-atom system\n",
+              paper::kFig6Iterations, paper::kFig6FinalResidual);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table I: Tflop/s and % of peak for every run the paper
+// reports on Franklin, Jaguar and Intrepid, using the calibrated
+// performance simulator (DESIGN.md substitution #1). Prints paper value,
+// model value and relative deviation for each of the 28 rows.
+#include <cstdio>
+#include <cmath>
+#include <string>
+
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+using namespace ls3df;
+
+int main() {
+  std::printf("Table I reproduction: LS3DF performance on the paper's machines\n");
+  std::printf("(model = calibrated per-phase simulator; see DESIGN.md)\n\n");
+
+  std::string current;
+  double worst = 0, sum = 0;
+  int n = 0;
+  for (const auto& row : paper::table1()) {
+    if (current != row.machine) {
+      current = row.machine;
+      const auto& m = machine_by_name(current);
+      std::printf("--- %s (%.1f Gflop/s/core) ---\n", current.c_str(),
+                  m.peak_gflops_per_core);
+      std::printf("%-10s %7s %4s | %8s %8s | %7s %7s | %7s %6s\n",
+                  "sys size", "cores", "Np", "paper TF", "model TF",
+                  "paper %", "model %", "t/iter", "dev %");
+    }
+    const auto& m = machine_by_name(row.machine);
+    SimResult s = simulate_scf_iteration(m, row.division, row.cores, row.np);
+    const double dev = 100.0 * (s.tflops / row.tflops - 1.0);
+    worst = std::max(worst, std::abs(dev));
+    sum += std::abs(dev);
+    ++n;
+    std::printf("%2dx%2dx%2d   %7d %4d | %8.2f %8.2f | %7.1f %7.1f | %6.1fs %+6.1f\n",
+                row.division.x, row.division.y, row.division.z, row.cores,
+                row.np, row.tflops, s.tflops, row.pct_peak, s.pct_peak,
+                s.t_iter, dev);
+  }
+  std::printf("\nmean |dev| = %.2f%%, worst |dev| = %.2f%% over %d rows\n",
+              sum / n, worst, n);
+  std::printf("headline: 60.3 Tflop/s @30,720 Jaguar cores; "
+              "107.5 Tflop/s @131,072 Intrepid cores (paper abstract)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Anatomy of the LS3DF divide-and-conquer decomposition: enumerate the
+// fragments of a division, show the +- sign rule and verify the
+// partition-of-unity cancellation -- the paper's Fig. 1, in text.
+//
+//   run: ./build/examples/fragment_anatomy [m1 m2 m3]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "atoms/builders.h"
+#include "fragment/decomposition.h"
+#include "fragment/ls3df.h"
+
+using namespace ls3df;
+
+int main(int argc, char** argv) {
+  Vec3i m{3, 3, 3};
+  if (argc == 4) {
+    m = {std::atoi(argv[1]), std::atoi(argv[2]), std::atoi(argv[3])};
+  }
+  FragmentDecomposition d(m);
+  std::printf("division %d x %d x %d: %d cells, %d fragments\n", m.x, m.y,
+              m.z, d.num_cells(), d.size());
+
+  // Count fragments per (size, sign) class.
+  std::map<std::string, std::pair<int, int>> classes;
+  for (const auto& f : d.fragments()) {
+    char key[32];
+    std::snprintf(key, sizeof key, "%dx%dx%d", f.size.x, f.size.y, f.size.z);
+    auto& entry = classes[key];
+    entry.first += 1;
+    entry.second = f.sign;
+  }
+  std::printf("\nfragment classes (paper Fig. 1 generalized to 3D):\n");
+  std::printf("  %-8s %8s %6s\n", "size", "count", "sign");
+  for (const auto& [key, val] : classes)
+    std::printf("  %-8s %8d %+6d\n", key.c_str(), val.first, val.second);
+
+  // Partition of unity: the signed coverage of every cell must be 1.
+  bool ok = true;
+  for (int x = 0; x < m.x && ok; ++x)
+    for (int y = 0; y < m.y && ok; ++y)
+      for (int z = 0; z < m.z && ok; ++z)
+        ok = d.coverage({x, y, z}) == 1;
+  std::printf("\npartition of unity (sum_F alpha_F over each cell == 1): %s\n",
+              ok ? "verified" : "VIOLATED");
+
+  long signed_cells = 0;
+  for (const auto& f : d.fragments())
+    signed_cells += static_cast<long>(f.sign) * f.size.prod();
+  std::printf("signed cell volume: %ld (= %d cells)\n", signed_cells,
+              d.num_cells());
+
+  // Show the solver-side anatomy on a real (model) alloy if the division
+  // is LS3DF-legal (no axis equal to 2).
+  if (m.x != 2 && m.y != 2 && m.z != 2) {
+    Structure s = build_model_znteo(m, 0, 1);
+    Ls3dfOptions lo;
+    lo.division = m;
+    lo.points_per_cell = 8;
+    lo.buffer_points = 4;
+    lo.ecut = 0.8;
+    Ls3dfSolver solver(s, lo);
+    std::printf("\nsolver anatomy for a %d-atom model alloy:\n", s.size());
+    std::printf("  global grid %d x %d x %d\n", solver.global_grid().x,
+                solver.global_grid().y, solver.global_grid().z);
+    const auto costs = solver.fragment_costs();
+    double cmin = 1e300, cmax = 0;
+    for (double c : costs) {
+      cmin = std::min(cmin, c);
+      cmax = std::max(cmax, c);
+    }
+    std::printf("  fragment cost spread: %.2fx (smallest to largest box)\n",
+                cmax / cmin);
+    int amin = 1 << 30, amax = 0;
+    for (int f = 0; f < solver.num_fragments(); ++f) {
+      amin = std::min(amin, solver.fragment_atom_count(f));
+      amax = std::max(amax, solver.fragment_atom_count(f));
+    }
+    std::printf("  atoms per fragment box (incl. buffer): %d .. %d\n", amin,
+                amax);
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "atoms/builders.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ls3df {
+
+Structure build_zincblende(Species cation, Species anion, double a_bohr,
+                           Vec3i cells) {
+  assert(cells.x >= 1 && cells.y >= 1 && cells.z >= 1);
+  Structure s(Lattice(
+      {a_bohr * cells.x, a_bohr * cells.y, a_bohr * cells.z}));
+  // FCC cation sites and tetrahedral anion sites of the conventional cell.
+  static const Vec3d kCation[4] = {
+      {0.00, 0.00, 0.00}, {0.00, 0.50, 0.50},
+      {0.50, 0.00, 0.50}, {0.50, 0.50, 0.00}};
+  static const Vec3d kAnion[4] = {
+      {0.25, 0.25, 0.25}, {0.25, 0.75, 0.75},
+      {0.75, 0.25, 0.75}, {0.75, 0.75, 0.25}};
+  for (int cx = 0; cx < cells.x; ++cx)
+    for (int cy = 0; cy < cells.y; ++cy)
+      for (int cz = 0; cz < cells.z; ++cz) {
+        const Vec3d base{static_cast<double>(cx), static_cast<double>(cy),
+                         static_cast<double>(cz)};
+        for (const auto& f : kCation)
+          s.add_atom(cation, (base + f) * a_bohr);
+        for (const auto& f : kAnion)
+          s.add_atom(anion, (base + f) * a_bohr);
+      }
+  return s;
+}
+
+int substitute_anions(Structure& s, Species anion, Species substituent,
+                      double fraction, Rng& rng) {
+  std::vector<int> anion_indices;
+  for (int i = 0; i < s.size(); ++i)
+    if (s.atom(i).species == anion) anion_indices.push_back(i);
+  if (anion_indices.empty() || fraction <= 0.0) return 0;
+
+  int n_sub = static_cast<int>(
+      std::round(fraction * static_cast<double>(anion_indices.size())));
+  n_sub = std::clamp(n_sub, 1, static_cast<int>(anion_indices.size()));
+
+  // Partial Fisher-Yates for an unbiased sample.
+  for (int k = 0; k < n_sub; ++k) {
+    const int j =
+        k + rng.uniform_int(0, static_cast<int>(anion_indices.size()) - k);
+    std::swap(anion_indices[k], anion_indices[j]);
+    s.atom(anion_indices[k]).species = substituent;
+  }
+  return n_sub;
+}
+
+Structure build_znteo_alloy(Vec3i cells, double oxygen_fraction,
+                            std::uint64_t seed, int* n_oxygen) {
+  const double a = units::kZnTeLatticeAngstrom * units::kAngstromToBohr;
+  Structure s = build_zincblende(Species::kZn, Species::kTe, a, cells);
+  Rng rng(seed);
+  const int n =
+      substitute_anions(s, Species::kTe, Species::kO, oxygen_fraction, rng);
+  if (n_oxygen) *n_oxygen = n;
+  return s;
+}
+
+Structure build_model_znteo(Vec3i cells, int n_oxygen, std::uint64_t seed,
+                            double a_bohr) {
+  Structure s(Lattice({a_bohr * cells.x, a_bohr * cells.y,
+                       a_bohr * cells.z}));
+  for (int cx = 0; cx < cells.x; ++cx)
+    for (int cy = 0; cy < cells.y; ++cy)
+      for (int cz = 0; cz < cells.z; ++cz) {
+        const Vec3d base{static_cast<double>(cx), static_cast<double>(cy),
+                         static_cast<double>(cz)};
+        // Dimer along the cell diagonal: maximizes the distance to the
+        // neighbouring cells' atoms, keeping the supercell gap open.
+        s.add_atom(Species::kZn,
+                   (base + Vec3d{0.39, 0.39, 0.39}) * a_bohr);
+        s.add_atom(Species::kTe,
+                   (base + Vec3d{0.61, 0.61, 0.61}) * a_bohr);
+      }
+  if (n_oxygen > 0) {
+    Rng rng(seed);
+    const int n_te = s.count_species(Species::kTe);
+    const double fraction =
+        static_cast<double>(n_oxygen) / static_cast<double>(n_te);
+    substitute_anions(s, Species::kTe, Species::kO, fraction, rng);
+  }
+  return s;
+}
+
+Structure build_quantum_rod(Species cation, Species anion, double a_bohr,
+                            Vec3i cells, double radius_bohr,
+                            double vacuum_bohr) {
+  Structure bulk = build_zincblende(cation, anion, a_bohr, cells);
+  const Vec3d L = bulk.lattice().lengths();
+  const Vec3d center = L * 0.5;
+
+  Structure rod(Lattice({L.x + 2 * vacuum_bohr, L.y + 2 * vacuum_bohr,
+                         L.z + 2 * vacuum_bohr}));
+  const Vec3d shift{vacuum_bohr, vacuum_bohr, vacuum_bohr};
+  for (const auto& a : bulk.atoms()) {
+    const double dx = a.position.x - center.x;
+    const double dy = a.position.y - center.y;
+    if (dx * dx + dy * dy <= radius_bohr * radius_bohr)
+      rod.add_atom(a.species, a.position + shift);
+  }
+  return rod;
+}
+
+}  // namespace ls3df

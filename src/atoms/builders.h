@@ -1,0 +1,50 @@
+// Builders for the paper's test systems: zinc-blende supercells of
+// m1 x m2 x m3 cubic eight-atom unit cells, ZnTe1-xOx substitutional
+// random alloys (Sec. V), and a CdSe quantum-rod-like nanostructure (the
+// 2,000-atom optimization benchmark system of Sec. IV).
+#pragma once
+
+#include "atoms/structure.h"
+#include "common/rng.h"
+#include "common/vec3.h"
+
+namespace ls3df {
+
+// m1 x m2 x m3 supercell of cubic zinc-blende cells with lattice constant
+// a_bohr; each cell has 4 cations and 4 anions (8 atoms total, matching
+// the paper's "eight-atom zinc blende unit cell").
+Structure build_zincblende(Species cation, Species anion, double a_bohr,
+                           Vec3i cells);
+
+// Replace `fraction` of the anions (chosen uniformly at random) with
+// `substituent`. The paper uses 3% oxygen on the Te sublattice. At least
+// one substitution is made when fraction > 0 and any anion exists.
+int substitute_anions(Structure& s, Species anion, Species substituent,
+                      double fraction, Rng& rng);
+
+// Convenience: a ZnTe(1-x)Ox alloy supercell, relaxed positions not
+// included (callers may run VFF relaxation). Returns the structure and the
+// number of oxygen substitutions via n_oxygen.
+Structure build_znteo_alloy(Vec3i cells, double oxygen_fraction,
+                            std::uint64_t seed, int* n_oxygen = nullptr);
+
+// Scaled-down ZnTe1-xOx model for single-core reproduction runs: a cubic
+// cell of edge a_bohr holding one Zn-Te dimer per cell (2 atoms, 8
+// valence electrons, oriented along the cell diagonal so neighbouring
+// cells couple weakly and the supercell keeps a clear band gap), with
+// n_oxygen Te sites replaced by O. Reproduces the paper's alloy physics
+// -- O substitution creates localized empty states below the host CBM --
+// at a size where full LS3DF SCF runs complete on one core. See
+// DESIGN.md substitution #3.
+Structure build_model_znteo(Vec3i cells, int n_oxygen, std::uint64_t seed,
+                            double a_bohr = 8.0);
+
+// A quantum-rod-like nanostructure: zinc-blende atoms kept inside a
+// cylinder (axis z) of the given radius/half-length (Bohr) centered in a
+// padded vacuum box. Models the CdSe quantum rod class of systems the
+// paper used in Sec. IV.
+Structure build_quantum_rod(Species cation, Species anion, double a_bohr,
+                            Vec3i cells, double radius_bohr,
+                            double vacuum_bohr);
+
+}  // namespace ls3df

@@ -1,0 +1,131 @@
+#include "atoms/neighbors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ls3df {
+
+namespace {
+
+// Brute-force O(N^2) search including periodic images within one shell.
+// Used directly for small systems and as the cell-list fallback.
+std::vector<std::vector<Neighbor>> brute_force(const Structure& s,
+                                               double cutoff) {
+  const int n = s.size();
+  const Vec3d L = s.lattice().lengths();
+  // Number of image shells needed along each axis.
+  const Vec3i shells{static_cast<int>(std::ceil(cutoff / L.x)),
+                     static_cast<int>(std::ceil(cutoff / L.y)),
+                     static_cast<int>(std::ceil(cutoff / L.z))};
+  std::vector<std::vector<Neighbor>> out(n);
+  const double c2 = cutoff * cutoff;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Vec3d d0 = s.atom(j).position - s.atom(i).position;
+      for (int sx = -shells.x; sx <= shells.x; ++sx)
+        for (int sy = -shells.y; sy <= shells.y; ++sy)
+          for (int sz = -shells.z; sz <= shells.z; ++sz) {
+            if (i == j && sx == 0 && sy == 0 && sz == 0) continue;
+            const Vec3d d{d0.x + sx * L.x, d0.y + sy * L.y, d0.z + sz * L.z};
+            const double r2 = d.norm2();
+            if (r2 <= c2)
+              out[i].push_back({j, d, std::sqrt(r2)});
+          }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> neighbor_lists(const Structure& s,
+                                                  double cutoff) {
+  const int n = s.size();
+  const Vec3d L = s.lattice().lengths();
+  // Cell lists require at least 3 cells of size >= cutoff per axis;
+  // otherwise fall back to brute force with image shells.
+  const Vec3i nc{static_cast<int>(std::floor(L.x / cutoff)),
+                 static_cast<int>(std::floor(L.y / cutoff)),
+                 static_cast<int>(std::floor(L.z / cutoff))};
+  if (nc.x < 3 || nc.y < 3 || nc.z < 3 || n < 64) return brute_force(s, cutoff);
+
+  const int total_cells = nc.x * nc.y * nc.z;
+  std::vector<std::vector<int>> cells(total_cells);
+  auto cell_of = [&](const Vec3d& p) {
+    Vec3d f = s.lattice().fractional(p);
+    Vec3i c{static_cast<int>(std::floor(f.x * nc.x)),
+            static_cast<int>(std::floor(f.y * nc.y)),
+            static_cast<int>(std::floor(f.z * nc.z))};
+    c = pmod(c, nc);
+    return (c.x * nc.y + c.y) * nc.z + c.z;
+  };
+  std::vector<Vec3i> cell_index(n);
+  for (int i = 0; i < n; ++i) {
+    Vec3d f = s.lattice().fractional(s.atom(i).position);
+    Vec3i c{static_cast<int>(std::floor(f.x * nc.x)),
+            static_cast<int>(std::floor(f.y * nc.y)),
+            static_cast<int>(std::floor(f.z * nc.z))};
+    cell_index[i] = pmod(c, nc);
+    cells[cell_of(s.atom(i).position)].push_back(i);
+  }
+
+  std::vector<std::vector<Neighbor>> out(n);
+  const double c2 = cutoff * cutoff;
+  for (int i = 0; i < n; ++i) {
+    const Vec3i ci = cell_index[i];
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          const Vec3i cj = pmod(Vec3i{ci.x + dx, ci.y + dy, ci.z + dz}, nc);
+          for (int j : cells[(cj.x * nc.y + cj.y) * nc.z + cj.z]) {
+            if (j == i) continue;
+            const Vec3d d =
+                s.lattice().min_image(s.atom(i).position, s.atom(j).position);
+            const double r2 = d.norm2();
+            if (r2 <= c2) out[i].push_back({j, d, std::sqrt(r2)});
+          }
+        }
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> nearest_neighbors(const Structure& s,
+                                                     int k) {
+  assert(k >= 1);
+  // Grow the cutoff until every atom has at least k neighbors.
+  const double a0 = std::cbrt(s.lattice().volume() /
+                              std::max(1, s.size()));
+  double cutoff = 1.5 * a0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto lists = neighbor_lists(s, cutoff);
+    bool enough = true;
+    for (const auto& l : lists)
+      if (static_cast<int>(l.size()) < k) {
+        enough = false;
+        break;
+      }
+    if (enough) {
+      for (auto& l : lists) {
+        std::sort(l.begin(), l.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.dist < b.dist;
+                  });
+        l.resize(k);
+      }
+      return lists;
+    }
+    cutoff *= 1.5;
+  }
+  // Give up growing; return sorted truncation of what we have.
+  auto lists = neighbor_lists(s, cutoff);
+  for (auto& l : lists) {
+    std::sort(l.begin(), l.end(), [](const Neighbor& a, const Neighbor& b) {
+      return a.dist < b.dist;
+    });
+    if (static_cast<int>(l.size()) > k) l.resize(k);
+  }
+  return lists;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,29 @@
+// Periodic neighbor finding. The VFF relaxation needs the four
+// tetrahedrally bonded neighbors of each zinc-blende site; the generic
+// cutoff search handles distorted (relaxed / alloyed) configurations.
+#pragma once
+
+#include <vector>
+
+#include "atoms/structure.h"
+
+namespace ls3df {
+
+struct Neighbor {
+  int index;     // neighbor atom index
+  Vec3d delta;   // minimum-image displacement from the central atom
+  double dist;
+};
+
+// All neighbors within `cutoff` (Bohr) of each atom, via cell lists when
+// the box is large enough, with minimum-image convention. Excludes self
+// (but includes periodic images of the atom itself when within cutoff and
+// displaced).
+std::vector<std::vector<Neighbor>> neighbor_lists(const Structure& s,
+                                                  double cutoff);
+
+// The k nearest neighbors of each atom (k = 4 for zinc-blende bonding).
+std::vector<std::vector<Neighbor>> nearest_neighbors(const Structure& s,
+                                                     int k);
+
+}  // namespace ls3df

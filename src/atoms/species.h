@@ -1,0 +1,35 @@
+// Chemical species used by the paper's test systems (ZnTe1-xOx alloys,
+// CdSe quantum rods, hydrogen-like passivants) plus silicon for simple
+// test cells. Valence counts follow the paper: the Zn d electrons are not
+// included, so ZnTe averages four valence electrons per atom.
+#pragma once
+
+#include <string>
+
+namespace ls3df {
+
+enum class Species : int { kZn = 0, kTe, kO, kCd, kSe, kH, kSi, kCount };
+
+struct SpeciesInfo {
+  const char* symbol;
+  double valence;        // valence electrons contributed
+  double covalent_radius_bohr;
+};
+
+inline const SpeciesInfo& species_info(Species s) {
+  static const SpeciesInfo table[] = {
+      {"Zn", 2.0, 2.31},  // d states excluded per the paper
+      {"Te", 6.0, 2.61},
+      {"O", 6.0, 1.25},
+      {"Cd", 2.0, 2.72},
+      {"Se", 6.0, 2.27},
+      {"H", 1.0, 0.59},
+      {"Si", 4.0, 2.10},
+  };
+  return table[static_cast<int>(s)];
+}
+
+inline const char* species_symbol(Species s) { return species_info(s).symbol; }
+inline double species_valence(Species s) { return species_info(s).valence; }
+
+}  // namespace ls3df

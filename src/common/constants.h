@@ -1,0 +1,31 @@
+// Physical constants and unit conversions. The library works internally in
+// Hartree atomic units (energy: Hartree, length: Bohr, hbar = m_e = e = 1),
+// matching the convention of plane-wave DFT codes such as PEtot.
+#pragma once
+
+namespace ls3df {
+namespace units {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kFourPi = 4.0 * kPi;
+
+// Energy.
+inline constexpr double kHartreeToEv = 27.211386245988;
+inline constexpr double kEvToHartree = 1.0 / kHartreeToEv;
+inline constexpr double kRydbergToHartree = 0.5;  // 1 Ry = 0.5 Ha
+inline constexpr double kHartreeToRydberg = 2.0;
+inline constexpr double kHartreeToMeV = kHartreeToEv * 1000.0;
+
+// Length.
+inline constexpr double kBohrToAngstrom = 0.529177210903;
+inline constexpr double kAngstromToBohr = 1.0 / kBohrToAngstrom;
+
+// Lattice constants of materials used in the paper's test systems
+// (zinc-blende conventional cubic cells), in Angstrom.
+inline constexpr double kZnTeLatticeAngstrom = 6.1034;
+inline constexpr double kZnOLatticeAngstrom = 4.60;   // zinc-blende phase
+inline constexpr double kCdSeLatticeAngstrom = 6.052; // zinc-blende phase
+
+}  // namespace units
+}  // namespace ls3df

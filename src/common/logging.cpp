@@ -1,0 +1,27 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace ls3df {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[ls3df %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace ls3df

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. Quiet by default so test output stays
+// clean; examples and benches raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ls3df {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define LS3DF_LOG(level)                            \
+  if (static_cast<int>(level) <= static_cast<int>(::ls3df::log_level())) \
+  ::ls3df::detail::LogLine(level)
+
+#define LS3DF_INFO() LS3DF_LOG(::ls3df::LogLevel::kInfo)
+#define LS3DF_WARN() LS3DF_LOG(::ls3df::LogLevel::kWarn)
+#define LS3DF_ERROR() LS3DF_LOG(::ls3df::LogLevel::kError)
+#define LS3DF_DEBUG() LS3DF_LOG(::ls3df::LogLevel::kDebug)
+
+}  // namespace ls3df

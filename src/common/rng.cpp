@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ls3df {
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(6.28318530717958647692 * u2);
+}
+
+}  // namespace ls3df

@@ -1,0 +1,92 @@
+// Small fixed-size 3-vector used for lattice coordinates, atomic positions
+// and integer grid indices throughout the library.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <ostream>
+
+namespace ls3df {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  // Element-wise product (Hadamard); used for scaling fractional coords.
+  constexpr Vec3 operator*(const Vec3& o) const {
+    return {x * o.x, y * o.y, z * o.z};
+  }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  T norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(static_cast<double>(norm2())); }
+
+  // Product of components; for an integer grid shape this is the point count.
+  constexpr T prod() const { return x * y * z; }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<int>;
+
+// Euclidean floor-modulo: result in [0, m). Needed for periodic wrapping of
+// possibly-negative grid indices.
+inline int pmod(int i, int m) {
+  int r = i % m;
+  return r < 0 ? r + m : r;
+}
+
+inline Vec3i pmod(const Vec3i& v, const Vec3i& m) {
+  return {pmod(v.x, m.x), pmod(v.y, m.y), pmod(v.z, m.z)};
+}
+
+}  // namespace ls3df

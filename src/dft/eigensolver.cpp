@@ -1,0 +1,319 @@
+#include "dft/eigensolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen.h"
+
+namespace ls3df {
+
+using cd = std::complex<double>;
+
+namespace {
+
+// Teter-Payne-Allan preconditioner factor for x = (kinetic of G) / (band
+// kinetic energy).
+double tpa_factor(double x) {
+  const double num = 27.0 + 18.0 * x + 12.0 * x * x + 8.0 * x * x * x;
+  const double x4 = x * x * x * x;
+  return num / (num + 16.0 * x4);
+}
+
+// Apply TPA preconditioner to a residual vector for a band with kinetic
+// energy ekin.
+void precondition_tpa(const GVectors& basis, double ekin, const cd* r,
+                      cd* out) {
+  const double ek = std::max(ekin, 1e-6);
+  for (int g = 0; g < basis.count(); ++g) {
+    const double x = 0.5 * basis.g2(g) / ek;
+    out[g] = tpa_factor(x) * r[g];
+  }
+}
+
+double band_kinetic(const GVectors& basis, const cd* psi) {
+  double e = 0;
+  for (int g = 0; g < basis.count(); ++g)
+    e += 0.5 * basis.g2(g) * std::norm(psi[g]);
+  return e;
+}
+
+}  // namespace
+
+void orthonormalize_cholesky(MatC& X) {
+  MatC S = overlap(X, X);
+  try {
+    MatC L = cholesky(S);
+    trsm_right_lherm(L, X);
+  } catch (const std::runtime_error&) {
+    orthonormalize_gram_schmidt(X);
+  }
+}
+
+void orthonormalize_gram_schmidt(MatC& X) {
+  const int ng = X.rows(), nb = X.cols();
+  assert(nb <= ng);
+  Rng rng(0xec5f00du);
+  for (int j = 0; j < nb; ++j) {
+    cd* xj = X.col(j);
+    double nrm = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const double before = dznrm2(ng, xj);
+      // Project twice (classical Gram-Schmidt applied twice is stable).
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int k = 0; k < j; ++k) {
+          const cd proj = zdotc(ng, X.col(k), xj);
+          zaxpy(ng, -proj, X.col(k), xj);
+        }
+      }
+      nrm = dznrm2(ng, xj);
+      if (nrm > 1e-10 * std::max(before, 1.0)) break;
+      // Column (numerically) inside span of earlier ones: replace with a
+      // deterministic random vector and retry.
+      for (int g = 0; g < ng; ++g)
+        xj[g] = cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    zscal(ng, cd(1.0 / nrm, 0.0), xj);
+  }
+}
+
+std::vector<double> subspace_rotate(const Hamiltonian& h, MatC& X) {
+  MatC HX;
+  h.apply(X, HX);
+  MatC G = overlap(X, HX);
+  EighResult r = eigh(G);
+  MatC Xr(X.rows(), X.cols());
+  gemm(Op::kNone, Op::kNone, cd(1, 0), X, r.eigenvectors, cd(0, 0), Xr);
+  X = std::move(Xr);
+  return r.eigenvalues;
+}
+
+MatC random_wavefunctions(const GVectors& basis, int n_bands,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  MatC psi(basis.count(), n_bands);
+  for (int j = 0; j < n_bands; ++j) {
+    for (int g = 0; g < basis.count(); ++g) {
+      // Damp high-G components so the guess has low kinetic energy.
+      const double damp = 1.0 / (1.0 + basis.g2(g));
+      psi(g, j) = damp * cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+  }
+  orthonormalize_cholesky(psi);
+  return psi;
+}
+
+EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
+                                 const EigensolverOptions& opt) {
+  const GVectors& basis = h.basis();
+  const int ng = basis.count();
+  const int nb = psi.cols();
+  assert(psi.rows() == ng);
+  assert(nb <= ng);
+
+  orthonormalize_cholesky(psi);
+
+  EigensolverResult result;
+  MatC V = psi;       // current Ritz block
+  MatC HV;
+  h.apply(V, HV);
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Rayleigh-Ritz in span(V).
+    MatC G = overlap(V, HV);
+    EighResult eg = eigh(G);
+    const int dim = V.cols();
+    // Keep the lowest nb Ritz vectors.
+    MatC Y(dim, nb);
+    for (int j = 0; j < nb; ++j)
+      for (int i = 0; i < dim; ++i) Y(i, j) = eg.eigenvectors(i, j);
+    MatC X(ng, nb), HX(ng, nb);
+    gemm(Op::kNone, Op::kNone, cd(1, 0), V, Y, cd(0, 0), X);
+    gemm(Op::kNone, Op::kNone, cd(1, 0), HV, Y, cd(0, 0), HX);
+    result.eigenvalues.assign(eg.eigenvalues.begin(),
+                              eg.eigenvalues.begin() + nb);
+
+    // Residuals R = HX - X diag(eps).
+    MatC R = HX;
+    for (int j = 0; j < nb; ++j)
+      zaxpy(ng, cd(-result.eigenvalues[j], 0.0), X.col(j), R.col(j));
+    double max_res = 0;
+    for (int j = 0; j < nb; ++j)
+      max_res = std::max(max_res, dznrm2(ng, R.col(j)));
+    result.max_residual = max_res;
+    if (max_res < opt.residual_tol) {
+      result.converged = true;
+      psi = std::move(X);
+      return result;
+    }
+
+    // Preconditioned correction block.
+    MatC T(ng, nb);
+    for (int j = 0; j < nb; ++j) {
+      if (opt.precondition) {
+        precondition_tpa(basis, band_kinetic(basis, X.col(j)), R.col(j),
+                         T.col(j));
+      } else {
+        std::copy(R.col(j), R.col(j) + ng, T.col(j));
+      }
+    }
+    // New search space [X | accepted corrections]: corrections are
+    // Gram-Schmidt-appended one at a time; columns that are (numerically)
+    // linearly dependent are dropped, and the total is capped at ng so the
+    // subspace can never exceed the full basis (small fragments can have
+    // very few plane waves).
+    MatC Vn(ng, std::min(2 * nb, ng));
+    for (int j = 0; j < nb; ++j) std::copy(X.col(j), X.col(j) + ng, Vn.col(j));
+    int cols = nb;
+    for (int j = 0; j < nb && cols < Vn.cols(); ++j) {
+      cd* t = T.col(j);
+      for (int pass = 0; pass < 2; ++pass)
+        for (int k = 0; k < cols; ++k) {
+          const cd proj = zdotc(ng, Vn.col(k), t);
+          zaxpy(ng, -proj, Vn.col(k), t);
+        }
+      const double nrm = dznrm2(ng, t);
+      if (nrm < 1e-8) continue;  // dependent: drop
+      zscal(ng, cd(1.0 / nrm, 0.0), t);
+      std::copy(t, t + ng, Vn.col(cols));
+      ++cols;
+    }
+    if (cols == nb) {
+      // No useful corrections left: the block is as converged as the
+      // basis allows.
+      result.converged = true;
+      psi = std::move(X);
+      return result;
+    }
+    MatC Vt(ng, cols);
+    for (int j = 0; j < cols; ++j)
+      std::copy(Vn.col(j), Vn.col(j) + ng, Vt.col(j));
+    V = std::move(Vt);
+    h.apply(V, HV);
+  }
+
+  // Not converged within budget: return the best current Ritz vectors.
+  MatC G = overlap(V, HV);
+  EighResult eg = eigh(G);
+  MatC Y(V.cols(), nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < V.cols(); ++i) Y(i, j) = eg.eigenvectors(i, j);
+  MatC X(ng, nb);
+  gemm(Op::kNone, Op::kNone, cd(1, 0), V, Y, cd(0, 0), X);
+  psi = std::move(X);
+  result.eigenvalues.assign(eg.eigenvalues.begin(),
+                            eg.eigenvalues.begin() + nb);
+  return result;
+}
+
+EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
+                                     const EigensolverOptions& opt) {
+  const GVectors& basis = h.basis();
+  const int ng = basis.count();
+  const int nb = psi.cols();
+  orthonormalize_gram_schmidt(psi);
+
+  EigensolverResult result;
+  std::vector<cd> hpsi(ng), r(ng), d(ng), hd(ng), prev_d;
+  double max_res = 0;
+
+  for (int j = 0; j < nb; ++j) {
+    cd* x = psi.col(j);
+    prev_d.clear();
+    double prev_r2 = 0;
+
+    // Orthogonalize the starting vector against the already-converged
+    // lower bands (they moved since the initial Gram-Schmidt); otherwise
+    // the minimization slides back into the lowest states.
+    for (int k = 0; k < j; ++k) {
+      const cd proj = zdotc(ng, psi.col(k), x);
+      zaxpy(ng, -proj, psi.col(k), x);
+    }
+    {
+      const double nrm = dznrm2(ng, x);
+      if (nrm < 1e-12) {
+        Rng rng(0xbadc0de + j);
+        for (int g = 0; g < ng; ++g)
+          x[g] = cd(rng.uniform(-1, 1), rng.uniform(-1, 1)) /
+                 (1.0 + basis.g2(g));
+        for (int k = 0; k < j; ++k) {
+          const cd proj = zdotc(ng, psi.col(k), x);
+          zaxpy(ng, -proj, psi.col(k), x);
+        }
+      }
+      zscal(ng, cd(1.0 / dznrm2(ng, x), 0.0), x);
+    }
+
+    for (int step = 0; step < opt.max_iterations; ++step) {
+      if (j == 0 && step == 0) result.iterations = 0;
+      h.apply_band(x, hpsi.data());
+      const double eps = zdotc(ng, x, hpsi.data()).real();
+      // Residual, projected against all bands <= j (Gram-Schmidt style).
+      for (int g = 0; g < ng; ++g) r[g] = hpsi[g] - eps * x[g];
+      for (int k = 0; k <= j; ++k) {
+        const cd proj = zdotc(ng, psi.col(k), r.data());
+        zaxpy(ng, -proj, psi.col(k), r.data());
+      }
+      const double rn = dznrm2(ng, r.data());
+      max_res = std::max(max_res, rn);
+      if (rn < opt.residual_tol) break;
+
+      // Preconditioned direction with Polak-Ribiere CG mixing.
+      if (opt.precondition) {
+        precondition_tpa(basis, band_kinetic(basis, x), r.data(), d.data());
+      } else {
+        d = r;
+      }
+      const double r2 = zdotc(ng, r.data(), d.data()).real();
+      if (!prev_d.empty() && prev_r2 > 0) {
+        const double beta = std::max(0.0, r2 / prev_r2);
+        zaxpy(ng, cd(beta, 0.0), prev_d.data(), d.data());
+      }
+      prev_d = d;
+      prev_r2 = r2;
+
+      // Orthogonalize the direction to bands <= j and normalize.
+      for (int k = 0; k <= j; ++k) {
+        const cd proj = zdotc(ng, psi.col(k), d.data());
+        zaxpy(ng, -proj, psi.col(k), d.data());
+      }
+      const double dn = dznrm2(ng, d.data());
+      if (dn < 1e-14) break;
+      zscal(ng, cd(1.0 / dn, 0.0), d.data());
+
+      // Exact 2x2 Rayleigh-Ritz between x and the unit direction d.
+      h.apply_band(d.data(), hd.data());
+      const double add = zdotc(ng, d.data(), hd.data()).real();
+      const cd axd = zdotc(ng, x, hd.data());
+      MatC h2(2, 2);
+      h2(0, 0) = eps;
+      h2(1, 1) = add;
+      h2(0, 1) = axd;
+      h2(1, 0) = std::conj(axd);
+      EighResult e2 = eigh(h2);
+      const cd c0 = e2.eigenvectors(0, 0), c1 = e2.eigenvectors(1, 0);
+      for (int g = 0; g < ng; ++g) x[g] = c0 * x[g] + c1 * d[g];
+      // Re-project against lower bands to stop rounding drift from
+      // re-introducing converged components, then renormalize.
+      for (int k = 0; k < j; ++k) {
+        const cd proj = zdotc(ng, psi.col(k), x);
+        zaxpy(ng, -proj, psi.col(k), x);
+      }
+      const double xn = dznrm2(ng, x);
+      zscal(ng, cd(1.0 / xn, 0.0), x);
+      result.iterations += 1;
+    }
+  }
+
+  // Final subspace rotation sorts bands and returns eigenvalues.
+  result.eigenvalues = subspace_rotate(h, psi);
+  result.max_residual = max_res;
+  result.converged = max_res < opt.residual_tol;
+  return result;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,62 @@
+// Iterative eigensolvers for the fragment Schroedinger equation.
+//
+// Two solver families mirror the paper's Sec. IV optimization study:
+//  - solve_all_band: blocked solver working on all wavefunctions
+//    simultaneously; orthogonalization via overlap matrix + Cholesky and
+//    nonlocal projection via BLAS-3 (the optimized PEtot_F).
+//  - solve_band_by_band: conjugate gradient one band at a time with
+//    Gram-Schmidt orthogonalization against lower bands (the original
+//    PEtot scheme; BLAS-2 dominated).
+// Both use the Teter-Payne-Allan kinetic preconditioner standard in
+// planewave codes [Payne et al., Rev. Mod. Phys. 64, 1045 (1992)].
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.h"
+#include "linalg/matrix.h"
+
+namespace ls3df {
+
+struct EigensolverOptions {
+  int max_iterations = 25;     // outer iterations (all-band) or CG steps/band
+  double residual_tol = 1e-7;  // max |H psi - eps psi| to declare converged
+  bool precondition = true;
+};
+
+struct EigensolverResult {
+  std::vector<double> eigenvalues;  // ascending, one per band
+  int iterations = 0;
+  double max_residual = 0.0;
+  bool converged = false;
+};
+
+// Orthonormalize the columns of X in place via S = X^H X, X <- X L^{-H}
+// (BLAS-3; the paper's overlap-matrix scheme). Falls back to Gram-Schmidt
+// if S is numerically singular.
+void orthonormalize_cholesky(MatC& X);
+
+// Classic modified Gram-Schmidt, one column at a time (BLAS-1/2; the
+// original band-by-band scheme).
+void orthonormalize_gram_schmidt(MatC& X);
+
+// Rayleigh-Ritz within span(X): rotates X (and optionally HX) to
+// approximate eigenvectors, returns subspace eigenvalues ascending.
+std::vector<double> subspace_rotate(const Hamiltonian& h, MatC& X);
+
+// Blocked Davidson with TPA preconditioning. psi holds the initial guess
+// (columns need not be orthonormal) and is replaced by the lowest
+// psi.cols() eigenvector approximations.
+EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
+                                 const EigensolverOptions& opt = {});
+
+// Band-by-band preconditioned CG.
+EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
+                                     const EigensolverOptions& opt = {});
+
+// Random (reproducible) plane-wave coefficients damped at high kinetic
+// energy: the standard starting guess.
+MatC random_wavefunctions(const GVectors& basis, int n_bands,
+                          std::uint64_t seed);
+
+}  // namespace ls3df

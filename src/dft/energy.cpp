@@ -1,0 +1,32 @@
+#include "dft/energy.h"
+
+#include "poisson/ewald.h"
+#include "poisson/poisson.h"
+#include "xc/lda.h"
+
+namespace ls3df {
+
+EnergyBreakdown total_energy(const Hamiltonian& h, const MatC& psi,
+                             const std::vector<double>& occ,
+                             const FieldR& rho, const FieldR& vion) {
+  EnergyBreakdown e;
+  const Lattice& lat = h.basis().lattice();
+  const double point_vol =
+      lat.volume() / static_cast<double>(rho.size());
+
+  e.kinetic = h.kinetic_energy(psi, occ);
+  e.nonlocal = h.nonlocal().energy(psi, occ);
+
+  double eloc = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i) eloc += vion[i] * rho[i];
+  e.local = eloc * point_vol;
+
+  e.hartree = solve_poisson(rho, lat).energy;
+  e.xc = lda_xc_field(rho, point_vol).energy;
+  e.ewald = ewald_energy(h.structure());
+
+  e.total = e.kinetic + e.nonlocal + e.local + e.hartree + e.xc + e.ewald;
+  return e;
+}
+
+}  // namespace ls3df

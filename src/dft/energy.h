@@ -1,0 +1,30 @@
+// Kohn-Sham total energy assembly:
+//   E = T_s + E_NL + int V_ion rho + E_H[rho] + E_xc[rho] + E_Ewald
+// with the jellium G = 0 convention shared by the Poisson solver, the
+// local pseudopotential (regular q = 0 part kept) and the Ewald sum.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.h"
+#include "grid/field3d.h"
+
+namespace ls3df {
+
+struct EnergyBreakdown {
+  double kinetic = 0;
+  double nonlocal = 0;
+  double local = 0;    // int V_ion(r) rho(r) d3r
+  double hartree = 0;
+  double xc = 0;
+  double ewald = 0;
+  double total = 0;
+};
+
+// `vion` must be the bare ionic local potential (not the effective one);
+// rho the density of the given bands/occupations.
+EnergyBreakdown total_energy(const Hamiltonian& h, const MatC& psi,
+                             const std::vector<double>& occ,
+                             const FieldR& rho, const FieldR& vion);
+
+}  // namespace ls3df

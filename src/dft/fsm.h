@@ -1,0 +1,55 @@
+// Folded spectrum method (FSM) [Wang & Zunger, J. Chem. Phys. 100, 2394
+// (1994)]: solve for eigenstates nearest a reference energy eps_ref by
+// minimizing <psi|(H - eps_ref)^2|psi>. The paper uses FSM as the linear-
+// scaling post-processing step that extracts only the band-edge states
+// (CBM and the oxygen-induced band) from the converged LS3DF potential
+// (Sec. VII, Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dft/hamiltonian.h"
+#include "linalg/matrix.h"
+
+namespace ls3df {
+
+struct FsmOptions {
+  double eps_ref = 0.0;   // fold point (Ha); states nearest it are found
+  int n_states = 4;
+  int max_iterations = 60;
+  double residual_tol = 1e-6;  // on the folded operator
+  std::uint64_t seed = 777;
+};
+
+struct FsmResult {
+  MatC psi;                          // states spanning the window
+  std::vector<double> eigenvalues;   // <psi|H|psi>, ascending
+  std::vector<double> folded_values; // <psi|(H-eref)^2|psi>, ascending
+  int iterations = 0;
+  bool converged = false;
+};
+
+// The Hamiltonian's local potential must already be the converged
+// effective potential.
+FsmResult folded_spectrum(const Hamiltonian& h, const FsmOptions& opt);
+
+// Inverse participation ratio of a band: V * int |psi|^4 / (int |psi|^2)^2.
+// Large IPR = spatially localized state (the paper's Fig. 7 clustering
+// discussion); IPR = 1 for a fully extended state.
+double inverse_participation_ratio(const Hamiltonian& h,
+                                   const std::complex<double>* band);
+
+// |psi(r)|^2 of one band on the Hamiltonian's grid, normalized to
+// integrate to 1. Used to analyze state character (e.g. the weight near
+// oxygen sites in the paper's Fig. 7 discussion).
+FieldR band_density(const Hamiltonian& h, const std::complex<double>* band);
+
+// Fraction of a band's density within `radius` of any atom of species
+// `sp`, divided by the corresponding volume fraction: 1 = uniform,
+// >> 1 = concentrated at those atoms.
+double species_weight_enrichment(const Hamiltonian& h,
+                                 const std::complex<double>* band,
+                                 Species sp, double radius);
+
+}  // namespace ls3df

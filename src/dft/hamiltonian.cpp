@@ -1,0 +1,149 @@
+#include "dft/hamiltonian.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/blas.h"
+
+namespace ls3df {
+
+using cd = std::complex<double>;
+
+Vec3i default_fft_grid(const Lattice& lat, double ecut_hartree) {
+  const double gmax = std::sqrt(2.0 * ecut_hartree);
+  const Vec3d b = lat.reciprocal();
+  Vec3i shape;
+  for (int i = 0; i < 3; ++i) {
+    const int m = static_cast<int>(std::ceil(gmax / b[i]));
+    shape[i] = Fft1D::good_fft_size(4 * m + 2);
+  }
+  return shape;
+}
+
+Hamiltonian::Hamiltonian(const Structure& s, const GVectors& basis)
+    : structure_(s),
+      basis_(std::make_unique<GVectors>(basis)),
+      fft_(basis.grid_shape()),
+      vloc_(build_local_potential(s, basis.grid_shape())),
+      nl_(std::make_unique<NonlocalKB>(s, basis)),
+      work_(basis.grid_shape()) {}
+
+void Hamiltonian::set_local_potential(const FieldR& v) {
+  assert(v.shape() == basis_->grid_shape());
+  vloc_ = v;
+}
+
+void Hamiltonian::apply_local(const cd* in, cd* out) const {
+  basis_->scatter(in, work_);
+  fft_.inverse(work_.raw());
+  for (std::size_t i = 0; i < work_.size(); ++i) work_[i] *= vloc_[i];
+  fft_.forward(work_.raw());
+  basis_->gather(work_, out);
+  if (flops_) {
+    const Vec3i g = basis_->grid_shape();
+    flops_->add(2 * FlopCounter::fft3d(g.x, g.y, g.z) + 6 * work_.size());
+  }
+}
+
+void Hamiltonian::apply(const MatC& psi, MatC& hpsi) const {
+  const int ng = basis_->count(), nb = psi.cols();
+  assert(psi.rows() == ng);
+  hpsi.resize(ng, nb);
+  // Local potential: per-band FFTs.
+  for (int j = 0; j < nb; ++j) apply_local(psi.col(j), hpsi.col(j));
+  // Kinetic: diagonal in q-space.
+  for (int j = 0; j < nb; ++j) {
+    cd* h = hpsi.col(j);
+    const cd* p = psi.col(j);
+    for (int g = 0; g < ng; ++g) h[g] += 0.5 * basis_->g2(g) * p[g];
+  }
+  // Nonlocal: BLAS-3 over the whole block.
+  nl_->apply_all_bands(psi, hpsi);
+  if (flops_) {
+    flops_->add(4ull * ng * nb);  // kinetic
+    flops_->add(2 * FlopCounter::zgemm(nl_->num_projectors(), nb, ng));
+  }
+}
+
+void Hamiltonian::apply_band(const cd* psi, cd* hpsi) const {
+  const int ng = basis_->count();
+  apply_local(psi, hpsi);
+  for (int g = 0; g < ng; ++g) hpsi[g] += 0.5 * basis_->g2(g) * psi[g];
+  nl_->apply_one_band(psi, hpsi);
+  if (flops_) {
+    flops_->add(4ull * ng);
+    flops_->add(2 * FlopCounter::zgemm(nl_->num_projectors(), 1, ng));
+  }
+}
+
+double Hamiltonian::kinetic_energy(const MatC& psi,
+                                   const std::vector<double>& occ) const {
+  const int ng = basis_->count(), nb = psi.cols();
+  assert(static_cast<int>(occ.size()) == nb);
+  double e = 0;
+  for (int j = 0; j < nb; ++j) {
+    const cd* p = psi.col(j);
+    double ej = 0;
+    for (int g = 0; g < ng; ++g) ej += 0.5 * basis_->g2(g) * std::norm(p[g]);
+    e += occ[j] * ej;
+  }
+  return e;
+}
+
+FieldR Hamiltonian::kinetic_energy_density(
+    const MatC& psi, const std::vector<double>& occ) const {
+  const Vec3i shape = basis_->grid_shape();
+  const int ng = basis_->count(), nb = psi.cols();
+  const double inv_vol = 1.0 / basis_->lattice().volume();
+  FieldR tau(shape);
+  std::vector<cd> grad(ng);
+  FieldC work(shape);
+  for (int j = 0; j < nb; ++j) {
+    if (occ[j] == 0.0) continue;
+    for (int dim = 0; dim < 3; ++dim) {
+      const cd* p = psi.col(j);
+      for (int g = 0; g < ng; ++g) grad[g] = cd(0, 1) * basis_->g(g)[dim] * p[g];
+      basis_->scatter(grad.data(), work);
+      fft_.inverse(work.raw());
+      // Same normalization as density(): grid value = (1/N) sum_G (...),
+      // so |grad psi(r)|^2 = N^2 |work(r)|^2 / V.
+      const double scale = 0.5 * occ[j] * inv_vol *
+                           static_cast<double>(work.size()) *
+                           static_cast<double>(work.size());
+      for (std::size_t i = 0; i < tau.size(); ++i)
+        tau[i] += scale * std::norm(work[i]);
+    }
+  }
+  return tau;
+}
+
+FieldR Hamiltonian::density(const MatC& psi,
+                            const std::vector<double>& occ) const {
+  const Vec3i shape = basis_->grid_shape();
+  const int nb = psi.cols();
+  assert(static_cast<int>(occ.size()) == nb);
+  FieldR rho(shape);
+  FieldC work(shape);
+  const double inv_vol = 1.0 / basis_->lattice().volume();
+  for (int j = 0; j < nb; ++j) {
+    if (occ[j] == 0.0) continue;
+    basis_->scatter(psi.col(j), work);
+    fft_.inverse(work.raw());
+    // inverse FFT includes 1/N: work(r) = (1/N) sum_G c_G e^{iGr}. A
+    // normalized band (sum |c|^2 = 1) has  int |psi|^2 = 1 with
+    // psi(r) = sum_G c_G e^{iGr} / sqrt(V), so |psi(r)|^2 =
+    // N^2 |work(r)|^2 / V.
+    const double scale = occ[j] * inv_vol * static_cast<double>(work.size()) *
+                         static_cast<double>(work.size());
+    for (std::size_t i = 0; i < rho.size(); ++i)
+      rho[i] += scale * std::norm(work[i]);
+    if (flops_) {
+      const Vec3i g = shape;
+      flops_->add(FlopCounter::fft3d(g.x, g.y, g.z) + 3 * rho.size());
+    }
+  }
+  return rho;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,77 @@
+// Plane-wave Kohn-Sham Hamiltonian  H = -1/2 nabla^2 + V_loc(r) + V_NL.
+// Kinetic and nonlocal terms act in q-space; the local potential acts in
+// real space via FFTs — the standard planewave-code structure shared by
+// PEtot, PARATEC and Qbox (Sec. IV).
+//
+// Both application paths of the paper's optimization study are provided:
+//   apply()       all bands at once (BLAS-3 nonlocal, batched FFTs)
+//   apply_band()  one band at a time (BLAS-2 nonlocal), the original
+//                 PEtot band-by-band scheme
+#pragma once
+
+#include <memory>
+
+#include "atoms/structure.h"
+#include "common/flops.h"
+#include "fft/fft3d.h"
+#include "grid/field3d.h"
+#include "grid/gvectors.h"
+#include "linalg/matrix.h"
+#include "pseudo/pseudopotential.h"
+
+namespace ls3df {
+
+class Hamiltonian {
+ public:
+  // `basis` defines the wavefunction plane-wave set; the FFT grid is the
+  // basis' grid shape. The local potential starts as the bare ionic one
+  // and is replaced each SCF step via set_local_potential().
+  Hamiltonian(const Structure& s, const GVectors& basis);
+
+  const GVectors& basis() const { return *basis_; }
+  const Structure& structure() const { return structure_; }
+  const NonlocalKB& nonlocal() const { return *nl_; }
+  const FieldR& local_potential() const { return vloc_; }
+
+  void set_local_potential(const FieldR& v);
+
+  // hpsi = H psi for all columns (allocates hpsi to match psi).
+  void apply(const MatC& psi, MatC& hpsi) const;
+  // hpsi = H psi for a single band.
+  void apply_band(const std::complex<double>* psi,
+                  std::complex<double>* hpsi) const;
+
+  // Kinetic energy sum_i occ_i <psi_i| -1/2 nabla^2 |psi_i>.
+  double kinetic_energy(const MatC& psi, const std::vector<double>& occ) const;
+
+  // Kinetic energy density tau(r) = sum_i occ_i 1/2 |grad psi_i(r)|^2 on
+  // the FFT grid (used by the LS3DF patched kinetic energy).
+  FieldR kinetic_energy_density(const MatC& psi,
+                                const std::vector<double>& occ) const;
+
+  // Flop accounting: all applications add analytic counts here.
+  void set_flop_counter(FlopCounter* fc) { flops_ = fc; }
+
+  // Electron density of the given (orthonormal) bands with occupations;
+  // normalized so that  int rho d3r = sum(occ).
+  FieldR density(const MatC& psi, const std::vector<double>& occ) const;
+
+ private:
+  void apply_local(const std::complex<double>* in,
+                   std::complex<double>* out) const;
+
+  Structure structure_;
+  std::unique_ptr<GVectors> basis_;
+  Fft3D fft_;
+  FieldR vloc_;
+  std::unique_ptr<NonlocalKB> nl_;
+  FlopCounter* flops_ = nullptr;
+  mutable FieldC work_;  // FFT scratch
+};
+
+// Default density/FFT grid for a lattice and wavefunction cutoff: large
+// enough to hold charge-density frequencies (2 G_max) without aliasing,
+// rounded up to a 2-3-5-smooth FFT size.
+Vec3i default_fft_grid(const Lattice& lat, double ecut_hartree);
+
+}  // namespace ls3df

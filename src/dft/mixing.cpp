@@ -1,0 +1,126 @@
+#include "dft/mixing.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fft/fft3d.h"
+#include "grid/gvectors.h"
+#include "linalg/eigen.h"
+
+namespace ls3df {
+
+PotentialMixer::PotentialMixer(MixerType type, double alpha,
+                               const Lattice& lat, Vec3i shape, int history,
+                               double kerker_q0)
+    : type_(type),
+      alpha_(alpha),
+      lattice_(lat),
+      shape_(shape),
+      max_history_(history),
+      q0_(kerker_q0) {}
+
+void PotentialMixer::reset() {
+  v_history_.clear();
+  r_history_.clear();
+}
+
+FieldR PotentialMixer::kerker_smooth(const FieldR& residual) const {
+  FieldC work(shape_);
+  for (std::size_t i = 0; i < residual.size(); ++i)
+    work[i] = std::complex<double>(residual[i], 0.0);
+  Fft3D fft(shape_);
+  fft.forward(work.raw());
+  const Vec3d b = lattice_.reciprocal();
+  for (int i1 = 0; i1 < shape_.x; ++i1) {
+    const double gx = GVectors::freq(i1, shape_.x) * b.x;
+    for (int i2 = 0; i2 < shape_.y; ++i2) {
+      const double gy = GVectors::freq(i2, shape_.y) * b.y;
+      for (int i3 = 0; i3 < shape_.z; ++i3) {
+        const double gz = GVectors::freq(i3, shape_.z) * b.z;
+        const double g2 = gx * gx + gy * gy + gz * gz;
+        // Damp long wavelengths (charge sloshing), but pass the G = 0
+        // component through untouched: the average potential must still
+        // be mixed or the residual's constant part never decays.
+        if (g2 > 1e-12) work(i1, i2, i3) *= g2 / (g2 + q0_ * q0_);
+      }
+    }
+  }
+  fft.inverse(work.raw());
+  FieldR out(shape_);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = work[i].real();
+  return out;
+}
+
+FieldR PotentialMixer::mix(const FieldR& v_in, const FieldR& v_out) {
+  assert(v_in.shape() == shape_ && v_out.shape() == shape_);
+  FieldR residual = v_out;
+  residual -= v_in;
+
+  if (type_ == MixerType::kLinear) {
+    FieldR next = v_in;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] += alpha_ * residual[i];
+    return next;
+  }
+  if (type_ == MixerType::kKerker) {
+    FieldR smoothed = kerker_smooth(residual);
+    FieldR next = v_in;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] += alpha_ * smoothed[i];
+    return next;
+  }
+
+  // Pulay/Anderson: keep history of (v_in, residual); minimize the norm of
+  // the extrapolated residual subject to coefficients summing to one.
+  v_history_.push_back(v_in);
+  r_history_.push_back(residual);
+  if (static_cast<int>(v_history_.size()) > max_history_) {
+    v_history_.erase(v_history_.begin());
+    r_history_.erase(r_history_.begin());
+  }
+  const int m = static_cast<int>(v_history_.size());
+  if (m == 1) {
+    FieldR next = v_in;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] += alpha_ * residual[i];
+    return next;
+  }
+
+  // Solve the (m+1) x (m+1) DIIS system with a Lagrange multiplier.
+  MatR A(m + 1, m + 1);
+  std::vector<double> b(m + 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double dot = 0;
+      for (std::size_t k = 0; k < residual.size(); ++k)
+        dot += r_history_[i][k] * r_history_[j][k];
+      A(i, j) = dot;
+    }
+    A(i, m) = 1.0;
+    A(m, i) = 1.0;
+  }
+  A(m, m) = 0.0;
+  b[m] = 1.0;
+
+  std::vector<double> c;
+  try {
+    c = solve_linear(A, b);
+  } catch (const std::runtime_error&) {
+    // Degenerate history: fall back to linear mixing and drop history.
+    v_history_.clear();
+    r_history_.clear();
+    FieldR next = v_in;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] += alpha_ * residual[i];
+    return next;
+  }
+
+  FieldR next(shape_);
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < next.size(); ++k)
+      next[k] += c[i] * (v_history_[i][k] + alpha_ * r_history_[i][k]);
+  }
+  return next;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,45 @@
+// Potential mixing for the self-consistency loop (the "Potential mixing"
+// box in the paper's Fig. 2 flow chart). Three schemes:
+//   kLinear - V_next = V_in + alpha (V_out - V_in)
+//   kKerker - linear with the q-dependent factor alpha q^2/(q^2+q0^2)
+//             damping long-wavelength charge sloshing
+//   kPulay  - Anderson/Pulay (DIIS) acceleration over a residual history
+// The paper notes LS3DF uses "the same charge mixing scheme" as direct
+// LDA, so convergence behaviour carries over (Sec. VII).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/field3d.h"
+#include "grid/lattice.h"
+
+namespace ls3df {
+
+enum class MixerType { kLinear, kKerker, kPulay };
+
+class PotentialMixer {
+ public:
+  PotentialMixer(MixerType type, double alpha, const Lattice& lat,
+                 Vec3i shape, int history = 6, double kerker_q0 = 0.8);
+
+  // Produce the next input potential from the current (V_in, V_out) pair.
+  FieldR mix(const FieldR& v_in, const FieldR& v_out);
+
+  void reset();
+  MixerType type() const { return type_; }
+
+ private:
+  FieldR kerker_smooth(const FieldR& residual) const;
+
+  MixerType type_;
+  double alpha_;
+  Lattice lattice_;
+  Vec3i shape_;
+  int max_history_;
+  double q0_;
+  std::vector<FieldR> v_history_;
+  std::vector<FieldR> r_history_;
+};
+
+}  // namespace ls3df

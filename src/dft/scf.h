@@ -1,0 +1,69 @@
+// Direct (whole-system) self-consistent field driver: the O(N^3) baseline
+// the paper compares LS3DF against (stand-alone PEtot / PARATEC class).
+// The loop structure matches Fig. 2 with a single "fragment" spanning the
+// entire cell: V_in -> solve bands -> rho -> V_out -> mix -> repeat, with
+// convergence measured by  int |V_out - V_in| d3r  (Fig. 6 metric).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atoms/structure.h"
+#include "dft/eigensolver.h"
+#include "dft/energy.h"
+#include "dft/hamiltonian.h"
+#include "dft/mixing.h"
+
+namespace ls3df {
+
+struct ScfOptions {
+  double ecut = 2.0;          // wavefunction cutoff, Hartree
+  int n_bands = 0;            // 0 = occupied + 25% (min 4) empty bands
+  int max_iterations = 60;
+  double l1_tol = 1e-3;       // a.u., on int |V_out - V_in| d3r
+  MixerType mixer = MixerType::kPulay;
+  double mix_alpha = 0.6;
+  EigensolverOptions eig{/*max_iterations=*/12, /*residual_tol=*/1e-6,
+                         /*precondition=*/true};
+  bool all_band = true;       // false = band-by-band CG (original scheme)
+  std::uint64_t seed = 12345;
+  bool compute_energy = true;
+  // Gaussian occupation smearing width (Ha). 0 keeps integer occupations
+  // (the paper's gapped systems); > 0 stabilizes SCF for (near-)metallic
+  // or level-crossing cases by fractionally occupying degenerate shells.
+  double smearing = 0.0;
+};
+
+struct ScfResult {
+  FieldR v_eff;                     // converged effective potential
+  FieldR rho;                       // converged density
+  MatC psi;                         // final wavefunctions
+  std::vector<double> eigenvalues;  // band energies (Ha)
+  std::vector<double> occupations;
+  EnergyBreakdown energy;
+  std::vector<double> conv_history;  // int |V_out - V_in| per iteration
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Occupations for `electrons` electrons over n_bands (spin-degenerate).
+std::vector<double> fill_occupations(double electrons, int n_bands);
+
+// Gaussian-smeared occupations: f_i = erfc((eps_i - mu)/sigma), with the
+// chemical potential mu found by bisection so that sum f_i = electrons.
+std::vector<double> smeared_occupations(const std::vector<double>& eigenvalues,
+                                        double electrons, double sigma);
+
+// Effective potential from a density: V_ion + V_H[rho] + V_xc[rho].
+FieldR effective_potential(const FieldR& vion, const FieldR& rho,
+                           const Lattice& lat);
+
+ScfResult run_scf(const Structure& s, const ScfOptions& opt);
+
+// As run_scf but reusing an existing Hamiltonian (and its basis) plus an
+// initial potential guess; used by the LS3DF driver for fragments and by
+// restart workflows.
+ScfResult run_scf(Hamiltonian& h, const FieldR& vion, const FieldR& v_start,
+                  const ScfOptions& opt);
+
+}  // namespace ls3df

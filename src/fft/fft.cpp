@@ -1,0 +1,198 @@
+#include "fft/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace ls3df {
+
+namespace {
+
+std::vector<int> factorize(int n) {
+  std::vector<int> f;
+  for (int p : {2, 3, 5, 7}) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  for (int p = 11; static_cast<long>(p) * p <= n; p += 2) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) f.push_back(n);
+  return f;
+}
+
+int next_pow2(int n) {
+  int m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+
+// Iterative radix-2 in-place FFT for power-of-two m (used by Bluestein).
+void fft_pow2(cplx* a, int m, int sign) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < m; ++i) {
+    int bit = m >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int len = 2; len <= m; len <<= 1) {
+    const double ang = sign * units::kTwoPi / len;
+    const cplx wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < m; i += len) {
+      cplx w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Fft1D::is_smooth(int n) {
+  for (int p : {2, 3, 5, 7})
+    while (n % p == 0) n /= p;
+  return n == 1;
+}
+
+int Fft1D::good_fft_size(int n) {
+  if (n < 1) return 1;
+  for (int m = n;; ++m) {
+    int r = m;
+    for (int p : {2, 3, 5})
+      while (r % p == 0) r /= p;
+    if (r == 1) return m;
+  }
+}
+
+Fft1D::Fft1D(int n) : n_(n) {
+  assert(n >= 1);
+  factors_ = factorize(n);
+  smooth_ = is_smooth(n);
+  roots_.resize(n);
+  for (int k = 0; k < n; ++k) {
+    const double ang = -units::kTwoPi * k / n;
+    roots_[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  work_.resize(n);
+  if (!smooth_) {
+    bs_m_ = next_pow2(2 * n - 1);
+    bs_chirp_.resize(n);
+    for (int k = 0; k < n; ++k) {
+      // k^2 mod 2n keeps the argument bounded for large k.
+      const long k2 = (static_cast<long>(k) * k) % (2L * n);
+      const double ang = units::kPi * static_cast<double>(k2) / n;
+      bs_chirp_[k] = cplx(std::cos(ang), std::sin(ang));
+    }
+    std::vector<cplx> kernel(bs_m_, cplx(0, 0));
+    kernel[0] = bs_chirp_[0];
+    for (int k = 1; k < n; ++k) {
+      kernel[k] = bs_chirp_[k];
+      kernel[bs_m_ - k] = bs_chirp_[k];
+    }
+    fft_pow2(kernel.data(), bs_m_, -1);
+    bs_kernel_fft_ = std::move(kernel);
+  }
+}
+
+void Fft1D::inverse(cplx* data) const {
+  transform(data, +1);
+  const double s = 1.0 / n_;
+  for (int i = 0; i < n_; ++i) data[i] *= s;
+}
+
+void Fft1D::transform(cplx* data, int sign) const {
+  if (n_ == 1) return;
+  if (smooth_) {
+    transform_smooth(data, sign);
+  } else {
+    transform_bluestein(data, sign);
+  }
+}
+
+void Fft1D::transform_smooth(cplx* data, int sign) const {
+  recurse(work_.data(), data, n_, 1, sign);
+  for (int i = 0; i < n_; ++i) data[i] = work_[i];
+}
+
+// Mixed-radix decimation in time. in has the given stride; out is
+// contiguous of length n. Twiddles are read from the length-n_ root table:
+// exp(sign*2*pi*i*t/n) == roots_[(sign<0 ? t : n_-t) * (n_/n) mod n_].
+void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
+                    int sign) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Smallest prime factor of n (n divides n_, so its factors are known).
+  int p = 0;
+  for (int f : factors_)
+    if (n % f == 0) {
+      p = f;
+      break;
+    }
+  assert(p > 1);
+  const int m = n / p;
+  // Transform the p interleaved subsequences.
+  for (int r = 0; r < p; ++r)
+    recurse(out + r * m, in + static_cast<std::ptrdiff_t>(r) * stride, m,
+            stride * p, sign);
+  // Combine: X[k1*m + k2] = sum_r out_r[k2] * w_n^{r*(k1*m+k2)}.
+  const int scale = n_ / n;  // map twiddle exponent mod n to root table
+  std::vector<cplx> t(p);
+  std::vector<cplx> col(p);
+  for (int k2 = 0; k2 < m; ++k2) {
+    for (int r = 0; r < p; ++r) col[r] = out[r * m + k2];
+    for (int k1 = 0; k1 < p; ++k1) {
+      const int k = k1 * m + k2;
+      cplx acc(0, 0);
+      for (int r = 0; r < p; ++r) {
+        long e = (static_cast<long>(r) * k) % n;
+        if (sign > 0 && e != 0) e = n - e;
+        acc += col[r] * roots_[static_cast<std::size_t>(e) * scale];
+      }
+      t[k1] = acc;
+    }
+    for (int k1 = 0; k1 < p; ++k1) out[k1 * m + k2] = t[k1];
+  }
+}
+
+void Fft1D::transform_bluestein(cplx* data, int sign) const {
+  const int n = n_, m = bs_m_;
+  std::vector<cplx> a(m, cplx(0, 0));
+  for (int k = 0; k < n; ++k) {
+    const cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
+    a[k] = data[k] * c;
+  }
+  fft_pow2(a.data(), m, -1);
+  if (sign < 0) {
+    for (int i = 0; i < m; ++i) a[i] *= bs_kernel_fft_[i];
+  } else {
+    // Kernel for sign=+1 is the conjugate chirp; its FFT is related to the
+    // stored one by conjugating around the transform. Recompute on the fly
+    // is avoided by: FFT(conj(g)) = conj(reverse(FFT(g))).
+    for (int i = 0; i < m; ++i) {
+      const int j = i == 0 ? 0 : m - i;
+      a[i] *= std::conj(bs_kernel_fft_[j]);
+    }
+  }
+  fft_pow2(a.data(), m, +1);
+  const double s = 1.0 / m;
+  for (int k = 0; k < n; ++k) {
+    const cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
+    data[k] = a[k] * s * c;
+  }
+}
+
+}  // namespace ls3df

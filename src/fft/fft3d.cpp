@@ -1,0 +1,52 @@
+#include "fft/fft3d.h"
+
+#include <cassert>
+
+namespace ls3df {
+
+Fft3D::Fft3D(Vec3i shape)
+    : shape_(shape), fx_(shape.x), fy_(shape.y), fz_(shape.z) {
+  assert(shape.x >= 1 && shape.y >= 1 && shape.z >= 1);
+}
+
+void Fft3D::transform(cplx* data, bool inv) const {
+  const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
+
+  // Axis z: contiguous rows.
+  for (int ix = 0; ix < n1; ++ix)
+    for (int iy = 0; iy < n2; ++iy) {
+      cplx* row = data + (static_cast<std::size_t>(ix) * n2 + iy) * n3;
+      if (inv)
+        fz_.inverse(row);
+      else
+        fz_.forward(row);
+    }
+
+  // Axis y: stride n3 within each x-slab.
+  std::vector<cplx> buf(std::max(n1, n2));
+  for (int ix = 0; ix < n1; ++ix)
+    for (int iz = 0; iz < n3; ++iz) {
+      cplx* base = data + static_cast<std::size_t>(ix) * n2 * n3 + iz;
+      for (int iy = 0; iy < n2; ++iy) buf[iy] = base[static_cast<std::size_t>(iy) * n3];
+      if (inv)
+        fy_.inverse(buf.data());
+      else
+        fy_.forward(buf.data());
+      for (int iy = 0; iy < n2; ++iy) base[static_cast<std::size_t>(iy) * n3] = buf[iy];
+    }
+
+  // Axis x: stride n2*n3.
+  const std::size_t sx = static_cast<std::size_t>(n2) * n3;
+  for (int iy = 0; iy < n2; ++iy)
+    for (int iz = 0; iz < n3; ++iz) {
+      cplx* base = data + static_cast<std::size_t>(iy) * n3 + iz;
+      for (int ix = 0; ix < n1; ++ix) buf[ix] = base[ix * sx];
+      if (inv)
+        fx_.inverse(buf.data());
+      else
+        fx_.forward(buf.data());
+      for (int ix = 0; ix < n1; ++ix) base[ix * sx] = buf[ix];
+    }
+}
+
+}  // namespace ls3df

@@ -1,0 +1,40 @@
+// Three-dimensional complex FFT over a periodic box, built from the 1D
+// planner. This is the transform that moves wavefunctions and densities
+// between real space and reciprocal (q) space, and the kernel behind
+// GENPOT's global Poisson solve.
+//
+// Data layout: row-major with z fastest, i.e. index(ix,iy,iz) =
+// (ix*n2 + iy)*n3 + iz, matching Grid3D.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/vec3.h"
+#include "fft/fft.h"
+
+namespace ls3df {
+
+class Fft3D {
+ public:
+  explicit Fft3D(Vec3i shape);
+
+  const Vec3i& shape() const { return shape_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(shape_.x) * shape_.y * shape_.z;
+  }
+
+  // In-place transforms. Forward: no scaling; inverse: scales by 1/(n1*n2*n3).
+  void forward(cplx* data) const { transform(data, false); }
+  void inverse(cplx* data) const { transform(data, true); }
+  void forward(std::vector<cplx>& v) const { forward(v.data()); }
+  void inverse(std::vector<cplx>& v) const { inverse(v.data()); }
+
+ private:
+  void transform(cplx* data, bool inv) const;
+
+  Vec3i shape_;
+  Fft1D fx_, fy_, fz_;
+};
+
+}  // namespace ls3df

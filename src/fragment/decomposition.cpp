@@ -1,0 +1,49 @@
+#include "fragment/decomposition.h"
+
+#include <cassert>
+
+namespace ls3df {
+
+bool Fragment::covers(const Vec3i& cell, const Vec3i& division) const {
+  for (int i = 0; i < 3; ++i) {
+    const int rel = pmod(cell[i] - corner[i], division[i]);
+    if (rel >= size[i]) return false;
+  }
+  return true;
+}
+
+FragmentDecomposition::FragmentDecomposition(Vec3i division)
+    : division_(division) {
+  assert(division.x >= 1 && division.y >= 1 && division.z >= 1);
+  const int sx = division.x >= 2 ? 2 : 1;
+  const int sy = division.y >= 2 ? 2 : 1;
+  const int sz = division.z >= 2 ? 2 : 1;
+  for (int cx = 0; cx < division.x; ++cx)
+    for (int cy = 0; cy < division.y; ++cy)
+      for (int cz = 0; cz < division.z; ++cz)
+        for (int tx = 1; tx <= sx; ++tx)
+          for (int ty = 1; ty <= sy; ++ty)
+            for (int tz = 1; tz <= sz; ++tz) {
+              Fragment f;
+              f.corner = {cx, cy, cz};
+              f.size = {tx, ty, tz};
+              f.sign = sign_of(f.size);
+              fragments_.push_back(f);
+            }
+}
+
+int FragmentDecomposition::sign_of(const Vec3i& size) const {
+  int ones = 0;
+  for (int i = 0; i < 3; ++i)
+    if (division_[i] >= 2 && size[i] == 1) ++ones;
+  return (ones % 2 == 0) ? 1 : -1;
+}
+
+int FragmentDecomposition::coverage(const Vec3i& cell) const {
+  int total = 0;
+  for (const auto& f : fragments_)
+    if (f.covers(cell, division_)) total += f.sign;
+  return total;
+}
+
+}  // namespace ls3df

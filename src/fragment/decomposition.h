@@ -1,0 +1,52 @@
+// The LS3DF fragment decomposition (paper Sec. III, Fig. 1, generalized to
+// three dimensions).
+//
+// A periodic supercell is divided into an m1 x m2 x m3 grid of cells. From
+// each grid corner (i,j,k), fragments of sizes {1,2} x {1,2} x {1,2} cells
+// are defined, each with sign
+//     alpha_F = (-1)^(# dimensions of size 1)
+// (for dimensions where m_i = 1 the fragment always spans the whole axis
+// and contributes no sign). The signed sum of fragment interiors covers
+// every cell exactly once:
+//     sum_F alpha_F * indicator(F covers cell) = 1   for every cell,
+// which is the cancellation that removes artificial edge and corner
+// effects between fragments (the core LS3DF idea).
+#pragma once
+
+#include <vector>
+
+#include "common/vec3.h"
+
+namespace ls3df {
+
+struct Fragment {
+  Vec3i corner;  // cell-grid corner, 0 <= corner_i < m_i
+  Vec3i size;    // cells per axis: 1 or 2 (1 when m_i == 1)
+  int sign;      // alpha_F = +-1
+
+  // True if this fragment's cells include the given cell (periodic).
+  bool covers(const Vec3i& cell, const Vec3i& division) const;
+};
+
+class FragmentDecomposition {
+ public:
+  explicit FragmentDecomposition(Vec3i division);
+
+  const Vec3i& division() const { return division_; }
+  int num_cells() const { return division_.prod(); }
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+  int size() const { return static_cast<int>(fragments_.size()); }
+
+  // Sign for a fragment of the given size under this division.
+  int sign_of(const Vec3i& size) const;
+
+  // sum_F alpha_F over fragments covering `cell`; the partition-of-unity
+  // property guarantees 1 for every cell.
+  int coverage(const Vec3i& cell) const;
+
+ private:
+  Vec3i division_;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace ls3df

@@ -1,0 +1,125 @@
+// The LS3DF solver: the paper's primary contribution (Sec. III, Fig. 2).
+//
+// Each self-consistent ("outer") iteration runs four phases, named after
+// the paper's subroutines:
+//   Gen_VF   - restrict the global input potential onto each fragment box
+//              Omega_F (fragment cells + buffer) and add the fixed
+//              passivation potential dV_F near the box boundary;
+//   PEtot_F  - solve each fragment's Schroedinger equation independently
+//              (all-band solver by default) and form its density;
+//   Gen_dens - patch fragment densities into the global density with the
+//              +- fragment signs:  rho_tot = sum_F alpha_F rho_F;
+//   GENPOT   - solve the global Poisson equation by FFT, add LDA xc,
+//              produce V_out; mix with V_in and iterate.
+// Self-consistency is measured by  int |V_out - V_in| d3r  (Fig. 6).
+//
+// Fragments are independent given V_in, so PEtot_F distributes fragments
+// over worker threads (the single-node analogue of the paper's processor
+// groups; see src/parallel and src/perfmodel).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "atoms/structure.h"
+#include "common/timer.h"
+#include "dft/energy.h"
+#include "dft/mixing.h"
+#include "dft/scf.h"
+#include "fragment/decomposition.h"
+
+namespace ls3df {
+
+struct Ls3dfOptions {
+  Vec3i division{2, 2, 2};   // m1 x m2 x m3 cell grid
+  int points_per_cell = 10;  // global grid points per cell edge
+  int buffer_points = 5;     // max buffer thickness (grid points per side)
+  double ecut = 1.2;         // fragment wavefunction cutoff (Ha)
+
+  // Passivation potential dV_F: a smooth repulsive wall of the given
+  // height (Ha) and width (Bohr) on the fragment-box faces that were
+  // created artificially (axes where the fragment does not span the
+  // whole supercell).
+  double wall_height = 4.0;
+  double wall_width = 1.0;
+  // Atoms closer than this to an artificial face are excluded from the
+  // fragment: inside the wall their electrons cannot bind and they would
+  // poison the fragment density. < 0 selects 2.5 * wall_width.
+  double atom_margin = -1.0;
+
+  int extra_bands = 4;              // unoccupied bands per fragment
+  double fragment_smearing = 0.0;   // occupation smearing in fragments (Ha)
+  EigensolverOptions eig{12, 1e-6, true};
+  bool all_band = true;             // PEtot_F solver flavour
+
+  int max_iterations = 40;          // outer SCF loop
+  double l1_tol = 1e-3;             // on int |V_out - V_in| d3r (a.u.)
+  MixerType mixer = MixerType::kPulay;
+  double mix_alpha = 0.6;
+
+  std::uint64_t seed = 2718;
+  int n_workers = 1;                // threads for PEtot_F
+  bool compute_energy = true;
+};
+
+struct Ls3dfResult {
+  FieldR v_eff;                      // converged global effective potential
+  FieldR rho;                        // patched global density
+  EnergyBreakdown energy;            // patched total energy
+  std::vector<double> conv_history;  // int |V_out - V_in| per iteration
+  int iterations = 0;
+  bool converged = false;
+  double charge_patch_error = 0;     // |int rho_patched - N_e| before rescale
+  PhaseProfiler profile;             // Gen_VF / PEtot_F / Gen_dens / GENPOT
+};
+
+class Ls3dfSolver {
+ public:
+  Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt);
+  ~Ls3dfSolver();
+
+  const Structure& structure() const { return structure_; }
+  const FragmentDecomposition& decomposition() const { return decomp_; }
+  int num_fragments() const { return decomp_.size(); }
+  Vec3i global_grid() const { return global_grid_; }
+  const FieldR& ionic_potential() const { return vion_; }
+
+  // Full outer SCF loop.
+  Ls3dfResult solve();
+
+  // Individual phases, exposed for tests and benchmarks. gen_vf must be
+  // called before petot_f; petot_f before gen_dens.
+  void gen_vf(const FieldR& v_global);
+  void petot_f();
+  FieldR gen_dens() const;
+  // V_out = V_ion + V_H[rho] + V_xc[rho] on the global grid.
+  FieldR genpot(const FieldR& rho) const;
+
+  // Patched quantum-mechanical energies (kinetic + nonlocal), valid after
+  // petot_f().
+  double patched_kinetic_energy() const;
+  double patched_nonlocal_energy() const;
+
+  // Estimated solve cost per fragment (for the load-balancing scheduler
+  // and the performance model): basis size x bands.
+  std::vector<double> fragment_costs() const;
+
+  // Number of atoms assigned to fragment f's box (incl. buffer).
+  int fragment_atom_count(int f) const;
+  // Electron count of fragment f's box.
+  double fragment_electrons(int f) const;
+
+ private:
+  struct FragmentContext;
+
+  Structure structure_;
+  Ls3dfOptions opt_;
+  FragmentDecomposition decomp_;
+  Vec3i global_grid_;
+  FieldR vion_;  // global bare ionic potential
+  std::vector<std::unique_ptr<FragmentContext>> contexts_;
+  mutable PhaseProfiler profile_;
+};
+
+}  // namespace ls3df

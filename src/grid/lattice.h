@@ -1,0 +1,59 @@
+// Periodic simulation cell. The paper's test systems are orthorhombic
+// supercells built from m1 x m2 x m3 cubic eight-atom zinc-blende unit
+// cells; we support general orthorhombic boxes (edge lengths in Bohr).
+#pragma once
+
+#include <cassert>
+
+#include "common/constants.h"
+#include "common/vec3.h"
+
+namespace ls3df {
+
+class Lattice {
+ public:
+  Lattice() : lengths_{1, 1, 1} {}
+  explicit Lattice(Vec3d edge_lengths_bohr) : lengths_(edge_lengths_bohr) {
+    assert(lengths_.x > 0 && lengths_.y > 0 && lengths_.z > 0);
+  }
+  static Lattice cubic(double a_bohr) { return Lattice({a_bohr, a_bohr, a_bohr}); }
+
+  const Vec3d& lengths() const { return lengths_; }
+  double volume() const { return lengths_.x * lengths_.y * lengths_.z; }
+
+  // Reciprocal lattice vector magnitudes along each axis: b_i = 2*pi/L_i.
+  Vec3d reciprocal() const {
+    return {units::kTwoPi / lengths_.x, units::kTwoPi / lengths_.y,
+            units::kTwoPi / lengths_.z};
+  }
+
+  // Cartesian position of fractional coordinates (may lie outside [0,1)).
+  Vec3d cartesian(const Vec3d& frac) const {
+    return {frac.x * lengths_.x, frac.y * lengths_.y, frac.z * lengths_.z};
+  }
+  Vec3d fractional(const Vec3d& cart) const {
+    return {cart.x / lengths_.x, cart.y / lengths_.y, cart.z / lengths_.z};
+  }
+
+  // Minimum-image displacement from a to b.
+  Vec3d min_image(const Vec3d& a, const Vec3d& b) const {
+    Vec3d d = b - a;
+    for (int i = 0; i < 3; ++i) {
+      const double L = lengths_[i];
+      d[i] -= L * std::round(d[i] / L);
+    }
+    return d;
+  }
+
+  // Sub-box spanned by `cells` unit cells out of `total` along each axis.
+  Lattice sub_box(const Vec3i& cells, const Vec3i& total) const {
+    return Lattice({lengths_.x * cells.x / total.x,
+                    lengths_.y * cells.y / total.y,
+                    lengths_.z * cells.z / total.z});
+  }
+
+ private:
+  Vec3d lengths_;
+};
+
+}  // namespace ls3df

@@ -1,0 +1,144 @@
+#include "linalg/blas.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ls3df {
+
+namespace {
+
+template <typename T>
+T apply_op(Op op, const Matrix<T>& A, int i, int j) {
+  switch (op) {
+    case Op::kNone:
+      return A(i, j);
+    case Op::kTrans:
+      return A(j, i);
+    case Op::kConjTrans:
+      if constexpr (std::is_same_v<T, std::complex<double>>)
+        return std::conj(A(j, i));
+      else
+        return A(j, i);
+  }
+  return T{};
+}
+
+template <typename T>
+void gemm_impl(Op opA, Op opB, T alpha, const Matrix<T>& A,
+               const Matrix<T>& B, T beta, Matrix<T>& C) {
+  const int m = C.rows(), n = C.cols();
+  const int k = (opA == Op::kNone) ? A.cols() : A.rows();
+  assert(((opA == Op::kNone) ? A.rows() : A.cols()) == m);
+  assert(((opB == Op::kNone) ? B.rows() : B.cols()) == k);
+  assert(((opB == Op::kNone) ? B.cols() : B.rows()) == n);
+
+  if (beta == T{}) {
+    C.set_zero();
+  } else if (beta != T{1}) {
+    for (std::size_t i = 0; i < C.size(); ++i) C.data()[i] *= beta;
+  }
+
+  if (opA == Op::kNone && opB == Op::kNone) {
+    // Fast path: gaxpy ordering, stride-1 over columns of A and C.
+    for (int j = 0; j < n; ++j) {
+      T* cj = C.col(j);
+      for (int l = 0; l < k; ++l) {
+        const T b = alpha * B(l, j);
+        if (b == T{}) continue;
+        const T* al = A.col(l);
+        for (int i = 0; i < m; ++i) cj[i] += al[i] * b;
+      }
+    }
+    return;
+  }
+  if (opA == Op::kConjTrans && opB == Op::kNone) {
+    // Overlap path: C(i,j) = sum_l conj(A(l,i)) B(l,j); columns contiguous.
+    const int ka = A.rows();
+    for (int j = 0; j < n; ++j) {
+      const T* bj = B.col(j);
+      for (int i = 0; i < m; ++i) {
+        const T* ai = A.col(i);
+        T acc{};
+        if constexpr (std::is_same_v<T, std::complex<double>>) {
+          for (int l = 0; l < ka; ++l) acc += std::conj(ai[l]) * bj[l];
+        } else {
+          for (int l = 0; l < ka; ++l) acc += ai[l] * bj[l];
+        }
+        C(i, j) += alpha * acc;
+      }
+    }
+    return;
+  }
+  // General (rare) path.
+  for (int j = 0; j < n; ++j)
+    for (int l = 0; l < k; ++l) {
+      const T b = alpha * apply_op(opB, B, l, j);
+      if (b == T{}) continue;
+      for (int i = 0; i < m; ++i) C(i, j) += apply_op(opA, A, i, l) * b;
+    }
+}
+
+}  // namespace
+
+void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
+          const MatC& B, std::complex<double> beta, MatC& C) {
+  gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
+void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,
+          double beta, MatR& C) {
+  gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
+void gemv(Op opA, std::complex<double> alpha, const MatC& A,
+          const std::complex<double>* x, std::complex<double> beta,
+          std::complex<double>* y) {
+  const int m = A.rows(), n = A.cols();
+  if (opA == Op::kNone) {
+    for (int i = 0; i < m; ++i) y[i] *= beta;
+    for (int j = 0; j < n; ++j) {
+      const std::complex<double> xj = alpha * x[j];
+      const std::complex<double>* aj = A.col(j);
+      for (int i = 0; i < m; ++i) y[i] += aj[i] * xj;
+    }
+  } else {
+    assert(opA == Op::kConjTrans);
+    for (int j = 0; j < n; ++j) {
+      const std::complex<double>* aj = A.col(j);
+      std::complex<double> acc{};
+      for (int i = 0; i < m; ++i) acc += std::conj(aj[i]) * x[i];
+      y[j] = beta * y[j] + alpha * acc;
+    }
+  }
+}
+
+MatC overlap(const MatC& A, const MatC& B) {
+  MatC S(A.cols(), B.cols());
+  gemm(Op::kConjTrans, Op::kNone, std::complex<double>(1.0), A, B,
+       std::complex<double>(0.0), S);
+  return S;
+}
+
+std::complex<double> zdotc(int n, const std::complex<double>* x,
+                           const std::complex<double>* y) {
+  std::complex<double> acc{};
+  for (int i = 0; i < n; ++i) acc += std::conj(x[i]) * y[i];
+  return acc;
+}
+
+double dznrm2(int n, const std::complex<double>* x) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += std::norm(x[i]);
+  return std::sqrt(acc);
+}
+
+void zaxpy(int n, std::complex<double> a, const std::complex<double>* x,
+           std::complex<double>* y) {
+  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void zscal(int n, std::complex<double> a, std::complex<double>* x) {
+  for (int i = 0; i < n; ++i) x[i] *= a;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,38 @@
+// Minimal BLAS-like kernels built from scratch: matrix-matrix products
+// (the BLAS-3 path that Sec. IV's all-band optimization relies on),
+// matrix-vector products (the BLAS-2 path of the original band-by-band
+// scheme), and the level-1 helpers the CG solvers need.
+#pragma once
+
+#include <complex>
+
+#include "linalg/matrix.h"
+
+namespace ls3df {
+
+enum class Op { kNone, kTrans, kConjTrans };
+
+// C = alpha * op(A) * op(B) + beta * C.
+void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
+          const MatC& B, std::complex<double> beta, MatC& C);
+void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,
+          double beta, MatR& C);
+
+// y = alpha * op(A) * x + beta * y (BLAS-2).
+void gemv(Op opA, std::complex<double> alpha, const MatC& A,
+          const std::complex<double>* x, std::complex<double> beta,
+          std::complex<double>* y);
+
+// Hermitian overlap S = A^H * B restricted to (A.cols x B.cols).
+// Convenience wrapper over gemm used for all-band orthogonalization.
+MatC overlap(const MatC& A, const MatC& B);
+
+// Level-1 helpers over contiguous spans.
+std::complex<double> zdotc(int n, const std::complex<double>* x,
+                           const std::complex<double>* y);
+double dznrm2(int n, const std::complex<double>* x);
+void zaxpy(int n, std::complex<double> a, const std::complex<double>* x,
+           std::complex<double>* y);
+void zscal(int n, std::complex<double> a, std::complex<double>* x);
+
+}  // namespace ls3df

@@ -1,0 +1,197 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ls3df {
+
+namespace {
+using cd = std::complex<double>;
+
+// One Jacobi rotation zeroing A(p,q). For a Hermitian matrix the 2x2 block
+// [a_pp, a_pq; conj(a_pq), a_qq] is diagonalized by a complex rotation
+// R = [c, s; -conj(s), c] with real c.
+struct JacobiRot {
+  double c;
+  cd s;
+};
+
+JacobiRot compute_rotation(double app, double aqq, cd apq) {
+  const double absapq = std::abs(apq);
+  if (absapq == 0.0) return {1.0, cd(0, 0)};
+  const cd phase = apq / absapq;
+  const double tau = (aqq - app) / (2.0 * absapq);
+  // tan(theta) root with smaller magnitude for stability.
+  const double t = (tau >= 0 ? 1.0 : -1.0) /
+                   (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  return {c, phase * (t * c)};
+}
+
+}  // namespace
+
+EighResult eigh(const MatC& A) {
+  const int n = A.rows();
+  assert(A.cols() == n);
+  MatC M(n, n);
+  // Symmetrize from the lower triangle.
+  for (int j = 0; j < n; ++j) {
+    M(j, j) = cd(A(j, j).real(), 0.0);
+    for (int i = j + 1; i < n; ++i) {
+      M(i, j) = A(i, j);
+      M(j, i) = std::conj(A(i, j));
+    }
+  }
+  MatC V = MatC::identity(n);
+
+  auto off_norm = [&]() {
+    double s = 0;
+    for (int j = 0; j < n; ++j)
+      for (int i = j + 1; i < n; ++i) s += std::norm(M(i, j));
+    return std::sqrt(2.0 * s);
+  };
+
+  const int max_sweeps = 60;
+  double scale = 0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) scale = std::max(scale, std::abs(M(i, j)));
+  const double tol = 1e-14 * std::max(scale, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol * n; ++sweep) {
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const cd apq = M(p, q);
+        if (std::abs(apq) <= tol * 1e-2) continue;
+        const auto [c, s] =
+            compute_rotation(M(p, p).real(), M(q, q).real(), apq);
+        // Apply R^H M R where R mixes columns/rows p and q.
+        for (int k = 0; k < n; ++k) {
+          const cd mkp = M(k, p), mkq = M(k, q);
+          M(k, p) = c * mkp - std::conj(s) * mkq;
+          M(k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const cd mpk = M(p, k), mqk = M(q, k);
+          M(p, k) = c * mpk - s * mqk;
+          M(q, k) = std::conj(s) * mpk + c * mqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const cd vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = c * vkp - std::conj(s) * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return M(a, a).real() < M(b, b).real(); });
+
+  EighResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors.resize(n, n);
+  for (int j = 0; j < n; ++j) {
+    result.eigenvalues[j] = M(order[j], order[j]).real();
+    for (int i = 0; i < n; ++i) result.eigenvectors(i, j) = V(i, order[j]);
+  }
+  return result;
+}
+
+EighResultReal eigh(const MatR& A) {
+  const int n = A.rows();
+  MatC Ac(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) Ac(i, j) = cd(A(i, j), 0.0);
+  EighResult r = eigh(Ac);
+  EighResultReal out;
+  out.eigenvalues = std::move(r.eigenvalues);
+  out.eigenvectors.resize(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = r.eigenvectors(i, j).real();
+  return out;
+}
+
+MatC cholesky(const MatC& A) {
+  const int n = A.rows();
+  assert(A.cols() == n);
+  double scale = 0.0;
+  for (int j = 0; j < n; ++j) scale = std::max(scale, A(j, j).real());
+  // Reject near-singular matrices too: downstream triangular solves would
+  // amplify rounding noise catastrophically.
+  const double min_pivot = std::max(scale, 1e-300) * 1e-13;
+  MatC L(n, n);
+  for (int j = 0; j < n; ++j) {
+    double d = A(j, j).real();
+    for (int k = 0; k < j; ++k) d -= std::norm(L(j, k));
+    if (d <= min_pivot)
+      throw std::runtime_error("cholesky: not (numerically) positive definite");
+    const double ljj = std::sqrt(d);
+    L(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      cd acc = A(i, j);
+      for (int k = 0; k < j; ++k) acc -= L(i, k) * std::conj(L(j, k));
+      L(i, j) = acc / ljj;
+    }
+  }
+  return L;
+}
+
+void trsm_right_lherm(const MatC& L, MatC& B) {
+  // Solve X L^H = B, i.e. for each row x of B: x = b * L^{-H}.
+  // L^H is upper triangular with (L^H)(k,j) = conj(L(j,k)).
+  // Forward substitution over columns: X(:,0) = B(:,0)/conj(L(0,0)), then
+  // X(:,j) = (B(:,j) - sum_{k<j} X(:,k) conj(L(j,k))) / conj(L(j,j)).
+  const int n = L.rows();
+  const int m = B.rows();
+  assert(B.cols() == n);
+  for (int j = 0; j < n; ++j) {
+    cd* bj = B.col(j);
+    for (int k = 0; k < j; ++k) {
+      const cd ljk = std::conj(L(j, k));
+      if (ljk == cd(0, 0)) continue;
+      const cd* bk = B.col(k);
+      for (int i = 0; i < m; ++i) bj[i] -= bk[i] * ljk;
+    }
+    const cd d = std::conj(L(j, j));
+    for (int i = 0; i < m; ++i) bj[i] /= d;
+  }
+}
+
+std::vector<double> solve_linear(MatR A, std::vector<double> b) {
+  const int n = A.rows();
+  assert(A.cols() == n && static_cast<int>(b.size()) == n);
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot.
+    int piv = k;
+    for (int i = k + 1; i < n; ++i)
+      if (std::abs(A(i, k)) > std::abs(A(piv, k))) piv = i;
+    if (std::abs(A(piv, k)) < 1e-300)
+      throw std::runtime_error("solve_linear: singular matrix");
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(A(k, j), A(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const double f = A(i, k) / A(k, k);
+      if (f == 0.0) continue;
+      for (int j = k; j < n; ++j) A(i, j) -= f * A(k, j);
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[i];
+    for (int j = i + 1; j < n; ++j) acc -= A(i, j) * x[j];
+    x[i] = acc / A(i, i);
+  }
+  return x;
+}
+
+}  // namespace ls3df

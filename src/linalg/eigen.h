@@ -1,0 +1,45 @@
+// Dense Hermitian eigensolver (cyclic Jacobi with threshold sweeps) and
+// Cholesky-based utilities. Sizes here are subspace dimensions (number of
+// bands, <= a few hundred), where Jacobi's O(n^3) per sweep is perfectly
+// adequate and its accuracy/robustness are excellent.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ls3df {
+
+struct EighResult {
+  std::vector<double> eigenvalues;  // ascending
+  MatC eigenvectors;                // columns; A * v_k = w_k * v_k
+};
+
+// Full eigendecomposition of a Hermitian matrix (only the lower triangle
+// and diagonal are required to be meaningful; the matrix is symmetrized).
+EighResult eigh(const MatC& A);
+
+// Real symmetric convenience wrapper.
+struct EighResultReal {
+  std::vector<double> eigenvalues;
+  MatR eigenvectors;
+};
+EighResultReal eigh(const MatR& A);
+
+// Cholesky factorization A = L * L^H of a Hermitian positive-definite
+// matrix; returns lower-triangular L. Throws std::runtime_error if A is
+// not (numerically) positive definite.
+MatC cholesky(const MatC& A);
+
+// Solve X * L^H = B in place (right triangular solve), i.e. replace B by
+// B * L^{-H}. Used to orthonormalize a band block from its overlap matrix:
+// given S = X^H X = L L^H, the block X L^{-H} is orthonormal.
+void trsm_right_lherm(const MatC& L, MatC& B);
+
+// Solve the small linear system A x = b by Gaussian elimination with
+// partial pivoting (A is copied). Used by the least-squares and mixing
+// machinery.
+std::vector<double> solve_linear(MatR A, std::vector<double> b);
+
+}  // namespace ls3df

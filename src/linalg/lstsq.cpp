@@ -1,0 +1,120 @@
+#include "linalg/lstsq.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace ls3df {
+
+std::vector<double> lstsq(const MatR& A, const std::vector<double>& b) {
+  const int m = A.rows(), n = A.cols();
+  assert(static_cast<int>(b.size()) == m);
+  MatR AtA(n, n);
+  std::vector<double> Atb(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int k = 0; k < m; ++k) acc += A(k, i) * A(k, j);
+      AtA(i, j) = acc;
+    }
+    for (int k = 0; k < m; ++k) Atb[i] += A(k, i) * b[k];
+  }
+  return solve_linear(AtA, Atb);
+}
+
+FitResult fit_levenberg_marquardt(
+    const std::function<double(const std::vector<double>&, double)>& model,
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    std::vector<double> initial_params, int max_iterations, double tol) {
+  const int m = static_cast<int>(xs.size());
+  const int n = static_cast<int>(initial_params.size());
+  assert(static_cast<int>(ys.size()) == m && m >= n);
+
+  std::vector<double> p = std::move(initial_params);
+  auto chi2 = [&](const std::vector<double>& q) {
+    double s = 0;
+    for (int k = 0; k < m; ++k) {
+      const double r = model(q, xs[k]) - ys[k];
+      s += r * r;
+    }
+    return s;
+  };
+
+  double lambda = 1e-3;
+  double current = chi2(p);
+  FitResult result;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Numeric Jacobian.
+    MatR J(m, n);
+    std::vector<double> r(m);
+    for (int k = 0; k < m; ++k) r[k] = model(p, xs[k]) - ys[k];
+    for (int j = 0; j < n; ++j) {
+      const double h = std::max(1e-8, 1e-8 * std::abs(p[j]));
+      std::vector<double> q = p;
+      q[j] += h;
+      for (int k = 0; k < m; ++k) J(k, j) = (model(q, xs[k]) - r[k] - ys[k]) / h;
+    }
+    // Normal equations with damping: (J^T J + lambda diag) dp = -J^T r.
+    MatR H(n, n);
+    std::vector<double> g(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0;
+        for (int k = 0; k < m; ++k) acc += J(k, i) * J(k, j);
+        H(i, j) = acc;
+      }
+      for (int k = 0; k < m; ++k) g[i] -= J(k, i) * r[k];
+    }
+    bool stepped = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      MatR Hd = H;
+      for (int i = 0; i < n; ++i) Hd(i, i) += lambda * std::max(H(i, i), 1e-30);
+      std::vector<double> dp;
+      try {
+        dp = solve_linear(Hd, g);
+      } catch (...) {
+        lambda *= 10;
+        continue;
+      }
+      std::vector<double> q = p;
+      for (int i = 0; i < n; ++i) q[i] += dp[i];
+      const double trial = chi2(q);
+      if (trial < current) {
+        double dpnorm = 0;
+        for (double v : dp) dpnorm += v * v;
+        p = std::move(q);
+        const double improvement = current - trial;
+        current = trial;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        stepped = true;
+        if (improvement < tol * (1.0 + current) && dpnorm < tol) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= 10;
+    }
+    if (!stepped || result.converged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.params = p;
+  result.rms_residual = std::sqrt(current / m);
+  double mard = 0;
+  int counted = 0;
+  for (int k = 0; k < m; ++k) {
+    if (ys[k] != 0.0) {
+      mard += std::abs(model(p, xs[k]) / ys[k] - 1.0);
+      ++counted;
+    }
+  }
+  result.mean_abs_rel_dev = counted ? mard / counted : 0.0;
+  return result;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,32 @@
+// Linear and nonlinear least squares. The nonlinear (Levenberg-Marquardt)
+// fitter is what the paper uses implicitly when it least-squares-fits
+// Amdahl's law (Ps, alpha) to the strong-scaling measurements in Sec. VI.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ls3df {
+
+// Minimize ||A x - b||_2 via the normal equations (A: m x n, m >= n).
+std::vector<double> lstsq(const MatR& A, const std::vector<double>& b);
+
+struct FitResult {
+  std::vector<double> params;
+  double rms_residual = 0.0;        // sqrt(mean squared residual)
+  double mean_abs_rel_dev = 0.0;    // mean |model/data - 1| (paper's metric)
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Levenberg-Marquardt with numeric (forward-difference) Jacobian.
+// model(params, x) -> predicted y. Fits params to (xs, ys).
+FitResult fit_levenberg_marquardt(
+    const std::function<double(const std::vector<double>&, double)>& model,
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    std::vector<double> initial_params, int max_iterations = 200,
+    double tol = 1e-12);
+
+}  // namespace ls3df

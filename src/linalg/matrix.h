@@ -1,0 +1,65 @@
+// Dense column-major matrix, the container behind wavefunction coefficient
+// blocks (n_G x n_bands), overlap matrices and subspace Hamiltonians.
+// Column-major so that one band (one column) is contiguous, mirroring the
+// layout plane-wave codes use for BLAS-3 orthogonalization.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ls3df {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+    assert(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<std::size_t>(rows) * cols, T{});
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int i, int j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const T& operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* col(int j) { return data_.data() + static_cast<std::size_t>(j) * rows_; }
+  const T* col(int j) const {
+    return data_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+  void resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, T{});
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatR = Matrix<double>;
+using MatC = Matrix<std::complex<double>>;
+
+}  // namespace ls3df

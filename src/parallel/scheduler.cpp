@@ -1,0 +1,46 @@
+#include "parallel/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace ls3df {
+
+GroupAssignment assign_fragments(const std::vector<double>& costs,
+                                 int n_groups) {
+  assert(n_groups >= 1);
+  const int n = static_cast<int>(costs.size());
+  GroupAssignment out;
+  out.group_of.assign(n, 0);
+  out.group_cost.assign(n_groups, 0.0);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return costs[a] > costs[b]; });
+
+  // Min-heap of (load, group).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int g = 0; g < n_groups; ++g) heap.push({0.0, g});
+
+  for (int f : order) {
+    auto [load, g] = heap.top();
+    heap.pop();
+    out.group_of[f] = g;
+    load += costs[f];
+    out.group_cost[g] = load;
+    heap.push({load, g});
+  }
+
+  out.total_cost = std::accumulate(costs.begin(), costs.end(), 0.0);
+  out.max_cost =
+      *std::max_element(out.group_cost.begin(), out.group_cost.end());
+  out.efficiency = (out.max_cost > 0 && n_groups > 0)
+                       ? out.total_cost / (n_groups * out.max_cost)
+                       : 1.0;
+  return out;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,33 @@
+#include "parallel/thread_pool.h"
+
+namespace ls3df {
+
+void parallel_for(int n, int n_workers,
+                  const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  if (n_workers <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  n_workers = std::min(n_workers, n);
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (int w = 0; w < n_workers; ++w) {
+    workers.emplace_back([&, w]() {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i, w);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+int default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace ls3df

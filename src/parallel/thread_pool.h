@@ -1,0 +1,24 @@
+// Minimal work-sharing primitives. The paper runs fragments on Ng
+// independent MPI process groups of Np cores each; on a single node we
+// reproduce the same decomposition with threads: fragments are scheduled
+// onto worker threads (the "groups"), and the group assignment logic is
+// shared with the performance model.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ls3df {
+
+// Run fn(i, worker) for i in [0, n) across n_workers threads. Work is
+// claimed dynamically via an atomic counter (good load balance for
+// heterogeneous fragment costs). n_workers <= 1 runs inline.
+void parallel_for(int n, int n_workers,
+                  const std::function<void(int index, int worker)>& fn);
+
+// Default worker count: hardware concurrency, at least 1.
+int default_workers();
+
+}  // namespace ls3df

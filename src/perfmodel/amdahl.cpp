@@ -1,0 +1,38 @@
+#include "perfmodel/amdahl.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/lstsq.h"
+
+namespace ls3df {
+
+double amdahl_performance(double ps, double alpha, double n_cores) {
+  return ps * n_cores / (1.0 + (n_cores - 1.0) * alpha);
+}
+
+AmdahlFit fit_amdahl(const std::vector<double>& cores,
+                     const std::vector<double>& performance) {
+  assert(cores.size() == performance.size() && cores.size() >= 2);
+  // Parameterize alpha in log space: it spans many decades (1e-6..1e-2)
+  // and must stay positive.
+  auto model = [](const std::vector<double>& p, double n) {
+    return amdahl_performance(p[0], std::exp(p[1]), n);
+  };
+  // Initial guess: Ps from the smallest run assuming perfect scaling.
+  std::size_t i_min = 0;
+  for (std::size_t i = 1; i < cores.size(); ++i)
+    if (cores[i] < cores[i_min]) i_min = i;
+  const double ps0 = performance[i_min] / cores[i_min];
+
+  FitResult fit = fit_levenberg_marquardt(model, cores, performance,
+                                          {ps0, std::log(1e-5)}, 500, 1e-15);
+  AmdahlFit out;
+  out.ps = fit.params[0];
+  out.serial_fraction = std::exp(fit.params[1]);
+  out.mean_abs_rel_dev = fit.mean_abs_rel_dev;
+  out.converged = fit.converged;
+  return out;
+}
+
+}  // namespace ls3df

@@ -1,0 +1,26 @@
+// Amdahl's-law analysis of strong scaling (paper Sec. VI, Eq. 1):
+//   P(n) = Ps * n / (1 + (n - 1) alpha)
+// least-squares fitted to (cores, performance) points, exactly as the
+// paper fits its Fig. 3 measurements (reporting Ps = 2.39 Gflop/s and
+// serial fractions 1/362,000 for PEtot_F, 1/101,000 for LS3DF, with a
+// mean absolute relative deviation of 0.26%).
+#pragma once
+
+#include <vector>
+
+namespace ls3df {
+
+struct AmdahlFit {
+  double ps;               // serial (per-core) performance, same unit as input
+  double serial_fraction;  // alpha
+  double mean_abs_rel_dev;
+  bool converged = false;
+};
+
+double amdahl_performance(double ps, double alpha, double n_cores);
+
+// Fit (Ps, alpha) to performance[i] measured on cores[i].
+AmdahlFit fit_amdahl(const std::vector<double>& cores,
+                     const std::vector<double>& performance);
+
+}  // namespace ls3df

@@ -1,0 +1,81 @@
+#include "perfmodel/crossover.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+namespace ls3df {
+
+double direct_dft_seconds_per_iteration(int atoms, int cores) {
+  // K calibrated so that 512 atoms on 320 cores costs 340 s (Sec. VI).
+  static const double k = paper::kParatecSecondsPerIter *
+                          paper::kParatecCores /
+                          std::pow(paper::kParatecAtoms, 3.0);
+  return k * std::pow(static_cast<double>(atoms), 3.0) / cores;
+}
+
+double ls3df_seconds_per_iteration(const MachineModel& m, double atoms,
+                                   int cores, int np) {
+  const double peak = m.peak_gflops_per_core * 1e9;
+  const double e_np =
+      1.0 / (1.0 + m.np_a1 * (np - 1) + m.np_a2 * (np - 1.0) * (np - 1.0));
+  const double e_net = 1.0 / (1.0 + std::pow(cores / m.net_c0, m.net_delta));
+  const double e_lb = 0.95;  // typical LPT efficiency (see scheduler tests)
+  const double t_pf =
+      atoms * m.flops_per_atom_iter / (cores * peak * m.e0 * e_np * e_net * e_lb);
+  double t_comm;
+  if (m.comm == CommAlgorithm::kCollective) {
+    t_comm = m.ov_k * atoms / std::pow(cores, m.ov_gamma);
+  } else {
+    t_comm = m.ov_k * atoms / cores + m.ov_lat * std::log2(cores);
+  }
+  const double t_gp =
+      m.gp_k * atoms / std::min(static_cast<double>(cores), m.gp_cmax) +
+      m.gp_fixed;
+  return t_pf + 2.0 * t_comm + t_gp;
+}
+
+Vec3i division_for_atoms(int atoms) {
+  assert(atoms % 8 == 0);
+  const int cells = atoms / 8;
+  // Near-cubic factorization m1 >= m2 >= m3 maximizing m3 then m2.
+  Vec3i best{cells, 1, 1};
+  double best_aspect = static_cast<double>(cells);
+  for (int m3 = 1; m3 * m3 * m3 <= cells; ++m3) {
+    if (cells % m3) continue;
+    const int rest = cells / m3;
+    for (int m2 = m3; m2 * m2 <= rest; ++m2) {
+      if (rest % m2) continue;
+      const int m1 = rest / m2;
+      const double aspect = static_cast<double>(m1) / m3;
+      if (aspect < best_aspect) {
+        best_aspect = aspect;
+        best = {m1, m2, m3};
+      }
+    }
+  }
+  return best;
+}
+
+double crossover_atoms(const MachineModel& m, int cores, int np) {
+  // Bisection on the smooth models; the ratio is monotone in atoms.
+  double lo = 8, hi = 1e6;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double ratio = direct_dft_seconds_per_iteration(
+                             static_cast<int>(mid), cores) /
+                         ls3df_seconds_per_iteration(m, mid, cores, np);
+    (ratio < 1.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double speedup_over_direct(const MachineModel& m, int atoms, int cores,
+                           int np) {
+  return direct_dft_seconds_per_iteration(atoms, cores) /
+         ls3df_seconds_per_iteration(m, atoms, cores, np);
+}
+
+}  // namespace ls3df

@@ -1,0 +1,34 @@
+// LS3DF-vs-O(N^3) comparison (paper Sec. VI): a PARATEC-class direct
+// planewave DFT cost model calibrated to the paper's measurement (340 s
+// per SCF iteration for the 512-atom 4x4x4 cell on 320 Franklin cores),
+// against the LS3DF performance model. Reproduces the ~600-atom crossover
+// and the ~400x advantage at 13,824 atoms.
+#pragma once
+
+#include "common/vec3.h"
+#include "perfmodel/machines.h"
+
+namespace ls3df {
+
+// Seconds per SCF iteration of an O(N^3) direct planewave code on
+// `cores`, presuming (generously, as the paper does) perfect parallel
+// scaling.
+double direct_dft_seconds_per_iteration(int atoms, int cores);
+
+// Smooth LS3DF per-iteration model (continuous in atoms) for sweeps; uses
+// a fixed typical load-balance efficiency.
+double ls3df_seconds_per_iteration(const MachineModel& m, double atoms,
+                                   int cores, int np);
+
+// A near-cubic division with 8 * m1 * m2 * m3 == atoms (atoms must be a
+// multiple of 8); used to evaluate the exact simulator at sweep points.
+Vec3i division_for_atoms(int atoms);
+
+// Atom count where the two per-iteration costs cross on `cores` cores.
+double crossover_atoms(const MachineModel& m, int cores, int np);
+
+// direct / LS3DF per-iteration time ratio.
+double speedup_over_direct(const MachineModel& m, int atoms, int cores,
+                           int np);
+
+}  // namespace ls3df

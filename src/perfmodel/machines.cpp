@@ -1,0 +1,92 @@
+#include "perfmodel/machines.h"
+
+#include <stdexcept>
+
+namespace ls3df {
+
+// Hardware peaks are published specifications. Efficiency/overhead
+// constants were calibrated with tools/calibrate_perfmodel (Levenberg-
+// Marquardt on the relative Tflop/s error of this machine's Table I
+// rows); re-run that tool to re-derive them. Workload constants
+// (flops/atom/iteration) are fixed from the paper's wall-clock data, not
+// fitted: Franklin 8x6x9 ran 60 s/iter at 31.35 Tflop/s -> 5.44e11;
+// Jaguar 16x12x8 ran 115 s/iter at 60.3 Tflop/s -> 5.64e11; Intrepid
+// 16x16x8 ran ~57 s/iter at 107.5 Tflop/s -> 3.74e11 (40 Ry cutoff).
+//
+// Fit quality (mean |relative Tflop/s deviation| over Table I rows):
+//   Franklin 0.75%, Jaguar 1.6%, Intrepid 1.5%.
+
+const MachineModel& machine_franklin() {
+  static const MachineModel m{
+      "Franklin",
+      5.2,        // 2.6 GHz dual-core Opteron, 2 flops/cycle
+      2,
+      5.44e11,    // 50 Ry, 40^3 grid per 8-atom cell
+      0.4084,     // e0
+      0.0,        // np_a1 (Np <= 40 shows no group-internal loss)
+      0.0,        // np_a2
+      1.0e6,      // net_c0 (no machine-wide contention observed)
+      1.2,        // net_delta
+      CommAlgorithm::kCollective,
+      1.112e-3,   // ov_k
+      0.0,        // ov_gamma: overhead ~ const per atom (old collective)
+      0.0,        // ov_lat (unused)
+      1.6e-3,     // gp_k
+      4096.0,     // gp_cmax
+      0.10,       // gp_fixed
+  };
+  return m;
+}
+
+const MachineModel& machine_jaguar() {
+  static const MachineModel m{
+      "Jaguar",
+      8.4,        // 2.1 GHz quad-core Opteron, 4 flops/cycle
+      4,
+      5.64e11,
+      0.3469,
+      0.0,
+      3.092e-5,   // quadratic Np loss: 20 -> 40 -> 80 droop of Table I
+      1.0e6,
+      1.2,
+      CommAlgorithm::kCollective,
+      0.6727,
+      0.60,
+      0.0,
+      1.6e-3,
+      4096.0,
+      0.10,
+  };
+  return m;
+}
+
+const MachineModel& machine_intrepid() {
+  static const MachineModel m{
+      "Intrepid",
+      3.4,        // 850 MHz PPC450, 4 flops/cycle
+      4,
+      3.74e11,    // 40 Ry, 32^3 grid per 8-atom cell
+      0.3359,
+      2.0e-4,
+      1.0e-6,
+      3.464e5,    // contention knee near ~350k cores
+      1.159,
+      CommAlgorithm::kPointToPoint,
+      1.739,
+      1.0,        // (exponent unused for p2p)
+      0.02,
+      0.2575,     // gp_k: GENPOT = 1.23 s at 16384 atoms (Sec. IV)
+      4096.0,
+      0.20,
+  };
+  return m;
+}
+
+const MachineModel& machine_by_name(const std::string& name) {
+  if (name == "Franklin") return machine_franklin();
+  if (name == "Jaguar") return machine_jaguar();
+  if (name == "Intrepid") return machine_intrepid();
+  throw std::invalid_argument("unknown machine: " + name);
+}
+
+}  // namespace ls3df

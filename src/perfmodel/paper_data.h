@@ -1,0 +1,78 @@
+// The published measurements of the paper (Table I and the quantitative
+// claims of Secs. IV, VI, VII), kept in one place so benches print
+// paper-vs-model side by side and tests pin the reproduction tolerances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec3.h"
+
+namespace ls3df {
+namespace paper {
+
+struct TableRow {
+  const char* machine;  // "Franklin", "Jaguar", "Intrepid"
+  Vec3i division;       // m1 x m2 x m3
+  int atoms;
+  int cores;
+  int np;               // cores per group
+  double tflops;        // measured
+  double pct_peak;      // measured, percent
+};
+
+// All 28 rows of Table I.
+const std::vector<TableRow>& table1();
+
+// Sec. VI strong scaling (Fig. 3), 8x6x9 on Franklin, Np = 40.
+inline constexpr double kFig3SpeedupLs3df = 13.8;    // at 16x cores
+inline constexpr double kFig3SpeedupPetotF = 15.3;   // at 16x cores
+inline constexpr double kFig3EffLs3df = 0.863;
+inline constexpr double kFig3EffPetotF = 0.958;
+// Amdahl fit results (Sec. VI).
+inline constexpr double kAmdahlSerialFractionLs3df = 1.0 / 101000.0;
+inline constexpr double kAmdahlSerialFractionPetotF = 1.0 / 362000.0;
+inline constexpr double kAmdahlPsGflops = 2.39;      // effective Gflop/s/core
+inline constexpr double kAmdahlMeanAbsRelDev = 0.0026;
+
+// Sec. IV optimization study (2,000-atom CdSe rod class, 8,000 cores).
+struct PhaseTiming {
+  const char* phase;
+  double before_s;  // pre-optimization
+  double after_s;   // post-optimization
+};
+inline constexpr PhaseTiming kSec4Timings[] = {
+    {"Gen_VF", 22.0, 2.5},
+    {"PEtot_F", 170.0, 60.0},
+    {"Gen_dens", 19.0, 2.2},
+    {"GENPOT", 22.0, 0.4},
+};
+// Intrepid 131,072-core per-iteration phase breakdown (Sec. IV).
+inline constexpr PhaseTiming kIntrepidTimings[] = {
+    {"Gen_VF", 0.0, 0.37},
+    {"PEtot_F", 0.0, 54.84},
+    {"Gen_dens", 0.0, 0.56},
+    {"GENPOT", 0.0, 1.23},
+};
+
+// Sec. VI crossover claims.
+inline constexpr double kCrossoverAtoms = 600.0;   // LS3DF vs O(N^3)
+inline constexpr double kSpeedupAt13824Atoms = 400.0;
+inline constexpr double kParatecSecondsPerIter = 340.0;  // 512 atoms, 320 cores
+inline constexpr int kParatecCores = 320;
+inline constexpr int kParatecAtoms = 512;
+
+// Kernel rates (Sec. IV): PEtot went from 15% to 56% of peak; PEtot_F
+// runs at 45% on Franklin fragments. Typical fragment DGEMM ~3000x200.
+inline constexpr double kPetotPeakFractionBefore = 0.15;
+inline constexpr double kPetotPeakFractionAfter = 0.56;
+inline constexpr double kPetotFPeakFractionFranklin = 0.45;
+
+// Sec. VII science results.
+inline constexpr double kOxygenCbmGapEv = 0.2;   // CBM <-> O-band gap
+inline constexpr double kOxygenBandWidthEv = 0.7;
+inline constexpr int kFig6Iterations = 60;        // SCF steps to converge
+inline constexpr double kFig6FinalResidual = 1e-2;  // a.u.
+
+}  // namespace paper
+}  // namespace ls3df

@@ -1,0 +1,45 @@
+// Performance simulator for one LS3DF SCF iteration on the paper's
+// machines (DESIGN.md substitution #1).
+//
+// The simulator combines:
+//  - the real fragment decomposition and the real LPT load balancer
+//    (fragments -> Ng processor groups), exactly the logic the threaded
+//    executor uses;
+//  - per-phase analytic cost models (PEtot_F compute; Gen_VF/Gen_dens
+//    data exchange under the collective or point-to-point algorithm;
+//    GENPOT global FFT) with constants calibrated against the paper's
+//    published measurements.
+// Outputs per-phase seconds, Tflop/s and %-of-peak, i.e. the quantities
+// of Table I and Figures 3-5.
+#pragma once
+
+#include "common/vec3.h"
+#include "perfmodel/machines.h"
+
+namespace ls3df {
+
+struct SimResult {
+  double t_gen_vf = 0;
+  double t_petot_f = 0;
+  double t_gen_dens = 0;
+  double t_genpot = 0;
+  double t_iter = 0;       // sum of phases
+  double tflops = 0;       // workload / t_iter
+  double pct_peak = 0;     // percent of cores * per-core peak
+  double e_load = 0;       // LPT load-balance efficiency
+  int n_fragments = 0;
+  int n_groups = 0;
+  int atoms = 0;
+  double workload_flops = 0;
+};
+
+// Simulate one SCF iteration for an 8-atom-per-cell alloy supercell of
+// the given division on `cores` total cores with Np cores per group.
+SimResult simulate_scf_iteration(const MachineModel& m, Vec3i division,
+                                 int cores, int np);
+
+// PEtot_F-only time (used for the Fig. 3 PEtot_F speedup curve).
+double simulate_petot_f_seconds(const MachineModel& m, Vec3i division,
+                                int cores, int np);
+
+}  // namespace ls3df

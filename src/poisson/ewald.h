@@ -1,0 +1,18 @@
+// Ewald summation for the ion-ion electrostatic energy of a periodic cell
+// with a neutralizing background (the standard companion of the jellium
+// G = 0 convention used by the Poisson solver and the pseudopotentials).
+#pragma once
+
+#include "atoms/structure.h"
+
+namespace ls3df {
+
+// Ion-ion energy (Hartree) with charges = valence charges of the species.
+// eta (splitting parameter, Bohr^-2) is chosen automatically when <= 0.
+double ewald_energy(const Structure& s, double eta = -1.0);
+
+// Ewald energy of explicit point charges at the given Cartesian positions.
+double ewald_energy(const Lattice& lat, const std::vector<Vec3d>& positions,
+                    const std::vector<double>& charges, double eta = -1.0);
+
+}  // namespace ls3df

@@ -1,0 +1,19 @@
+// GENPOT kernel: the global Poisson equation solved with FFTs (Sec. III,
+// step 4). Given the patched total charge density, returns the Hartree
+// potential V_H(G) = 4 pi rho(G) / G^2 (G = 0 set to zero; neutral cells).
+#pragma once
+
+#include "grid/field3d.h"
+#include "grid/lattice.h"
+
+namespace ls3df {
+
+struct HartreeResult {
+  FieldR potential;  // V_H(r), Hartree
+  double energy;     // E_H = 1/2 int rho V_H d3r
+};
+
+// rho is an electron (or total) density on the periodic grid of `lat`.
+HartreeResult solve_poisson(const FieldR& rho, const Lattice& lat);
+
+}  // namespace ls3df

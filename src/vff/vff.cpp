@@ -1,0 +1,221 @@
+#include "vff/vff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "atoms/neighbors.h"
+#include "common/constants.h"
+
+namespace ls3df {
+
+namespace {
+
+// Keating constants in reduced units (relative stiffnesses follow the
+// classic II-VI parameterizations: beta/alpha ~ 0.14 for ZnTe). Only
+// ratios and ideal lengths matter for relaxed geometries.
+struct PairEntry {
+  Species a, b;
+  double d0_bohr;
+  double alpha, beta;
+};
+
+const PairEntry* find_pair(Species a, Species b) {
+  using S = Species;
+  const double zn_te =
+      units::kZnTeLatticeAngstrom * units::kAngstromToBohr * std::sqrt(3.0) / 4;
+  const double zn_o =
+      units::kZnOLatticeAngstrom * units::kAngstromToBohr * std::sqrt(3.0) / 4;
+  const double cd_se =
+      units::kCdSeLatticeAngstrom * units::kAngstromToBohr * std::sqrt(3.0) / 4;
+  static const PairEntry table[] = {
+      {S::kZn, S::kTe, zn_te, 1.00, 0.142},
+      {S::kZn, S::kO, zn_o, 1.30, 0.180},
+      {S::kCd, S::kSe, cd_se, 1.05, 0.160},
+  };
+  for (const auto& e : table)
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+VffBondParam vff_bond_param(Species a, Species b) {
+  if (const PairEntry* e = find_pair(a, b))
+    return {e->d0_bohr, e->alpha, e->beta};
+  // Generic fallback: covalent radius sum, moderate stiffness.
+  const double d0 =
+      species_info(a).covalent_radius_bohr + species_info(b).covalent_radius_bohr;
+  return {d0, 1.0, 0.15};
+}
+
+VffModel::VffModel(const Structure& reference)
+    : lattice_(reference.lattice()) {
+  const auto nn = nearest_neighbors(reference, 4);
+  const int n = reference.size();
+
+  // Bonds: store each once (i < j, or i == j impossible with k=4 images in
+  // supercells >= 1 cell since the 4 neighbors are distinct atoms).
+  // Surface atoms of nanostructures have fewer than 4 real bonds; a
+  // candidate neighbor counts as bonded only if it sits within 45% of the
+  // ideal bond length.
+  std::vector<std::vector<int>> atom_bonds(n);  // indices into bonds_
+  for (int i = 0; i < n; ++i) {
+    for (const auto& nb : nn[i]) {
+      if (nb.index < i) continue;  // count each bond once
+      Bond b;
+      b.i = i;
+      b.j = nb.index;
+      b.param = vff_bond_param(reference.atom(i).species,
+                               reference.atom(nb.index).species);
+      if (nb.dist > 1.45 * b.param.d0) continue;  // not a physical bond
+      atom_bonds[i].push_back(static_cast<int>(bonds_.size()));
+      atom_bonds[nb.index].push_back(static_cast<int>(bonds_.size()));
+      bonds_.push_back(b);
+    }
+  }
+
+  // Angles: all pairs of bonds sharing a vertex.
+  for (int i = 0; i < n; ++i) {
+    const auto& bl = atom_bonds[i];
+    for (std::size_t p = 0; p < bl.size(); ++p)
+      for (std::size_t q = p + 1; q < bl.size(); ++q) {
+        const Bond& bj = bonds_[bl[p]];
+        const Bond& bk = bonds_[bl[q]];
+        Angle ang;
+        ang.center = i;
+        ang.j = (bj.i == i) ? bj.j : bj.i;
+        ang.k = (bk.i == i) ? bk.j : bk.i;
+        ang.bond_j = bl[p];
+        ang.bond_k = bl[q];
+        const double beta =
+            std::sqrt(bj.param.beta * bk.param.beta);
+        ang.coeff = 3.0 * beta / (8.0 * bj.param.d0 * bk.param.d0);
+        ang.d_jk = bj.param.d0 * bk.param.d0 / 3.0;
+        angles_.push_back(ang);
+      }
+  }
+}
+
+double VffModel::energy(const Structure& s) const {
+  std::vector<Vec3d> unused;
+  unused.assign(s.size(), Vec3d{});
+  return energy_and_forces(s, unused);
+}
+
+double VffModel::energy_and_forces(const Structure& s,
+                                   std::vector<Vec3d>& forces) const {
+  const int n = s.size();
+  forces.assign(n, Vec3d{});
+  double energy = 0.0;
+
+  // Bond displacement cache for the angle pass.
+  std::vector<Vec3d> rvec(bonds_.size());
+  for (std::size_t b = 0; b < bonds_.size(); ++b) {
+    const Bond& bd = bonds_[b];
+    const Vec3d r =
+        lattice_.min_image(s.atom(bd.i).position, s.atom(bd.j).position);
+    rvec[b] = r;
+    const double d2 = bd.param.d0 * bd.param.d0;
+    const double c = 3.0 * bd.param.alpha / (16.0 * d2);
+    const double g = r.norm2() - d2;
+    energy += c * g * g;
+    // dE/dr_j = 4 c g r ; force on j is -dE/dr_j, on i is +dE/dr_j.
+    const Vec3d f = r * (4.0 * c * g);
+    forces[bd.j] -= f;
+    forces[bd.i] += f;
+  }
+
+  for (const auto& ang : angles_) {
+    // Legs point from the center atom outward.
+    const Bond& bj = bonds_[ang.bond_j];
+    const Bond& bk = bonds_[ang.bond_k];
+    Vec3d rj = rvec[ang.bond_j];
+    if (bj.i != ang.center) rj = -rj;
+    Vec3d rk = rvec[ang.bond_k];
+    if (bk.i != ang.center) rk = -rk;
+
+    const double g = rj.dot(rk) + ang.d_jk;
+    energy += ang.coeff * g * g;
+    const Vec3d dj = rk * (2.0 * ang.coeff * g);  // dE/drj
+    const Vec3d dk = rj * (2.0 * ang.coeff * g);  // dE/drk
+    forces[ang.j] -= dj;
+    forces[ang.k] -= dk;
+    forces[ang.center] += dj + dk;
+  }
+  return energy;
+}
+
+VffModel::RelaxResult VffModel::relax(Structure& s, int max_iterations,
+                                      double force_tol) const {
+  const int n = s.size();
+  std::vector<Vec3d> f, f_prev, dir(n, Vec3d{});
+  double e = energy_and_forces(s, f);
+
+  auto max_force = [&](const std::vector<Vec3d>& fv) {
+    double m = 0;
+    for (const auto& v : fv) m = std::max(m, v.norm());
+    return m;
+  };
+
+  double step = 0.1;  // Bohr-scale trial step
+  RelaxResult result{e, max_force(f), 0, false};
+  if (result.max_force < force_tol) {
+    result.converged = true;
+    return result;
+  }
+
+  dir = f;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Normalize direction to unit max component for stable steps.
+    double dmax = 0;
+    for (const auto& v : dir) dmax = std::max(dmax, v.norm());
+    if (dmax < 1e-300) break;
+
+    // Backtracking line search along dir.
+    std::vector<Vec3d> saved(n);
+    for (int i = 0; i < n; ++i) saved[i] = s.atom(i).position;
+    double t = step / dmax;
+    double e_new = e;
+    bool improved = false;
+    for (int bt = 0; bt < 25; ++bt) {
+      for (int i = 0; i < n; ++i)
+        s.atom(i).position = saved[i] + dir[i] * t;
+      e_new = energy(s);
+      if (e_new < e) {
+        improved = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    if (!improved) {
+      for (int i = 0; i < n; ++i) s.atom(i).position = saved[i];
+      step *= 0.5;
+      if (step < 1e-12) break;
+      dir = f;  // restart steepest descent
+      continue;
+    }
+    step = std::min(0.25, t * dmax * 1.6);  // grow trial step on success
+
+    f_prev = f;
+    e = energy_and_forces(s, f);
+    result.energy = e;
+    result.max_force = max_force(f);
+    if (result.max_force < force_tol) {
+      result.converged = true;
+      break;
+    }
+    // Polak-Ribiere beta.
+    double num = 0, den = 0;
+    for (int i = 0; i < n; ++i) {
+      num += f[i].dot(f[i] - f_prev[i]);
+      den += f_prev[i].dot(f_prev[i]);
+    }
+    double beta = den > 0 ? std::max(0.0, num / den) : 0.0;
+    for (int i = 0; i < n; ++i) dir[i] = f[i] + dir[i] * beta;
+  }
+  return result;
+}
+
+}  // namespace ls3df

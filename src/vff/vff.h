@@ -1,0 +1,72 @@
+// Keating valence force field (VFF). The paper relaxes the ZnTe1-xOx
+// atomic positions classically with VFF before the electronic-structure
+// calculation (Sec. V); we implement the standard Keating form
+//
+//   E = sum_bonds(ij)    (3 a_ij / 16 d_ij^2) (r_ij.r_ij - d_ij^2)^2
+//     + sum_angles(j-i-k) (3 b_ijk / 8 d_ij d_ik) (r_ij.r_ik + d_ij d_ik / 3)^2
+//
+// with analytic forces and a conjugate-gradient relaxer. The bond topology
+// (4 tetrahedral neighbors per zinc-blende site) is fixed at construction.
+#pragma once
+
+#include <vector>
+
+#include "atoms/structure.h"
+
+namespace ls3df {
+
+struct VffBondParam {
+  double d0;     // ideal bond length (Bohr)
+  double alpha;  // bond-stretch constant
+  double beta;   // angle-bend constant
+};
+
+// Ideal bond length and Keating constants for a cation-anion pair.
+// Unknown pairs fall back to covalent-radius sums with generic constants.
+VffBondParam vff_bond_param(Species a, Species b);
+
+class VffModel {
+ public:
+  // Builds the fixed bond topology from the 4 nearest neighbors of each
+  // atom in `reference` (the unrelaxed ideal structure).
+  explicit VffModel(const Structure& reference);
+
+  // Energy and minus-gradient for the given positions (same atom order
+  // and lattice as the reference structure).
+  double energy(const Structure& s) const;
+  double energy_and_forces(const Structure& s,
+                           std::vector<Vec3d>& forces) const;
+
+  // Relax positions in place by nonlinear conjugate gradient with
+  // backtracking line search. Returns the final energy.
+  struct RelaxResult {
+    double energy;
+    double max_force;
+    int iterations;
+    bool converged;
+  };
+  RelaxResult relax(Structure& s, int max_iterations = 500,
+                    double force_tol = 1e-6) const;
+
+  int num_bonds() const { return static_cast<int>(bonds_.size()); }
+  int num_angles() const { return static_cast<int>(angles_.size()); }
+
+ private:
+  struct Bond {
+    int i, j;
+    Vec3i image;   // lattice image shift of j relative to i's home cell
+    VffBondParam param;
+  };
+  struct Angle {
+    int center, j, k;     // indices into bonds_ of the two legs
+    int bond_j, bond_k;
+    double coeff;         // 3 b / (8 d_ij d_ik)
+    double d_jk;          // d_ij * d_ik / 3
+  };
+
+  std::vector<Bond> bonds_;
+  std::vector<Angle> angles_;
+  Lattice lattice_;
+};
+
+}  // namespace ls3df

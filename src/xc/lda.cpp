@@ -1,0 +1,48 @@
+#include "xc/lda.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace ls3df {
+
+XcPoint lda_xc(double rho) {
+  if (rho <= 1e-30) return {0.0, 0.0};
+
+  // Exchange: ex = -(3/4) (3/pi)^{1/3} rho^{1/3}; vx = (4/3) ex.
+  const double cx = -0.75 * std::cbrt(3.0 / units::kPi);
+  const double rho13 = std::cbrt(rho);
+  const double ex = cx * rho13;
+  const double vx = 4.0 / 3.0 * ex;
+
+  // Correlation (Perdew-Zunger 1981).
+  const double rs = std::cbrt(3.0 / (units::kFourPi * rho));
+  double ec, vc;
+  if (rs >= 1.0) {
+    const double gamma = -0.1423, beta1 = 1.0529, beta2 = 0.3334;
+    const double srs = std::sqrt(rs);
+    const double denom = 1.0 + beta1 * srs + beta2 * rs;
+    ec = gamma / denom;
+    vc = ec * (1.0 + 7.0 / 6.0 * beta1 * srs + 4.0 / 3.0 * beta2 * rs) / denom;
+  } else {
+    const double A = 0.0311, B = -0.048, C = 0.0020, D = -0.0116;
+    const double lnrs = std::log(rs);
+    ec = A * lnrs + B + C * rs * lnrs + D * rs;
+    vc = A * lnrs + (B - A / 3.0) + 2.0 / 3.0 * C * rs * lnrs +
+         (2.0 * D - C) / 3.0 * rs;
+  }
+  return {ex + ec, vx + vc};
+}
+
+XcResult lda_xc_field(const FieldR& rho, double point_volume) {
+  XcResult out{FieldR(rho.shape()), 0.0};
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    const XcPoint p = lda_xc(rho[i]);
+    out.vxc[i] = p.vxc;
+    out.energy += rho[i] * p.exc;
+  }
+  out.energy *= point_volume;
+  return out;
+}
+
+}  // namespace ls3df

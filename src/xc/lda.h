@@ -1,0 +1,26 @@
+// Local density approximation exchange-correlation: Slater exchange plus
+// the Perdew-Zunger 1981 parameterization of the Ceperley-Alder
+// correlation energy. Spin-unpolarized, Hartree atomic units.
+#pragma once
+
+#include "grid/field3d.h"
+
+namespace ls3df {
+
+struct XcPoint {
+  double exc;  // exchange-correlation energy density per electron (Ha)
+  double vxc;  // exchange-correlation potential (Ha)
+};
+
+// Evaluate at a single density value (rho >= 0, electrons / Bohr^3).
+XcPoint lda_xc(double rho);
+
+// Potential field and the total XC energy  E_xc = int rho(r) exc(rho(r)) d3r
+// for a density on a periodic grid (point_volume = cell volume / points).
+struct XcResult {
+  FieldR vxc;
+  double energy;
+};
+XcResult lda_xc_field(const FieldR& rho, double point_volume);
+
+}  // namespace ls3df

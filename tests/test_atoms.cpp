@@ -1,0 +1,205 @@
+// Tests for structures, builders, neighbor lists and alloy generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "atoms/builders.h"
+#include "atoms/neighbors.h"
+#include "atoms/structure.h"
+#include "common/constants.h"
+
+namespace ls3df {
+namespace {
+
+TEST(Species, ValenceCounts) {
+  // The paper: Zn d states excluded -> 2 valence electrons; on average
+  // four valence electrons per atom in ZnTe.
+  EXPECT_DOUBLE_EQ(species_valence(Species::kZn), 2.0);
+  EXPECT_DOUBLE_EQ(species_valence(Species::kTe), 6.0);
+  EXPECT_DOUBLE_EQ(species_valence(Species::kO), 6.0);
+  EXPECT_DOUBLE_EQ(species_valence(Species::kH), 1.0);
+  EXPECT_STREQ(species_symbol(Species::kZn), "Zn");
+}
+
+TEST(Structure, ElectronCountZincBlende) {
+  const double a = 11.0;
+  Structure s = build_zincblende(Species::kZn, Species::kTe, a, {2, 1, 1});
+  EXPECT_EQ(s.size(), 16);  // 8 atoms per cell
+  // 4 Zn * 2 + 4 Te * 6 = 32 electrons per cell.
+  EXPECT_DOUBLE_EQ(s.num_electrons(), 64.0);
+  EXPECT_EQ(s.count_species(Species::kZn), 8);
+  EXPECT_EQ(s.count_species(Species::kTe), 8);
+}
+
+TEST(Structure, WrapPositions) {
+  Structure s(Lattice::cubic(5.0));
+  s.add_atom(Species::kSi, {6.0, -1.0, 4.5});
+  s.wrap_positions();
+  EXPECT_NEAR(s.atom(0).position.x, 1.0, 1e-12);
+  EXPECT_NEAR(s.atom(0).position.y, 4.0, 1e-12);
+  EXPECT_NEAR(s.atom(0).position.z, 4.5, 1e-12);
+}
+
+TEST(Builders, ZincBlendeGeometry) {
+  const double a = 10.0;
+  Structure s = build_zincblende(Species::kZn, Species::kTe, a, {1, 1, 1});
+  ASSERT_EQ(s.size(), 8);
+  // Every atom has 4 neighbors at a*sqrt(3)/4.
+  auto nn = nearest_neighbors(s, 4);
+  const double d0 = a * std::sqrt(3.0) / 4.0;
+  for (int i = 0; i < s.size(); ++i) {
+    ASSERT_EQ(nn[i].size(), 4u);
+    for (const auto& nb : nn[i]) {
+      EXPECT_NEAR(nb.dist, d0, 1e-10);
+      // Bonds connect unlike species.
+      EXPECT_NE(s.atom(i).species, s.atom(nb.index).species);
+    }
+  }
+}
+
+TEST(Builders, SupercellScalesAtomCountAsPaper) {
+  // Sec. V: total number of atoms = 8 * m1 * m2 * m3.
+  for (Vec3i m : {Vec3i{1, 1, 1}, Vec3i{2, 2, 2}, Vec3i{3, 2, 1}}) {
+    Structure s =
+        build_zincblende(Species::kZn, Species::kTe, 11.5, m);
+    EXPECT_EQ(s.size(), 8 * m.prod());
+  }
+}
+
+TEST(Builders, TetrahedralAnglesIdeal) {
+  Structure s = build_zincblende(Species::kSi, Species::kSi, 10.2, {2, 2, 2});
+  auto nn = nearest_neighbors(s, 4);
+  // cos(109.47 deg) = -1/3 between any two bonds of an atom.
+  for (int i = 0; i < std::min(8, s.size()); ++i) {
+    for (std::size_t p = 0; p < 4; ++p)
+      for (std::size_t q = p + 1; q < 4; ++q) {
+        const double c = nn[i][p].delta.dot(nn[i][q].delta) /
+                         (nn[i][p].dist * nn[i][q].dist);
+        EXPECT_NEAR(c, -1.0 / 3.0, 1e-9);
+      }
+  }
+}
+
+TEST(Alloy, SubstitutionFraction) {
+  int n_o = 0;
+  Structure s = build_znteo_alloy({3, 3, 3}, 0.03, 42, &n_o);
+  EXPECT_EQ(s.size(), 216);
+  // 108 Te sites, 3% -> 3 oxygens (rounded).
+  EXPECT_EQ(n_o, 3);
+  EXPECT_EQ(s.count_species(Species::kO), 3);
+  EXPECT_EQ(s.count_species(Species::kTe), 105);
+  EXPECT_EQ(s.count_species(Species::kZn), 108);
+}
+
+TEST(Alloy, PaperCompositionZn1674Te1728O54) {
+  // Fig. 6 caption: the 3456-atom 8x6x9 cell is Zn1728 Te1674 O54
+  // (label in the paper transposes Zn/Te counts; the anion sublattice
+  // carries 1728 sites, 54 of which are O at 3.125%).
+  int n_o = 0;
+  Structure s = build_znteo_alloy({8, 6, 9}, 54.0 / 1728.0, 7, &n_o);
+  EXPECT_EQ(s.size(), 3456);
+  EXPECT_EQ(n_o, 54);
+  EXPECT_EQ(s.count_species(Species::kO), 54);
+  EXPECT_EQ(s.count_species(Species::kTe), 1674);
+}
+
+TEST(Alloy, AtLeastOneSubstitutionWhenFractionTiny) {
+  Rng rng(1);
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 11.5, {1, 1, 1});
+  const int n = substitute_anions(s, Species::kTe, Species::kO, 1e-6, rng);
+  EXPECT_EQ(n, 1);
+}
+
+TEST(Alloy, ZeroFractionNoSubstitution) {
+  Rng rng(1);
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 11.5, {1, 1, 1});
+  EXPECT_EQ(substitute_anions(s, Species::kTe, Species::kO, 0.0, rng), 0);
+  EXPECT_EQ(s.count_species(Species::kO), 0);
+}
+
+TEST(Alloy, DeterministicForFixedSeed) {
+  int n1 = 0, n2 = 0;
+  Structure a = build_znteo_alloy({2, 2, 2}, 0.1, 99, &n1);
+  Structure b = build_znteo_alloy({2, 2, 2}, 0.1, 99, &n2);
+  EXPECT_EQ(n1, n2);
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.atom(i).species, b.atom(i).species);
+}
+
+TEST(Alloy, DifferentSeedsGiveDifferentSites) {
+  Structure a = build_znteo_alloy({3, 3, 3}, 0.05, 1);
+  Structure b = build_znteo_alloy({3, 3, 3}, 0.05, 2);
+  int diff = 0;
+  for (int i = 0; i < a.size(); ++i)
+    if (a.atom(i).species != b.atom(i).species) ++diff;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Neighbors, CutoffListSymmetric) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {2, 2, 2});
+  auto lists = neighbor_lists(s, 4.5);
+  // If j is a neighbor of i then i is a neighbor of j.
+  for (int i = 0; i < s.size(); ++i)
+    for (const auto& nb : lists[i]) {
+      bool found = false;
+      for (const auto& back : lists[nb.index])
+        if (back.index == i) {
+          found = true;
+          break;
+        }
+      EXPECT_TRUE(found);
+    }
+}
+
+TEST(Neighbors, CellListMatchesBruteForce) {
+  // A system large enough to trigger the cell-list path.
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 11.5, {3, 3, 3});
+  ASSERT_GE(s.size(), 64);
+  const double cutoff = 5.5;
+  auto fast = neighbor_lists(s, cutoff);
+  // Brute force on the same system via a tiny cutoff trick: force
+  // fallback by querying with a cutoff that defeats cell lists is not
+  // possible here, so verify counts against an O(N^2) local recompute.
+  for (int i = 0; i < s.size(); i += 17) {
+    int count = 0;
+    for (int j = 0; j < s.size(); ++j) {
+      if (i == j) continue;
+      const Vec3d d = s.lattice().min_image(s.atom(i).position,
+                                            s.atom(j).position);
+      if (d.norm() <= cutoff) ++count;
+    }
+    EXPECT_EQ(static_cast<int>(fast[i].size()), count) << "atom " << i;
+  }
+}
+
+TEST(Neighbors, NearestNeighborsSortedAscending) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 11.0, {2, 2, 2});
+  auto nn = nearest_neighbors(s, 8);
+  for (const auto& l : nn) {
+    ASSERT_EQ(l.size(), 8u);
+    for (std::size_t k = 1; k < l.size(); ++k)
+      EXPECT_LE(l[k - 1].dist, l[k].dist + 1e-12);
+  }
+}
+
+TEST(QuantumRod, AtomsInsideCylinderOnly) {
+  const double a = 11.0;
+  Structure rod = build_quantum_rod(Species::kCd, Species::kSe, a, {4, 4, 2},
+                                    1.6 * a, 8.0);
+  EXPECT_GT(rod.size(), 0);
+  EXPECT_LT(rod.size(), 8 * 4 * 4 * 2);
+  // Rod box includes vacuum padding.
+  EXPECT_GT(rod.lattice().lengths().x, 4 * a);
+  // All atoms within the cylinder radius about the box center (x,y).
+  const Vec3d L = rod.lattice().lengths();
+  for (const auto& atom : rod.atoms()) {
+    const double dx = atom.position.x - L.x / 2;
+    const double dy = atom.position.y - L.y / 2;
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 1.6 * a + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ls3df

@@ -1,0 +1,278 @@
+// Eigensolver tests: free-electron analytic limits, agreement between the
+// all-band (BLAS-3) and band-by-band (BLAS-2) solvers and a dense-matrix
+// reference diagonalization, orthonormalization schemes, and Hamiltonian
+// invariants (Hermiticity, kinetic energy, density normalization).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "atoms/builders.h"
+#include "common/rng.h"
+#include "dft/eigensolver.h"
+#include "dft/hamiltonian.h"
+#include "linalg/blas.h"
+#include "linalg/eigen.h"
+
+namespace ls3df {
+namespace {
+
+using cd = std::complex<double>;
+
+// Dense reference: materialize H by applying it to unit vectors, then
+// diagonalize exactly.
+std::vector<double> dense_eigenvalues(const Hamiltonian& h, int n_lowest) {
+  const int ng = h.basis().count();
+  MatC I = MatC::identity(ng);
+  MatC H;
+  h.apply(I, H);
+  EighResult r = eigh(H);
+  r.eigenvalues.resize(n_lowest);
+  return r.eigenvalues;
+}
+
+Structure empty_box(double L) { return Structure(Lattice::cubic(L)); }
+
+TEST(Hamiltonian, FreeElectronEigenvalues) {
+  // No atoms: H = -1/2 nabla^2; eigenvalues are 0.5 |G|^2.
+  Structure s = empty_box(6.0);
+  GVectors gv(s.lattice(), {12, 12, 12}, 2.0);
+  Hamiltonian h(s, gv);
+
+  std::vector<double> expected;
+  for (int g = 0; g < gv.count(); ++g) expected.push_back(0.5 * gv.g2(g));
+  std::sort(expected.begin(), expected.end());
+
+  MatC psi = random_wavefunctions(gv, 6, 1);
+  EigensolverResult r = solve_all_band(h, psi, {40, 1e-9, true});
+  for (int j = 0; j < 6; ++j)
+    EXPECT_NEAR(r.eigenvalues[j], expected[j], 1e-7) << "band " << j;
+}
+
+TEST(Hamiltonian, HermitianOnRandomVectors) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {14, 14, 14}, 2.0);
+  Hamiltonian h(s, gv);
+  Rng rng(3);
+  MatC psi(gv.count(), 2);
+  for (int j = 0; j < 2; ++j)
+    for (int g = 0; g < gv.count(); ++g)
+      psi(g, j) = cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  MatC hpsi;
+  h.apply(psi, hpsi);
+  const cd a = zdotc(gv.count(), psi.col(0), hpsi.col(1));
+  const cd b = zdotc(gv.count(), psi.col(1), hpsi.col(0));
+  EXPECT_LT(std::abs(a - std::conj(b)), 1e-9);
+}
+
+TEST(Hamiltonian, ApplyBandMatchesApplyBlock) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {12, 12, 12}, 1.5);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 3, 9);
+  MatC block;
+  h.apply(psi, block);
+  for (int j = 0; j < 3; ++j) {
+    std::vector<cd> single(gv.count());
+    h.apply_band(psi.col(j), single.data());
+    for (int g = 0; g < gv.count(); ++g)
+      EXPECT_LT(std::abs(single[g] - block(g, j)), 1e-11);
+  }
+}
+
+TEST(Hamiltonian, ConstantPotentialShiftsSpectrum) {
+  Structure s = empty_box(5.0);
+  GVectors gv(s.lattice(), {10, 10, 10}, 1.5);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 4, 2);
+  EigensolverResult r0 = solve_all_band(h, psi, {40, 1e-9, true});
+
+  FieldR v(gv.grid_shape());
+  v.fill(0.37);
+  h.set_local_potential(v);
+  MatC psi2 = random_wavefunctions(gv, 4, 2);
+  EigensolverResult r1 = solve_all_band(h, psi2, {40, 1e-9, true});
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(r1.eigenvalues[j] - r0.eigenvalues[j], 0.37, 1e-7);
+}
+
+TEST(Hamiltonian, KineticEnergyOfPlaneWave) {
+  Structure s = empty_box(6.0);
+  GVectors gv(s.lattice(), {12, 12, 12}, 2.0);
+  Hamiltonian h(s, gv);
+  // A single plane wave |G| has kinetic energy 0.5 |G|^2.
+  MatC psi(gv.count(), 1);
+  int pick = -1;
+  for (int g = 0; g < gv.count(); ++g)
+    if (gv.g2(g) > 0) {
+      pick = g;
+      break;
+    }
+  psi(pick, 0) = 1.0;
+  EXPECT_NEAR(h.kinetic_energy(psi, {2.0}), 2.0 * 0.5 * gv.g2(pick), 1e-12);
+}
+
+TEST(Hamiltonian, DensityIntegratesToOccupation) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {12, 12, 12}, 1.5);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 5, 4);
+  std::vector<double> occ{2, 2, 2, 1, 0};
+  FieldR rho = h.density(psi, occ);
+  const double pv =
+      s.lattice().volume() / static_cast<double>(rho.size());
+  EXPECT_NEAR(rho.sum() * pv, 7.0, 1e-9);
+  for (std::size_t i = 0; i < rho.size(); ++i) EXPECT_GE(rho[i], 0.0);
+}
+
+TEST(Hamiltonian, KineticEnergyDensityIntegratesToKineticEnergy) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {14, 14, 14}, 2.0);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 3, 8);
+  std::vector<double> occ{2, 2, 2};
+  FieldR tau = h.kinetic_energy_density(psi, occ);
+  const double pv =
+      s.lattice().volume() / static_cast<double>(tau.size());
+  EXPECT_NEAR(tau.sum() * pv, h.kinetic_energy(psi, occ), 1e-8);
+}
+
+TEST(Hamiltonian, FlopCounterAccumulates) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {12, 12, 12}, 1.5);
+  Hamiltonian h(s, gv);
+  FlopCounter fc;
+  h.set_flop_counter(&fc);
+  MatC psi = random_wavefunctions(gv, 2, 1);
+  MatC hpsi;
+  h.apply(psi, hpsi);
+  EXPECT_GT(fc.total(), 0u);
+  const auto after_one = fc.total();
+  h.apply(psi, hpsi);
+  EXPECT_EQ(fc.total(), 2 * after_one);
+}
+
+TEST(DefaultFftGrid, HoldsDensityFrequencies) {
+  Lattice lat = Lattice::cubic(10.0);
+  const double ecut = 2.0;
+  Vec3i g = default_fft_grid(lat, ecut);
+  const double gmax = std::sqrt(2 * ecut);
+  const int m = static_cast<int>(std::ceil(gmax / lat.reciprocal().x));
+  EXPECT_GE(g.x, 4 * m);  // 2 Gmax along both signs
+  EXPECT_TRUE(Fft1D::is_smooth(g.x));
+}
+
+class SolverAgreement : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SolverAgreement, MatchesDenseDiagonalization) {
+  const bool all_band = GetParam();
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 8.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {10, 10, 10}, 1.2);
+  Hamiltonian h(s, gv);
+  ASSERT_LT(gv.count(), 300);
+
+  const int nb = 6;
+  auto exact = dense_eigenvalues(h, nb);
+
+  MatC psi = random_wavefunctions(gv, nb, 42);
+  EigensolverOptions opt{all_band ? 60 : 40, 1e-8, true};
+  EigensolverResult r = all_band ? solve_all_band(h, psi, opt)
+                                 : solve_band_by_band(h, psi, opt);
+  for (int j = 0; j < nb; ++j)
+    EXPECT_NEAR(r.eigenvalues[j], exact[j], 2e-5)
+        << (all_band ? "all-band" : "band-by-band") << " band " << j;
+
+  // Output bands orthonormal.
+  MatC S = overlap(psi, psi);
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j)
+      EXPECT_LT(std::abs(S(i, j) - cd(i == j ? 1 : 0, 0)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSolvers, SolverAgreement,
+                         ::testing::Values(true, false));
+
+TEST(Orthonormalize, CholeskyAndGramSchmidtAgreeOnSpan) {
+  Rng rng(8);
+  MatC X(40, 6);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 40; ++i)
+      X(i, j) = cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  MatC A = X, B = X;
+  orthonormalize_cholesky(A);
+  orthonormalize_gram_schmidt(B);
+  // Both orthonormal.
+  for (MatC* M : {&A, &B}) {
+    MatC S = overlap(*M, *M);
+    for (int i = 0; i < 6; ++i)
+      for (int j = 0; j < 6; ++j)
+        EXPECT_LT(std::abs(S(i, j) - cd(i == j ? 1 : 0, 0)), 1e-10);
+  }
+  // Same span: projector onto span(A) applied to B's columns is identity.
+  MatC P = overlap(A, B);   // A^H B
+  MatC AB(40, 6);
+  gemm(Op::kNone, Op::kNone, cd(1, 0), A, P, cd(0, 0), AB);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 40; ++i)
+      EXPECT_LT(std::abs(AB(i, j) - B(i, j)), 1e-9);
+}
+
+TEST(Orthonormalize, HandlesNearlyDependentColumns) {
+  MatC X(10, 3);
+  for (int i = 0; i < 10; ++i) {
+    X(i, 0) = cd(1.0, 0.0);
+    X(i, 1) = cd(1.0 + 1e-13 * i, 0.0);  // nearly parallel
+    X(i, 2) = cd(i, 1.0);
+  }
+  orthonormalize_cholesky(X);  // must not throw (falls back to GS)
+  MatC S = overlap(X, X);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(S(i, i).real(), 1.0, 1e-9);
+}
+
+TEST(RandomWavefunctions, DeterministicAndOrthonormal) {
+  Lattice lat = Lattice::cubic(7.0);
+  GVectors gv(lat, {10, 10, 10}, 1.5);
+  MatC a = random_wavefunctions(gv, 4, 99);
+  MatC b = random_wavefunctions(gv, 4, 99);
+  for (int j = 0; j < 4; ++j)
+    for (int g = 0; g < gv.count(); ++g)
+      EXPECT_EQ(a(g, j), b(g, j));
+  MatC S = overlap(a, a);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_LT(std::abs(S(i, j) - cd(i == j ? 1 : 0, 0)), 1e-10);
+}
+
+TEST(SubspaceRotate, SortsAndPreservesSpan) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 8.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {10, 10, 10}, 1.2);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 5, 3);
+  MatC before = psi;
+  auto evals = subspace_rotate(h, psi);
+  for (int j = 1; j < 5; ++j) EXPECT_LE(evals[j - 1], evals[j] + 1e-12);
+  // Span preserved: project rotated onto original basis and back.
+  MatC P = overlap(before, psi);
+  MatC rec(gv.count(), 5);
+  gemm(Op::kNone, Op::kNone, cd(1, 0), before, P, cd(0, 0), rec);
+  for (int j = 0; j < 5; ++j)
+    for (int g = 0; g < gv.count(); g += 7)
+      EXPECT_LT(std::abs(rec(g, j) - psi(g, j)), 1e-9);
+}
+
+TEST(Preconditioner, SpeedsUpConvergence) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {12, 12, 12}, 2.0);
+  Hamiltonian h(s, gv);
+
+  MatC psi1 = random_wavefunctions(gv, 4, 5);
+  EigensolverResult with = solve_all_band(h, psi1, {100, 1e-7, true});
+  MatC psi2 = random_wavefunctions(gv, 4, 5);
+  EigensolverResult without = solve_all_band(h, psi2, {100, 1e-7, false});
+  EXPECT_TRUE(with.converged);
+  // Preconditioning should never need more iterations (usually far fewer).
+  EXPECT_LE(with.iterations, without.iterations);
+}
+
+}  // namespace
+}  // namespace ls3df

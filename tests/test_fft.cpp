@@ -1,0 +1,306 @@
+// FFT tests: analytic DFTs, round trips, Parseval, linearity, shift
+// theorem, smooth and non-smooth (Bluestein) sizes, and the 3D transform
+// on the grid shapes the DFT engine uses (including the paper's 40^3 and
+// 32^3 per-cell grids).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "fft/fft3d.h"
+
+namespace ls3df {
+namespace {
+
+// Direct O(n^2) DFT for reference.
+std::vector<cplx> dft_reference(const std::vector<cplx>& x, int sign) {
+  const int n = static_cast<int>(x.size());
+  std::vector<cplx> out(n);
+  for (int k = 0; k < n; ++k) {
+    cplx acc(0, 0);
+    for (int j = 0; j < n; ++j) {
+      const double ang = sign * units::kTwoPi * j * k / n;
+      acc += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cplx> random_signal(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class Fft1DSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft1DSizes, MatchesReferenceDft) {
+  const int n = GetParam();
+  auto x = random_signal(n, 42 + n);
+  auto ref = dft_reference(x, -1);
+  Fft1D plan(n);
+  auto y = x;
+  plan.forward(y);
+  EXPECT_LT(max_err(y, ref), 1e-9 * n) << "n = " << n;
+}
+
+TEST_P(Fft1DSizes, RoundTripIsIdentity) {
+  const int n = GetParam();
+  auto x = random_signal(n, 1000 + n);
+  Fft1D plan(n);
+  auto y = x;
+  plan.forward(y);
+  plan.inverse(y);
+  EXPECT_LT(max_err(y, x), 1e-11 * n) << "n = " << n;
+}
+
+TEST_P(Fft1DSizes, ParsevalHolds) {
+  const int n = GetParam();
+  auto x = random_signal(n, 7 + n);
+  double time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  Fft1D plan(n);
+  plan.forward(x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * n);
+}
+
+// Sizes: powers of 2, multiples of 3/5/7, the paper's grid sizes (40, 32),
+// primes (Bluestein path: 11, 13, 17, 31, 97), and awkward composites.
+INSTANTIATE_TEST_SUITE_P(AllSizes, Fft1DSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12,
+                                           15, 16, 20, 21, 24, 25, 27, 30, 32,
+                                           35, 36, 40, 48, 60, 64, 11, 13, 17,
+                                           19, 23, 31, 97, 22, 26, 33, 39, 55,
+                                           77, 100, 120, 128));
+
+TEST(Fft1D, DeltaTransformsToConstant) {
+  const int n = 24;
+  std::vector<cplx> x(n, cplx(0, 0));
+  x[0] = cplx(1, 0);
+  Fft1D plan(n);
+  plan.forward(x);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), 1.0, 1e-12);
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1D, SingleModeTransformsToDelta) {
+  const int n = 30, mode = 7;
+  std::vector<cplx> x(n);
+  for (int j = 0; j < n; ++j) {
+    const double ang = units::kTwoPi * mode * j / n;
+    x[j] = cplx(std::cos(ang), std::sin(ang));
+  }
+  Fft1D plan(n);
+  plan.forward(x);
+  for (int k = 0; k < n; ++k) {
+    const double expected = (k == mode) ? n : 0.0;
+    EXPECT_NEAR(x[k].real(), expected, 1e-9) << "k=" << k;
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft1D, Linearity) {
+  const int n = 36;
+  auto x = random_signal(n, 1);
+  auto y = random_signal(n, 2);
+  const cplx a(2.0, -1.0), b(-0.5, 3.0);
+  std::vector<cplx> z(n);
+  for (int i = 0; i < n; ++i) z[i] = a * x[i] + b * y[i];
+  Fft1D plan(n);
+  plan.forward(x);
+  plan.forward(y);
+  plan.forward(z);
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(z[i] - (a * x[i] + b * y[i])), 1e-10);
+}
+
+TEST(Fft1D, ShiftTheorem) {
+  // A circular shift by s multiplies the spectrum by exp(-2 pi i k s / n).
+  const int n = 40, s = 3;
+  auto x = random_signal(n, 9);
+  std::vector<cplx> xs(n);
+  for (int j = 0; j < n; ++j) xs[j] = x[(j + s) % n];
+  Fft1D plan(n);
+  auto X = x;
+  plan.forward(X);
+  plan.forward(xs);
+  for (int k = 0; k < n; ++k) {
+    const double ang = units::kTwoPi * k * s / n;
+    const cplx phase(std::cos(ang), std::sin(ang));
+    EXPECT_LT(std::abs(xs[k] - X[k] * phase), 1e-9);
+  }
+}
+
+TEST(Fft1D, RealSignalHasHermitianSpectrum) {
+  const int n = 32;
+  Rng rng(17);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.uniform(-1, 1), 0.0);
+  Fft1D plan(n);
+  plan.forward(x);
+  for (int k = 1; k < n; ++k)
+    EXPECT_LT(std::abs(x[k] - std::conj(x[n - k])), 1e-10);
+}
+
+TEST(Fft1D, SmoothnessDetection) {
+  EXPECT_TRUE(Fft1D::is_smooth(1));
+  EXPECT_TRUE(Fft1D::is_smooth(8));
+  EXPECT_TRUE(Fft1D::is_smooth(40));   // 2^3 * 5
+  EXPECT_TRUE(Fft1D::is_smooth(360));  // 2^3*3^2*5
+  EXPECT_TRUE(Fft1D::is_smooth(7 * 8));
+  EXPECT_FALSE(Fft1D::is_smooth(11));
+  EXPECT_FALSE(Fft1D::is_smooth(2 * 13));
+  EXPECT_FALSE(Fft1D::is_smooth(97));
+}
+
+TEST(Fft1D, GoodFftSize) {
+  EXPECT_EQ(Fft1D::good_fft_size(1), 1);
+  EXPECT_EQ(Fft1D::good_fft_size(7), 8);
+  EXPECT_EQ(Fft1D::good_fft_size(11), 12);
+  EXPECT_EQ(Fft1D::good_fft_size(17), 18);
+  EXPECT_EQ(Fft1D::good_fft_size(40), 40);
+  EXPECT_EQ(Fft1D::good_fft_size(41), 45);
+  // Result never has a factor other than 2, 3, 5.
+  for (int n = 1; n <= 200; ++n) {
+    int m = Fft1D::good_fft_size(n);
+    EXPECT_GE(m, n);
+    for (int p : {2, 3, 5})
+      while (m % p == 0) m /= p;
+    EXPECT_EQ(m, 1);
+  }
+}
+
+TEST(Fft3D, RoundTrip) {
+  const Vec3i shape{8, 6, 10};
+  Fft3D plan(shape);
+  Rng rng(3);
+  std::vector<cplx> x(plan.size());
+  for (auto& v : x) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto y = x;
+  plan.forward(y);
+  plan.inverse(y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LT(std::abs(y[i] - x[i]), 1e-10);
+}
+
+TEST(Fft3D, SingleModeIsDelta) {
+  const Vec3i shape{6, 4, 8};
+  const Vec3i mode{2, 3, 5};
+  Fft3D plan(shape);
+  std::vector<cplx> x(plan.size());
+  for (int ix = 0; ix < shape.x; ++ix)
+    for (int iy = 0; iy < shape.y; ++iy)
+      for (int iz = 0; iz < shape.z; ++iz) {
+        const double ang =
+            units::kTwoPi * (static_cast<double>(mode.x) * ix / shape.x +
+                             static_cast<double>(mode.y) * iy / shape.y +
+                             static_cast<double>(mode.z) * iz / shape.z);
+        x[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz] =
+            cplx(std::cos(ang), std::sin(ang));
+      }
+  plan.forward(x);
+  const std::size_t hit =
+      (static_cast<std::size_t>(mode.x) * shape.y + mode.y) * shape.z + mode.z;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double expected = (i == hit) ? static_cast<double>(plan.size()) : 0.0;
+    EXPECT_NEAR(x[i].real(), expected, 1e-8) << i;
+    EXPECT_NEAR(x[i].imag(), 0.0, 1e-8) << i;
+  }
+}
+
+TEST(Fft3D, ParsevalHolds) {
+  const Vec3i shape{10, 10, 10};
+  Fft3D plan(shape);
+  Rng rng(8);
+  std::vector<cplx> x(plan.size());
+  double te = 0;
+  for (auto& v : x) {
+    v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    te += std::norm(v);
+  }
+  plan.forward(x);
+  double fe = 0;
+  for (const auto& v : x) fe += std::norm(v);
+  EXPECT_NEAR(fe / static_cast<double>(plan.size()), te, 1e-8 * te);
+}
+
+TEST(Fft3D, PaperGridSizes) {
+  // The paper uses 40^3 (Franklin, 50 Ry) and 32^3 (Intrepid, 40 Ry)
+  // real-space grids per 8-atom cell; both must round-trip exactly.
+  for (int n : {32, 40}) {
+    Fft3D plan({n, n, n});
+    Rng rng(n);
+    std::vector<cplx> x(plan.size());
+    for (auto& v : x) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    auto y = x;
+    plan.forward(y);
+    plan.inverse(y);
+    double m = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      m = std::max(m, std::abs(y[i] - x[i]));
+    EXPECT_LT(m, 1e-10) << "grid " << n;
+  }
+}
+
+TEST(Fft3D, MatchesSeparable1DTransforms) {
+  const Vec3i shape{4, 6, 5};
+  Fft3D plan(shape);
+  auto x = random_signal(static_cast<int>(plan.size()), 55);
+  auto got = x;
+  plan.forward(got);
+
+  // Reference: apply reference DFT along each axis successively.
+  auto ref = x;
+  // z axis.
+  for (int ix = 0; ix < shape.x; ++ix)
+    for (int iy = 0; iy < shape.y; ++iy) {
+      std::vector<cplx> row(shape.z);
+      for (int iz = 0; iz < shape.z; ++iz)
+        row[iz] = ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz];
+      row = dft_reference(row, -1);
+      for (int iz = 0; iz < shape.z; ++iz)
+        ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz] = row[iz];
+    }
+  // y axis.
+  for (int ix = 0; ix < shape.x; ++ix)
+    for (int iz = 0; iz < shape.z; ++iz) {
+      std::vector<cplx> row(shape.y);
+      for (int iy = 0; iy < shape.y; ++iy)
+        row[iy] = ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz];
+      row = dft_reference(row, -1);
+      for (int iy = 0; iy < shape.y; ++iy)
+        ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz] = row[iy];
+    }
+  // x axis.
+  for (int iy = 0; iy < shape.y; ++iy)
+    for (int iz = 0; iz < shape.z; ++iz) {
+      std::vector<cplx> row(shape.x);
+      for (int ix = 0; ix < shape.x; ++ix)
+        row[ix] = ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz];
+      row = dft_reference(row, -1);
+      for (int ix = 0; ix < shape.x; ++ix)
+        ref[(static_cast<std::size_t>(ix) * shape.y + iy) * shape.z + iz] = row[ix];
+    }
+
+  EXPECT_LT(max_err(got, ref), 1e-9);
+}
+
+}  // namespace
+}  // namespace ls3df

@@ -1,0 +1,396 @@
+// Linear algebra tests: gemm/gemv against reference implementations,
+// Hermitian eigensolver invariants, Cholesky-based orthonormalization (the
+// all-band overlap-matrix scheme from Sec. IV), linear solves, and the
+// Levenberg-Marquardt fitter on the Amdahl model used in Sec. VI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen.h"
+#include "linalg/lstsq.h"
+#include "linalg/matrix.h"
+
+namespace ls3df {
+namespace {
+
+using cd = std::complex<double>;
+
+MatC random_matc(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  MatC A(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      A(i, j) = cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return A;
+}
+
+MatR random_matr(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  MatR A(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) A(i, j) = rng.uniform(-1, 1);
+  return A;
+}
+
+MatC hermitian_from(const MatC& B) {
+  const int n = B.rows();
+  MatC H(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) H(i, j) = 0.5 * (B(i, j) + std::conj(B(j, i)));
+  return H;
+}
+
+cd ref_entry(Op opA, const MatC& A, int i, int j) {
+  if (opA == Op::kNone) return A(i, j);
+  if (opA == Op::kTrans) return A(j, i);
+  return std::conj(A(j, i));
+}
+
+MatC ref_gemm(Op opA, Op opB, cd alpha, const MatC& A, const MatC& B, cd beta,
+              MatC C) {
+  const int m = C.rows(), n = C.cols();
+  const int k = (opA == Op::kNone) ? A.cols() : A.rows();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      cd acc(0, 0);
+      for (int l = 0; l < k; ++l)
+        acc += ref_entry(opA, A, i, l) * ref_entry(opB, B, l, j);
+      C(i, j) = alpha * acc + beta * C(i, j);
+    }
+  return C;
+}
+
+double frob_diff(const MatC& A, const MatC& B) {
+  double s = 0;
+  for (int j = 0; j < A.cols(); ++j)
+    for (int i = 0; i < A.rows(); ++i) s += std::norm(A(i, j) - B(i, j));
+  return std::sqrt(s);
+}
+
+struct GemmCase {
+  Op opA, opB;
+  int m, n, k;
+};
+
+class GemmOps : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmOps, MatchesReference) {
+  const auto& c = GetParam();
+  const MatC A = (c.opA == Op::kNone) ? random_matc(c.m, c.k, 1)
+                                      : random_matc(c.k, c.m, 1);
+  const MatC B = (c.opB == Op::kNone) ? random_matc(c.k, c.n, 2)
+                                      : random_matc(c.n, c.k, 2);
+  MatC C = random_matc(c.m, c.n, 3);
+  const cd alpha(1.3, -0.2), beta(0.4, 0.9);
+  MatC expected = ref_gemm(c.opA, c.opB, alpha, A, B, beta, C);
+  gemm(c.opA, c.opB, alpha, A, B, beta, C);
+  EXPECT_LT(frob_diff(C, expected), 1e-11 * c.m * c.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmOps,
+    ::testing::Values(GemmCase{Op::kNone, Op::kNone, 5, 7, 3},
+                      GemmCase{Op::kNone, Op::kNone, 16, 16, 16},
+                      GemmCase{Op::kNone, Op::kNone, 1, 1, 1},
+                      GemmCase{Op::kConjTrans, Op::kNone, 4, 6, 9},
+                      GemmCase{Op::kConjTrans, Op::kNone, 8, 8, 32},
+                      GemmCase{Op::kTrans, Op::kNone, 5, 5, 5},
+                      GemmCase{Op::kNone, Op::kConjTrans, 6, 4, 7},
+                      GemmCase{Op::kNone, Op::kTrans, 3, 8, 2},
+                      GemmCase{Op::kConjTrans, Op::kConjTrans, 4, 4, 4},
+                      GemmCase{Op::kTrans, Op::kTrans, 7, 3, 5}));
+
+TEST(Gemm, BetaZeroOverwritesNanFree) {
+  // beta = 0 must not propagate garbage from uninitialized C.
+  MatC A = random_matc(3, 4, 10), B = random_matc(4, 2, 11);
+  MatC C(3, 2);
+  C(0, 0) = cd(1e300, -1e300);
+  gemm(Op::kNone, Op::kNone, cd(1, 0), A, B, cd(0, 0), C);
+  MatC expected = ref_gemm(Op::kNone, Op::kNone, cd(1, 0), A, B, cd(0, 0),
+                           MatC(3, 2));
+  EXPECT_LT(frob_diff(C, expected), 1e-12);
+}
+
+TEST(Gemm, RealMatchesComplex) {
+  MatR A = random_matr(6, 5, 20), B = random_matr(5, 4, 21);
+  MatR C(6, 4);
+  gemm(Op::kNone, Op::kNone, 2.0, A, B, 0.0, C);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 6; ++i) {
+      double acc = 0;
+      for (int l = 0; l < 5; ++l) acc += A(i, l) * B(l, j);
+      EXPECT_NEAR(C(i, j), 2.0 * acc, 1e-12);
+    }
+}
+
+TEST(Gemv, MatchesGemm) {
+  const int m = 9, n = 6;
+  MatC A = random_matc(m, n, 30);
+  MatC x = random_matc(n, 1, 31);
+  MatC y = random_matc(m, 1, 32);
+  MatC y_ref = y;
+  const cd alpha(0.7, 0.1), beta(-0.3, 0.5);
+  gemm(Op::kNone, Op::kNone, alpha, A, x, beta, y_ref);
+  gemv(Op::kNone, alpha, A, x.col(0), beta, y.col(0));
+  EXPECT_LT(frob_diff(y, y_ref), 1e-12);
+}
+
+TEST(Gemv, ConjTransMatchesGemm) {
+  const int m = 9, n = 6;
+  MatC A = random_matc(m, n, 40);
+  MatC x = random_matc(m, 1, 41);
+  MatC y = random_matc(n, 1, 42);
+  MatC y_ref = y;
+  const cd alpha(1.0, -1.0), beta(0.25, 0.0);
+  gemm(Op::kConjTrans, Op::kNone, alpha, A, x, beta, y_ref);
+  gemv(Op::kConjTrans, alpha, A, x.col(0), beta, y.col(0));
+  EXPECT_LT(frob_diff(y, y_ref), 1e-12);
+}
+
+TEST(Overlap, IsHermitianForSelfOverlap) {
+  MatC X = random_matc(20, 6, 50);
+  MatC S = overlap(X, X);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i)
+      EXPECT_LT(std::abs(S(i, j) - std::conj(S(j, i))), 1e-12);
+  for (int i = 0; i < 6; ++i) EXPECT_GT(S(i, i).real(), 0.0);
+}
+
+TEST(Level1, DotNormAxpyScal) {
+  const int n = 17;
+  MatC x = random_matc(n, 1, 60), y = random_matc(n, 1, 61);
+  const cd d = zdotc(n, x.col(0), y.col(0));
+  cd ref(0, 0);
+  for (int i = 0; i < n; ++i) ref += std::conj(x(i, 0)) * y(i, 0);
+  EXPECT_LT(std::abs(d - ref), 1e-12);
+
+  EXPECT_NEAR(dznrm2(n, x.col(0)),
+              std::sqrt(zdotc(n, x.col(0), x.col(0)).real()), 1e-12);
+
+  MatC y2 = y;
+  zaxpy(n, cd(2, -1), x.col(0), y2.col(0));
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(y2(i, 0) - (y(i, 0) + cd(2, -1) * x(i, 0))), 1e-13);
+
+  zscal(n, cd(0.5, 0.5), y2.col(0));
+  // Just check magnitude scaling of first element against manual compute.
+  EXPECT_LT(std::abs(y2(0, 0) -
+                     cd(0.5, 0.5) * (y(0, 0) + cd(2, -1) * x(0, 0))),
+            1e-13);
+}
+
+class EighSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EighSizes, ReconstructsMatrix) {
+  const int n = GetParam();
+  MatC H = hermitian_from(random_matc(n, n, 70 + n));
+  EighResult r = eigh(H);
+  // A = V diag(w) V^H.
+  MatC VD(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      VD(i, j) = r.eigenvectors(i, j) * r.eigenvalues[j];
+  MatC A(n, n);
+  gemm(Op::kNone, Op::kConjTrans, cd(1, 0), VD, r.eigenvectors, cd(0, 0), A);
+  EXPECT_LT(frob_diff(A, H), 1e-10 * n);
+}
+
+TEST_P(EighSizes, EigenvectorsOrthonormal) {
+  const int n = GetParam();
+  MatC H = hermitian_from(random_matc(n, n, 170 + n));
+  EighResult r = eigh(H);
+  MatC S = overlap(r.eigenvectors, r.eigenvectors);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      const double expected = (i == j) ? 1.0 : 0.0;
+      EXPECT_LT(std::abs(S(i, j) - cd(expected, 0)), 1e-11) << i << "," << j;
+    }
+}
+
+TEST_P(EighSizes, EigenvaluesAscending) {
+  const int n = GetParam();
+  MatC H = hermitian_from(random_matc(n, n, 270 + n));
+  EighResult r = eigh(H);
+  for (int i = 1; i < n; ++i)
+    EXPECT_LE(r.eigenvalues[i - 1], r.eigenvalues[i] + 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EighSizes, ::testing::Values(1, 2, 3, 5, 8,
+                                                             13, 21, 40));
+
+TEST(Eigh, DiagonalMatrix) {
+  MatC H(3, 3);
+  H(0, 0) = 3.0;
+  H(1, 1) = -1.0;
+  H(2, 2) = 2.0;
+  EighResult r = eigh(H);
+  EXPECT_NEAR(r.eigenvalues[0], -1.0, 1e-13);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-13);
+  EXPECT_NEAR(r.eigenvalues[2], 3.0, 1e-13);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  MatC H(2, 2);
+  H(0, 0) = 2.0;
+  H(1, 1) = 2.0;
+  H(0, 1) = cd(0, 1);
+  H(1, 0) = cd(0, -1);
+  EighResult r = eigh(H);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Eigh, TraceAndDeterminantInvariants) {
+  const int n = 10;
+  MatC H = hermitian_from(random_matc(n, n, 99));
+  EighResult r = eigh(H);
+  double trace = 0;
+  for (int i = 0; i < n; ++i) trace += H(i, i).real();
+  double sum = 0;
+  for (double w : r.eigenvalues) sum += w;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(Eigh, RealSymmetricWrapper) {
+  MatR A(3, 3);
+  // Symmetric with known spectrum {0, 1, 3}: use diag + rotation-free case.
+  A(0, 0) = 2; A(0, 1) = 1; A(0, 2) = 0;
+  A(1, 0) = 1; A(1, 1) = 2; A(1, 2) = 0;
+  A(2, 0) = 0; A(2, 1) = 0; A(2, 2) = 5;
+  auto r = eigh(A);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 5.0, 1e-12);
+}
+
+TEST(Cholesky, ReconstructsAndOrthonormalizes) {
+  // The all-band orthonormalization path: S = X^H X, L = chol(S),
+  // X <- X L^{-H} must produce an orthonormal block.
+  MatC X = random_matc(50, 8, 123);
+  MatC S = overlap(X, X);
+  MatC L = cholesky(S);
+  // Check L L^H = S.
+  MatC R(8, 8);
+  gemm(Op::kNone, Op::kConjTrans, cd(1, 0), L, L, cd(0, 0), R);
+  EXPECT_LT(frob_diff(R, S), 1e-10);
+
+  trsm_right_lherm(L, X);
+  MatC I = overlap(X, X);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 8; ++i)
+      EXPECT_LT(std::abs(I(i, j) - cd(i == j ? 1.0 : 0.0, 0.0)), 1e-10);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  MatC A(2, 2);
+  A(0, 0) = 1.0;
+  A(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(A), std::runtime_error);
+}
+
+TEST(SolveLinear, KnownSystem) {
+  MatR A(2, 2);
+  A(0, 0) = 2; A(0, 1) = 1;
+  A(1, 0) = 1; A(1, 1) = 3;
+  auto x = solve_linear(A, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  MatR A(2, 2);
+  A(0, 0) = 0; A(0, 1) = 1;
+  A(1, 0) = 1; A(1, 1) = 0;
+  auto x = solve_linear(A, {2, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, ThrowsOnSingular) {
+  MatR A(2, 2);
+  A(0, 0) = 1; A(0, 1) = 2;
+  A(1, 0) = 2; A(1, 1) = 4;
+  EXPECT_THROW(solve_linear(A, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinear, RandomSystemsResidualSmall) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 8;
+    MatR A = random_matr(n, n, 300 + trial);
+    for (int i = 0; i < n; ++i) A(i, i) += 3.0;  // keep well-conditioned
+    Rng rng(400 + trial);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    auto x = solve_linear(A, b);
+    for (int i = 0; i < n; ++i) {
+      double acc = 0;
+      for (int j = 0; j < n; ++j) acc += A(i, j) * x[j];
+      EXPECT_NEAR(acc, b[i], 1e-10);
+    }
+  }
+}
+
+TEST(Lstsq, RecoversExactSolutionForConsistentSystem) {
+  MatR A = random_matr(20, 3, 500);
+  std::vector<double> x_true = {1.5, -2.0, 0.75};
+  std::vector<double> b(20, 0.0);
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 3; ++j) b[i] += A(i, j) * x_true[j];
+  auto x = lstsq(A, b);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(x[j], x_true[j], 1e-10);
+}
+
+TEST(Lstsq, LineFit) {
+  // Fit y = 2x + 1 with noise-free data.
+  MatR A(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    A(i, 0) = i;
+    A(i, 1) = 1.0;
+    b[i] = 2.0 * i + 1.0;
+  }
+  auto x = lstsq(A, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LevenbergMarquardt, FitsExponential) {
+  // y = a * exp(b x).
+  auto model = [](const std::vector<double>& p, double x) {
+    return p[0] * std::exp(p[1] * x);
+  };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(2.5 * std::exp(-1.3 * x));
+  }
+  auto fit = fit_levenberg_marquardt(model, xs, ys, {1.0, -0.5});
+  EXPECT_NEAR(fit.params[0], 2.5, 1e-6);
+  EXPECT_NEAR(fit.params[1], -1.3, 1e-6);
+  EXPECT_LT(fit.rms_residual, 1e-8);
+}
+
+TEST(LevenbergMarquardt, FitsAmdahlModel) {
+  // The paper's strong-scaling analysis: P(n) = Ps * n / (1 + (n-1) alpha),
+  // fitted by least squares to (cores, Tflop/s) pairs. Generate synthetic
+  // data from known (Ps, alpha) and recover them.
+  const double Ps = 2.39e-3, alpha = 1.0 / 101000.0;  // Tflop/s per core
+  auto model = [](const std::vector<double>& p, double n) {
+    return p[0] * n / (1.0 + (n - 1.0) * p[1]);
+  };
+  std::vector<double> xs = {1080, 2160, 4320, 8640, 17280};
+  std::vector<double> ys;
+  for (double n : xs) ys.push_back(model({Ps, alpha}, n));
+  auto fit = fit_levenberg_marquardt(model, xs, ys, {1e-3, 1e-4});
+  EXPECT_NEAR(fit.params[0] / Ps, 1.0, 1e-4);
+  EXPECT_NEAR(fit.params[1] / alpha, 1.0, 1e-2);
+  EXPECT_LT(fit.mean_abs_rel_dev, 1e-6);
+}
+
+}  // namespace
+}  // namespace ls3df

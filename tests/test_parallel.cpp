@@ -1,0 +1,115 @@
+// Thread-pool and fragment-scheduler tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+
+namespace ls3df {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  for (int workers : {1, 2, 4}) {
+    std::vector<std::atomic<int>> counts(100);
+    parallel_for(100, workers, [&](int i, int) { counts[i]++; });
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingle) {
+  int called = 0;
+  parallel_for(0, 4, [&](int, int) { ++called; });
+  EXPECT_EQ(called, 0);
+  parallel_for(1, 4, [&](int i, int) { called += i + 1; });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(ParallelFor, WorkerIdsInRange) {
+  std::atomic<bool> ok{true};
+  parallel_for(64, 3, [&](int, int w) {
+    if (w < 0 || w >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::atomic<long> total{0};
+  parallel_for(1000, 4, [&](int i, int) { total += i; });
+  EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(DefaultWorkers, AtLeastOne) { EXPECT_GE(default_workers(), 1); }
+
+TEST(Scheduler, UniformCostsBalancePerfectly) {
+  std::vector<double> costs(64, 1.0);
+  GroupAssignment ga = assign_fragments(costs, 8);
+  EXPECT_DOUBLE_EQ(ga.max_cost, 8.0);
+  EXPECT_DOUBLE_EQ(ga.efficiency, 1.0);
+  for (double c : ga.group_cost) EXPECT_DOUBLE_EQ(c, 8.0);
+}
+
+TEST(Scheduler, AssignmentCoversAllFragments) {
+  Rng rng(1);
+  std::vector<double> costs(37);
+  for (auto& c : costs) c = rng.uniform(0.5, 4.0);
+  GroupAssignment ga = assign_fragments(costs, 5);
+  ASSERT_EQ(ga.group_of.size(), costs.size());
+  std::vector<double> check(5, 0.0);
+  for (std::size_t f = 0; f < costs.size(); ++f) {
+    ASSERT_GE(ga.group_of[f], 0);
+    ASSERT_LT(ga.group_of[f], 5);
+    check[ga.group_of[f]] += costs[f];
+  }
+  for (int g = 0; g < 5; ++g) EXPECT_NEAR(check[g], ga.group_cost[g], 1e-12);
+  EXPECT_NEAR(ga.total_cost,
+              std::accumulate(costs.begin(), costs.end(), 0.0), 1e-12);
+}
+
+TEST(Scheduler, LptBeatsWorstCase) {
+  // LPT guarantees makespan <= (4/3 - 1/3m) * optimal; with many small
+  // items efficiency should be high.
+  Rng rng(7);
+  std::vector<double> costs(200);
+  for (auto& c : costs) c = rng.uniform(1.0, 3.0);
+  GroupAssignment ga = assign_fragments(costs, 10);
+  EXPECT_GT(ga.efficiency, 0.95);
+}
+
+TEST(Scheduler, PaperLikeFragmentMix) {
+  // The paper's 8x6x9 run: 3,456 fragments in 8 size classes on 432
+  // groups (17,280 cores / Np = 40). The LS3DF load balance underlying
+  // the 95.8% PEtot_F parallel efficiency requires the LPT assignment of
+  // the heterogeneous fragment mix to be near-perfect.
+  std::vector<double> costs;
+  const double class_cost[8] = {8, 12, 12, 12, 18, 18, 18, 27};
+  for (int cell = 0; cell < 432; ++cell)
+    for (double c : class_cost) costs.push_back(c * c);
+  GroupAssignment ga = assign_fragments(costs, 432);
+  EXPECT_GT(ga.efficiency, 0.93);
+}
+
+TEST(Scheduler, MoreGroupsNeverIncreaseMakespan) {
+  Rng rng(3);
+  std::vector<double> costs(120);
+  for (auto& c : costs) c = rng.uniform(0.5, 5.0);
+  double prev = 1e300;
+  for (int g : {2, 4, 8, 16}) {
+    GroupAssignment ga = assign_fragments(costs, g);
+    EXPECT_LE(ga.max_cost, prev + 1e-12) << g;
+    prev = ga.max_cost;
+  }
+}
+
+TEST(Scheduler, SingleGroupTakesEverything) {
+  std::vector<double> costs{1, 2, 3};
+  GroupAssignment ga = assign_fragments(costs, 1);
+  EXPECT_DOUBLE_EQ(ga.max_cost, 6.0);
+  EXPECT_DOUBLE_EQ(ga.efficiency, 1.0);
+}
+
+}  // namespace
+}  // namespace ls3df

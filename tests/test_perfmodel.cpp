@@ -1,0 +1,251 @@
+// Performance-model tests: the calibrated simulator must reproduce every
+// Table I row within a small tolerance, the strong/weak scaling figures
+// (Figs. 3-5) must match the paper's headline numbers, the Amdahl fitter
+// must recover the paper's fitted constants, and the O(N^3) crossover
+// must land where Sec. VI puts it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/amdahl.h"
+#include "perfmodel/crossover.h"
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+namespace ls3df {
+namespace {
+
+TEST(Machines, PublishedPeaks) {
+  EXPECT_DOUBLE_EQ(machine_franklin().peak_gflops_per_core, 5.2);
+  EXPECT_DOUBLE_EQ(machine_jaguar().peak_gflops_per_core, 8.4);
+  EXPECT_DOUBLE_EQ(machine_intrepid().peak_gflops_per_core, 3.4);
+  EXPECT_THROW(machine_by_name("Roadrunner"), std::invalid_argument);
+  EXPECT_EQ(machine_by_name("Franklin").name, "Franklin");
+}
+
+TEST(PaperData, TableRowConsistency) {
+  // atoms = 8 * m1 * m2 * m3, and %peak consistent with Tflop/s and the
+  // machine's per-core peak.
+  for (const auto& row : paper::table1()) {
+    EXPECT_EQ(row.atoms, 8 * row.division.prod());
+    const auto& m = machine_by_name(row.machine);
+    const double peak_tflops =
+        row.cores * m.peak_gflops_per_core / 1000.0;
+    EXPECT_NEAR(100.0 * row.tflops / peak_tflops, row.pct_peak, 0.5)
+        << row.machine << " " << row.cores;
+  }
+}
+
+class Table1Rows : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1Rows, SimulatorReproducesRow) {
+  const auto& row = paper::table1()[GetParam()];
+  const auto& m = machine_by_name(row.machine);
+  SimResult s = simulate_scf_iteration(m, row.division, row.cores, row.np);
+  // Calibration quality: every row within 5% relative Tflop/s.
+  EXPECT_NEAR(s.tflops / row.tflops, 1.0, 0.05)
+      << row.machine << " " << row.division << " cores=" << row.cores
+      << " model=" << s.tflops << " paper=" << row.tflops;
+  // %peak within 2 points.
+  EXPECT_NEAR(s.pct_peak, row.pct_peak, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1Rows,
+                         ::testing::Range(0, 28));
+
+TEST(Simulator, HeadlineNumbers) {
+  // 60.3 Tflop/s on 30,720 Jaguar cores; 107.5 Tflop/s on 131,072
+  // Intrepid cores (the paper's abstract).
+  SimResult jag =
+      simulate_scf_iteration(machine_jaguar(), {16, 12, 8}, 30720, 20);
+  EXPECT_NEAR(jag.tflops, 60.3, 3.0);
+  SimResult bgp =
+      simulate_scf_iteration(machine_intrepid(), {16, 16, 8}, 131072, 64);
+  EXPECT_NEAR(bgp.tflops, 107.5, 5.0);
+  EXPECT_NEAR(bgp.pct_peak, 24.2, 1.5);
+}
+
+TEST(Simulator, WallTimesMatchPaper) {
+  // 8x6x9 on 17,280 Franklin cores: one minute per SCF iteration.
+  SimResult fr =
+      simulate_scf_iteration(machine_franklin(), {8, 6, 9}, 17280, 40);
+  EXPECT_NEAR(fr.t_iter, 60.0, 5.0);
+  // 16x12x8 on 30,720 Jaguar cores: 115 seconds per iteration.
+  SimResult jag =
+      simulate_scf_iteration(machine_jaguar(), {16, 12, 8}, 30720, 20);
+  EXPECT_NEAR(jag.t_iter, 115.0, 8.0);
+}
+
+TEST(Simulator, IntrepidPhaseBreakdown) {
+  // Sec. IV: Gen_VF 0.37 s, PEtot_F 54.84 s, Gen_dens 0.56 s, GENPOT
+  // 1.23 s at 131,072 cores. Comm phases together < 2% of the iteration.
+  SimResult s =
+      simulate_scf_iteration(machine_intrepid(), {16, 16, 8}, 131072, 64);
+  EXPECT_NEAR(s.t_petot_f, 54.84, 5.0);
+  EXPECT_NEAR(s.t_genpot, 1.23, 0.4);
+  EXPECT_LT(s.t_gen_vf + s.t_gen_dens, 0.02 * s.t_iter * 1.6);
+  EXPECT_LT(s.t_gen_vf, 1.0);
+  EXPECT_LT(s.t_gen_dens, 1.0);
+}
+
+TEST(Simulator, StrongScalingFig3) {
+  // 8x6x9 from 1,080 to 17,280 cores (16x): LS3DF speedup 13.8 (86.3%
+  // efficiency), PEtot_F 15.3 (95.8%).
+  const auto& m = machine_franklin();
+  const double t1 = simulate_scf_iteration(m, {8, 6, 9}, 1080, 40).t_iter;
+  const double t16 = simulate_scf_iteration(m, {8, 6, 9}, 17280, 40).t_iter;
+  const double speedup = t1 / t16;
+  EXPECT_NEAR(speedup, paper::kFig3SpeedupLs3df, 1.0);
+
+  const double p1 = simulate_petot_f_seconds(m, {8, 6, 9}, 1080, 40);
+  const double p16 = simulate_petot_f_seconds(m, {8, 6, 9}, 17280, 40);
+  EXPECT_NEAR(p1 / p16, paper::kFig3SpeedupPetotF, 1.0);
+}
+
+TEST(Simulator, EfficiencyAlmostIndependentOfSystemSizeFig4) {
+  // Fig. 4: at a given concurrency, efficiency is nearly independent of
+  // the physical system size.
+  const auto& m = machine_franklin();
+  const double e_small =
+      simulate_scf_iteration(m, {6, 6, 6}, 4320, 20).pct_peak;
+  const double e_large =
+      simulate_scf_iteration(m, {8, 6, 9}, 4320, 40).pct_peak;
+  EXPECT_NEAR(e_small, e_large, 2.0);
+}
+
+TEST(Simulator, WeakScalingNearlyLinearFig5) {
+  // Constant atoms/core: log-log slope of Tflop/s vs cores close to 1 on
+  // each machine (the "fairly straight lines" of Fig. 5).
+  struct Point {
+    Vec3i div;
+    int cores;
+  };
+  const std::vector<Point> intrepid_pts = {
+      {{4, 4, 4}, 4096},  {{8, 4, 4}, 8192},   {{8, 8, 4}, 16384},
+      {{8, 8, 8}, 32768}, {{16, 8, 8}, 65536}, {{16, 16, 8}, 131072}};
+  double sum_slope = 0;
+  int n_slopes = 0;
+  for (std::size_t i = 1; i < intrepid_pts.size(); ++i) {
+    const auto a = simulate_scf_iteration(machine_intrepid(),
+                                          intrepid_pts[i - 1].div,
+                                          intrepid_pts[i - 1].cores, 64);
+    const auto b = simulate_scf_iteration(
+        machine_intrepid(), intrepid_pts[i].div, intrepid_pts[i].cores, 64);
+    sum_slope += std::log(b.tflops / a.tflops) /
+                 std::log(static_cast<double>(intrepid_pts[i].cores) /
+                          intrepid_pts[i - 1].cores);
+    ++n_slopes;
+  }
+  EXPECT_NEAR(sum_slope / n_slopes, 1.0, 0.12);
+}
+
+TEST(Simulator, LoadBalanceHighForPaperRuns) {
+  SimResult s =
+      simulate_scf_iteration(machine_franklin(), {8, 6, 9}, 17280, 40);
+  EXPECT_EQ(s.n_fragments, 8 * 432);
+  EXPECT_EQ(s.n_groups, 432);
+  EXPECT_GT(s.e_load, 0.9);
+}
+
+TEST(Amdahl, RecoverPaperFitFromSimulatedStrongScaling) {
+  // Fit Amdahl's law to the simulated 8x6x9 strong-scaling Tflop/s and
+  // compare with the paper's fitted constants: Ps = 2.39 Gflop/s,
+  // alpha_LS3DF ~ 1/101,000.
+  const auto& m = machine_franklin();
+  std::vector<double> cores{1080, 2160, 4320, 8640, 17280};
+  std::vector<double> gflops;
+  for (double c : cores)
+    gflops.push_back(simulate_scf_iteration(m, {8, 6, 9},
+                                            static_cast<int>(c), 40)
+                         .tflops *
+                     1000.0);
+  AmdahlFit fit = fit_amdahl(cores, gflops);
+  EXPECT_NEAR(fit.ps, paper::kAmdahlPsGflops, 0.4);
+  // Serial fraction within a factor ~3 of 1/101,000 (order of magnitude).
+  EXPECT_GT(fit.serial_fraction, paper::kAmdahlSerialFractionLs3df / 3);
+  EXPECT_LT(fit.serial_fraction, paper::kAmdahlSerialFractionLs3df * 3);
+  // The model data are smooth, so the fit should be at least as good as
+  // the paper's 0.26% mean absolute relative deviation (within 2x).
+  EXPECT_LT(fit.mean_abs_rel_dev, 2 * paper::kAmdahlMeanAbsRelDev + 0.01);
+}
+
+TEST(Amdahl, ExactRecoveryOnSyntheticData) {
+  const double ps = 3.1, alpha = 2.5e-5;
+  std::vector<double> cores{100, 500, 2000, 10000, 50000};
+  std::vector<double> perf;
+  for (double c : cores) perf.push_back(amdahl_performance(ps, alpha, c));
+  AmdahlFit fit = fit_amdahl(cores, perf);
+  EXPECT_NEAR(fit.ps, ps, 1e-6);
+  EXPECT_NEAR(fit.serial_fraction / alpha, 1.0, 1e-4);
+  EXPECT_LT(fit.mean_abs_rel_dev, 1e-9);
+}
+
+TEST(Crossover, DirectModelMatchesParatecAnchor) {
+  EXPECT_NEAR(direct_dft_seconds_per_iteration(512, 320), 340.0, 1.0);
+  // O(N^3): doubling atoms costs 8x.
+  EXPECT_NEAR(direct_dft_seconds_per_iteration(1024, 320) /
+                  direct_dft_seconds_per_iteration(512, 320),
+              8.0, 1e-9);
+}
+
+TEST(Crossover, NearSixHundredAtoms) {
+  // Sec. VI: "its computation time will cross with the LS3DF time at
+  // about 600 atoms" (on the PARATEC benchmark's 320 cores).
+  const double x = crossover_atoms(machine_franklin(), 320, 10);
+  EXPECT_GT(x, 400.0);
+  EXPECT_LT(x, 800.0);
+}
+
+TEST(Crossover, RoughlyFourHundredTimesAt13824Atoms) {
+  // Sec. VI: 400x at 13,824 atoms on 17,280 cores (perfect-scaling
+  // assumption for PARATEC). The paper rounds conservatively; accept
+  // 350-650.
+  const double ratio =
+      speedup_over_direct(machine_franklin(), 13824, 17280, 10);
+  EXPECT_GT(ratio, 350.0);
+  EXPECT_LT(ratio, 650.0);
+}
+
+TEST(Crossover, SixWeeksVsThreeHours) {
+  // Sec. VI: a converged 13,824-atom calculation (60 iterations) takes
+  // LS3DF ~3-4 hours but an O(N^3) code ~6 weeks.
+  const double ls3df_hours =
+      60.0 * ls3df_seconds_per_iteration(machine_franklin(), 13824, 17280,
+                                         10) /
+      3600.0;
+  const double direct_days =
+      60.0 * direct_dft_seconds_per_iteration(13824, 17280) / 86400.0;
+  EXPECT_GT(ls3df_hours, 2.0);
+  EXPECT_LT(ls3df_hours, 6.0);
+  EXPECT_GT(direct_days, 30.0);   // "roughly six weeks"
+  EXPECT_LT(direct_days, 120.0);
+}
+
+TEST(Crossover, DivisionForAtomsNearCubic) {
+  EXPECT_EQ(division_for_atoms(216).prod(), 27);
+  EXPECT_EQ(division_for_atoms(13824).prod(), 1728);
+  Vec3i d = division_for_atoms(13824);
+  EXPECT_EQ(d, Vec3i(12, 12, 12));
+  Vec3i d2 = division_for_atoms(512);
+  EXPECT_EQ(d2, Vec3i(4, 4, 4));
+}
+
+TEST(Simulator, OldCommAlgorithmCostsMoreAtScale) {
+  // The Sec. IV optimization: switching Gen_VF/Gen_dens to point-to-point
+  // communication removed the high-concurrency droop. Compare Intrepid's
+  // p2p model against a hypothetical collective version.
+  MachineModel old_style = machine_intrepid();
+  old_style.comm = CommAlgorithm::kCollective;
+  old_style.ov_k = machine_franklin().ov_k;
+  old_style.ov_gamma = machine_franklin().ov_gamma;
+  SimResult p2p =
+      simulate_scf_iteration(machine_intrepid(), {16, 16, 8}, 131072, 64);
+  SimResult old =
+      simulate_scf_iteration(old_style, {16, 16, 8}, 131072, 64);
+  EXPECT_GT(old.t_gen_vf, p2p.t_gen_vf);
+  EXPECT_LT(old.tflops, p2p.tflops);
+}
+
+}  // namespace
+}  // namespace ls3df

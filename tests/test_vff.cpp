@@ -1,0 +1,160 @@
+// Valence force field tests: the ideal zinc-blende lattice is the exact
+// minimum (zero energy, zero force), forces are minus the numeric energy
+// gradient, perturbed atoms relax back, and alloy relaxation behaves like
+// the paper's VFF pre-relaxation (Zn-O bonds contract toward their ideal
+// length).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atoms/builders.h"
+#include "atoms/neighbors.h"
+#include "common/constants.h"
+#include "common/rng.h"
+#include "vff/vff.h"
+
+namespace ls3df {
+namespace {
+
+const double kA =
+    units::kZnTeLatticeAngstrom * units::kAngstromToBohr;  // ZnTe a0, Bohr
+
+TEST(Vff, IdealLatticeIsExactMinimum) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, kA, {2, 2, 2});
+  VffModel model(s);
+  EXPECT_EQ(model.num_bonds(), 4 * s.size() / 2);
+  EXPECT_EQ(model.num_angles(), 6 * s.size());
+  std::vector<Vec3d> f;
+  const double e = model.energy_and_forces(s, f);
+  EXPECT_NEAR(e, 0.0, 1e-18);
+  for (const auto& v : f) EXPECT_NEAR(v.norm(), 0.0, 1e-12);
+}
+
+TEST(Vff, EnergyPositiveAwayFromMinimum) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, kA, {1, 1, 1});
+  VffModel model(s);
+  s.atom(0).position += Vec3d{0.3, -0.2, 0.1};
+  EXPECT_GT(model.energy(s), 0.0);
+}
+
+TEST(Vff, ForcesMatchNumericGradient) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, kA, {1, 1, 1});
+  VffModel model(s);
+  Rng rng(4);
+  for (auto& a : s.atoms())
+    a.position += Vec3d{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                        rng.uniform(-0.2, 0.2)};
+  std::vector<Vec3d> f;
+  model.energy_and_forces(s, f);
+  const double h = 1e-6;
+  for (int i = 0; i < s.size(); i += 3) {
+    for (int d = 0; d < 3; ++d) {
+      Structure sp = s, sm = s;
+      sp.atom(i).position[d] += h;
+      sm.atom(i).position[d] -= h;
+      const double grad = (model.energy(sp) - model.energy(sm)) / (2 * h);
+      EXPECT_NEAR(f[i][d], -grad, 1e-5 * std::max(1.0, std::abs(grad)))
+          << "atom " << i << " dir " << d;
+    }
+  }
+}
+
+TEST(Vff, RelaxRestoresPerturbedLattice) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, kA, {2, 2, 2});
+  VffModel model(s);
+  Rng rng(11);
+  for (auto& a : s.atoms())
+    a.position += Vec3d{rng.uniform(-0.15, 0.15), rng.uniform(-0.15, 0.15),
+                        rng.uniform(-0.15, 0.15)};
+  const double e0 = model.energy(s);
+  ASSERT_GT(e0, 1e-6);
+  auto result = model.relax(s, 2000, 1e-7);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.energy, 0.0, 1e-10);
+  EXPECT_LT(result.max_force, 1e-7);
+  // Bond lengths back to ideal.
+  auto nn = nearest_neighbors(s, 4);
+  const double d0 = kA * std::sqrt(3.0) / 4.0;
+  for (const auto& l : nn)
+    for (const auto& nb : l) EXPECT_NEAR(nb.dist, d0, 1e-4);
+}
+
+TEST(Vff, RelaxIsMonotoneNonincreasing) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, kA, {1, 1, 1});
+  VffModel model(s);
+  s.atom(2).position += Vec3d{0.4, 0.0, -0.3};
+  double prev = model.energy(s);
+  // Step the relaxer a few iterations at a time; energy must not rise.
+  for (int k = 0; k < 5; ++k) {
+    auto r = model.relax(s, 3, 0.0);
+    EXPECT_LE(r.energy, prev + 1e-12);
+    prev = r.energy;
+  }
+}
+
+TEST(Vff, AlloyRelaxationContractsZnOBonds) {
+  // The paper relaxes ZnTe1-xOx with VFF: oxygen is much smaller than Te,
+  // so relaxed Zn-O bonds must be shorter than Zn-Te bonds.
+  Structure s = build_znteo_alloy({2, 2, 2}, 0.05, 123);
+  ASSERT_GT(s.count_species(Species::kO), 0);
+  VffModel model(s);
+  auto result = model.relax(s, 3000, 1e-5);
+  EXPECT_LT(result.max_force, 1e-3);
+
+  auto nn = nearest_neighbors(s, 4);
+  double zn_o = 0, zn_te = 0;
+  int n_zno = 0, n_znte = 0;
+  for (int i = 0; i < s.size(); ++i) {
+    if (s.atom(i).species != Species::kZn) continue;
+    for (const auto& nb : nn[i]) {
+      if (s.atom(nb.index).species == Species::kO) {
+        zn_o += nb.dist;
+        ++n_zno;
+      } else if (s.atom(nb.index).species == Species::kTe) {
+        zn_te += nb.dist;
+        ++n_znte;
+      }
+    }
+  }
+  ASSERT_GT(n_zno, 0);
+  ASSERT_GT(n_znte, 0);
+  zn_o /= n_zno;
+  zn_te /= n_znte;
+  EXPECT_LT(zn_o, zn_te - 0.3);  // clearly contracted (ideal gap ~1.2 Bohr)
+  // Relaxation moves Zn-O bonds toward the ZnO ideal length but the host
+  // lattice resists full contraction: the relaxed length lies between the
+  // two ideal lengths.
+  const double d_zno = vff_bond_param(Species::kZn, Species::kO).d0;
+  const double d_znte = vff_bond_param(Species::kZn, Species::kTe).d0;
+  EXPECT_GT(zn_o, d_zno - 1e-6);
+  EXPECT_LT(zn_o, d_znte);
+}
+
+TEST(Vff, AlloyRelaxationLowersEnergy) {
+  Structure s = build_znteo_alloy({2, 2, 2}, 0.05, 55);
+  VffModel model(s);
+  const double e0 = model.energy(s);
+  ASSERT_GT(e0, 0.0);  // unrelaxed alloy is strained
+  auto r = model.relax(s, 2000, 1e-5);
+  EXPECT_LT(r.energy, e0);
+  EXPECT_GT(r.energy, 0.0);  // frustration: cannot reach zero
+}
+
+TEST(Vff, BondParamsSymmetricAndPositive) {
+  auto ab = vff_bond_param(Species::kZn, Species::kTe);
+  auto ba = vff_bond_param(Species::kTe, Species::kZn);
+  EXPECT_DOUBLE_EQ(ab.d0, ba.d0);
+  EXPECT_DOUBLE_EQ(ab.alpha, ba.alpha);
+  EXPECT_DOUBLE_EQ(ab.beta, ba.beta);
+  EXPECT_GT(ab.d0, 0);
+  EXPECT_GT(ab.alpha, 0);
+  EXPECT_GT(ab.beta, 0);
+  // ZnO bond shorter than ZnTe bond.
+  EXPECT_LT(vff_bond_param(Species::kZn, Species::kO).d0, ab.d0);
+  // Fallback pair still sensible.
+  auto hh = vff_bond_param(Species::kH, Species::kH);
+  EXPECT_GT(hh.d0, 0);
+}
+
+}  // namespace
+}  // namespace ls3df

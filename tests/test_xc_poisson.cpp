@@ -1,0 +1,248 @@
+// Exchange-correlation and electrostatics tests: LDA against analytic
+// limits and numeric derivatives; the FFT Poisson solver (GENPOT kernel)
+// against Gaussian-charge analytics; Ewald sums against Madelung constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atoms/builders.h"
+#include "common/constants.h"
+#include "poisson/ewald.h"
+#include "poisson/poisson.h"
+#include "xc/lda.h"
+
+namespace ls3df {
+namespace {
+
+TEST(Lda, ZeroDensityIsZero) {
+  const XcPoint p = lda_xc(0.0);
+  EXPECT_DOUBLE_EQ(p.exc, 0.0);
+  EXPECT_DOUBLE_EQ(p.vxc, 0.0);
+}
+
+TEST(Lda, ExchangeOnlyLimitAtHighDensity) {
+  // At very high density, exchange dominates: exc ~ -0.75 (3/pi)^{1/3} n^{1/3}.
+  const double rho = 1e6;
+  const XcPoint p = lda_xc(rho);
+  const double ex = -0.75 * std::cbrt(3.0 / units::kPi) * std::cbrt(rho);
+  EXPECT_NEAR(p.exc / ex, 1.0, 1e-2);
+}
+
+TEST(Lda, KnownValueAtRs2) {
+  // rs = 2: ex = -0.4582/rs = -0.2291 Ha; ec(PZ, rs>=1) =
+  // -0.1423/(1+1.0529*sqrt(2)+0.3334*2) = -0.0448 Ha (approximately).
+  const double rs = 2.0;
+  const double rho = 3.0 / (units::kFourPi * rs * rs * rs);
+  const XcPoint p = lda_xc(rho);
+  EXPECT_NEAR(p.exc, -0.2291 - 0.0448, 2e-3);
+}
+
+TEST(Lda, PotentialIsFunctionalDerivative) {
+  // vxc = d(rho * exc)/drho, check numerically over decades of density.
+  for (double rho : {1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 50.0}) {
+    const double h = 1e-6 * rho;
+    const double fp = (rho + h) * lda_xc(rho + h).exc;
+    const double fm = (rho - h) * lda_xc(rho - h).exc;
+    const double numeric = (fp - fm) / (2 * h);
+    EXPECT_NEAR(lda_xc(rho).vxc, numeric, 1e-5 * std::abs(numeric))
+        << "rho = " << rho;
+  }
+}
+
+TEST(Lda, CorrelationContinuousAtRs1) {
+  // PZ81 is continuous across the rs = 1 seam.
+  const double rho1 = 3.0 / (units::kFourPi * 1.0001);
+  const double rho2 = 3.0 / (units::kFourPi * 0.9999);
+  EXPECT_NEAR(lda_xc(rho1).exc, lda_xc(rho2).exc, 1e-4);
+  EXPECT_NEAR(lda_xc(rho1).vxc, lda_xc(rho2).vxc, 1e-4);
+}
+
+TEST(Lda, FieldVersionMatchesPointwise) {
+  FieldR rho({4, 4, 4});
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    rho[i] = 0.01 + 0.002 * static_cast<double>(i);
+  const double pv = 0.37;
+  XcResult r = lda_xc_field(rho, pv);
+  double e = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    const XcPoint p = lda_xc(rho[i]);
+    EXPECT_DOUBLE_EQ(r.vxc[i], p.vxc);
+    e += rho[i] * p.exc;
+  }
+  EXPECT_NEAR(r.energy, e * pv, 1e-12);
+}
+
+TEST(Poisson, SingleModeAnalytic) {
+  // rho(r) = cos(G.r) => V(r) = 4 pi cos(G.r)/G^2.
+  const Lattice lat({8.0, 8.0, 8.0});
+  const Vec3i shape{16, 16, 16};
+  FieldR rho(shape);
+  const double gx = units::kTwoPi / 8.0;  // one reciprocal vector along x
+  for (int ix = 0; ix < shape.x; ++ix)
+    for (int iy = 0; iy < shape.y; ++iy)
+      for (int iz = 0; iz < shape.z; ++iz)
+        rho(ix, iy, iz) = std::cos(gx * ix * 8.0 / 16.0);
+  auto hr = solve_poisson(rho, lat);
+  for (int ix = 0; ix < shape.x; ++ix) {
+    const double expect = units::kFourPi / (gx * gx) *
+                          std::cos(gx * ix * 8.0 / 16.0);
+    EXPECT_NEAR(hr.potential(ix, 3, 5), expect, 1e-10);
+  }
+}
+
+TEST(Poisson, GaussianChargePotential) {
+  // A normalized Gaussian charge in a large box: V(r) = erf(r/(sqrt(2) s))/r
+  // near the center (periodic images negligible at sigma << L).
+  const double L = 24.0, sigma = 0.8;
+  const Lattice lat({L, L, L});
+  const Vec3i shape{48, 48, 48};
+  FieldR rho(shape);
+  const Vec3d c{L / 2, L / 2, L / 2};
+  const double norm = 1.0 / std::pow(2 * units::kPi * sigma * sigma, 1.5);
+  for (int ix = 0; ix < shape.x; ++ix)
+    for (int iy = 0; iy < shape.y; ++iy)
+      for (int iz = 0; iz < shape.z; ++iz) {
+        const Vec3d r{ix * L / shape.x, iy * L / shape.y, iz * L / shape.z};
+        const Vec3d d = lat.min_image(c, r);
+        rho(ix, iy, iz) = norm * std::exp(-d.norm2() / (2 * sigma * sigma));
+      }
+  auto hr = solve_poisson(rho, lat);
+
+  // Compare at a few radii along x, subtracting the G=0 (average) offset:
+  // periodic solution differs from isolated by a constant for a neutral-
+  // ized cell; compare potential *differences* instead.
+  auto v_at = [&](int ix) { return hr.potential(ix, 24, 24); };
+  auto v_exact = [&](double r) {
+    return std::erf(r / (std::sqrt(2.0) * sigma)) / r;
+  };
+  const double x1 = 3.0, x2 = 6.0;  // Bohr from center
+  const int i1 = 24 + static_cast<int>(x1 * shape.x / L);
+  const int i2 = 24 + static_cast<int>(x2 * shape.x / L);
+  const double diff_numeric = v_at(i1) - v_at(i2);
+  const double diff_exact = v_exact(x1) - v_exact(x2);
+  EXPECT_NEAR(diff_numeric, diff_exact, 5e-3);
+}
+
+TEST(Poisson, LinearInDensity) {
+  const Lattice lat({6.0, 6.0, 6.0});
+  const Vec3i shape{12, 12, 12};
+  FieldR a(shape), b(shape);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(0.1 * static_cast<double>(i));
+    b[i] = std::cos(0.07 * static_cast<double>(i));
+  }
+  FieldR ab(shape);
+  for (std::size_t i = 0; i < a.size(); ++i) ab[i] = 2.0 * a[i] - 3.0 * b[i];
+  auto va = solve_poisson(a, lat), vb = solve_poisson(b, lat),
+       vab = solve_poisson(ab, lat);
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    EXPECT_NEAR(vab.potential[i],
+                2.0 * va.potential[i] - 3.0 * vb.potential[i], 1e-10);
+}
+
+TEST(Poisson, EnergyNonNegativeAndMatchesDefinition) {
+  const Lattice lat({7.0, 7.0, 7.0});
+  const Vec3i shape{14, 14, 14};
+  FieldR rho(shape);
+  for (int ix = 0; ix < 14; ++ix)
+    for (int iy = 0; iy < 14; ++iy)
+      for (int iz = 0; iz < 14; ++iz)
+        rho(ix, iy, iz) = std::sin(units::kTwoPi * ix / 14.0) *
+                          std::cos(units::kTwoPi * iy / 7.0);
+  auto hr = solve_poisson(rho, lat);
+  // E_H = 1/2 int rho V: recompute.
+  const double pv = lat.volume() / static_cast<double>(rho.size());
+  double e = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    e += rho[i] * hr.potential[i];
+  e *= 0.5 * pv;
+  EXPECT_NEAR(hr.energy, e, 1e-12);
+  // Hartree energy of a real density is non-negative (it is a |rho(G)|^2
+  // sum with positive kernel).
+  EXPECT_GE(hr.energy, -1e-12);
+}
+
+TEST(Poisson, ConstantDensityGivesZeroPotential) {
+  const Lattice lat({5.0, 5.0, 5.0});
+  FieldR rho({10, 10, 10});
+  rho.fill(0.3);
+  auto hr = solve_poisson(rho, lat);
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    EXPECT_NEAR(hr.potential[i], 0.0, 1e-12);
+  EXPECT_NEAR(hr.energy, 0.0, 1e-12);
+}
+
+TEST(Ewald, MadelungNaCl) {
+  // Rock salt +-1 charges: E per ion pair = -alpha / d with alpha = 1.74756.
+  const double a = 2.0;  // cubic cell, nearest-neighbor distance a/2
+  Lattice lat({a, a, a});
+  std::vector<Vec3d> pos;
+  std::vector<double> q;
+  const Vec3d base[4] = {{0, 0, 0}, {0, .5, .5}, {.5, 0, .5}, {.5, .5, 0}};
+  for (const auto& f : base) {
+    pos.push_back(f * a);
+    q.push_back(1.0);
+    pos.push_back((f + Vec3d{.5, .5, .5}) * a);
+    q.push_back(-1.0);
+  }
+  const double e = ewald_energy(lat, pos, q);
+  const double d = a / 2.0;
+  const double alpha = -e * d / 4.0;  // 4 ion pairs in the cell
+  EXPECT_NEAR(alpha, 1.747565, 1e-4);
+}
+
+TEST(Ewald, MadelungZincBlende) {
+  // Zinc-blende +-1 charges: alpha = 1.63806 (nearest-neighbor distance
+  // a sqrt(3)/4).
+  const double a = 3.0;
+  Structure s(Lattice({a, a, a}));
+  const Vec3d cat[4] = {{0, 0, 0}, {0, .5, .5}, {.5, 0, .5}, {.5, .5, 0}};
+  std::vector<Vec3d> pos;
+  std::vector<double> q;
+  for (const auto& f : cat) {
+    pos.push_back(f * a);
+    q.push_back(1.0);
+    pos.push_back((f + Vec3d{.25, .25, .25}) * a);
+    q.push_back(-1.0);
+  }
+  const double e = ewald_energy(s.lattice(), pos, q);
+  const double d = a * std::sqrt(3.0) / 4.0;
+  const double alpha = -e * d / 4.0;
+  EXPECT_NEAR(alpha, 1.63806, 1e-4);
+}
+
+TEST(Ewald, IndependentOfSplittingParameter) {
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  const double e1 = ewald_energy(s, 0.15);
+  const double e2 = ewald_energy(s, 0.35);
+  const double e3 = ewald_energy(s, 0.7);
+  EXPECT_NEAR(e1, e2, 1e-6 * std::abs(e1));
+  EXPECT_NEAR(e2, e3, 1e-6 * std::abs(e2));
+}
+
+TEST(Ewald, ScalesWithSupercell) {
+  // Doubling the cell along one axis doubles the (extensive) energy.
+  Structure s1 = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  Structure s2 = build_zincblende(Species::kZn, Species::kTe, 9.0, {2, 1, 1});
+  const double e1 = ewald_energy(s1);
+  const double e2 = ewald_energy(s2);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-8);
+}
+
+TEST(Ewald, ChargedCellUsesBackground) {
+  // A net-charged cell is finite thanks to the neutralizing background and
+  // more negative than... just check it is finite and eta-independent.
+  Lattice lat({4.0, 4.0, 4.0});
+  std::vector<Vec3d> pos{{0, 0, 0}};
+  std::vector<double> q{1.0};
+  const double e1 = ewald_energy(lat, pos, q, 0.4);
+  const double e2 = ewald_energy(lat, pos, q, 0.8);
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_NEAR(e1, e2, 1e-6 * std::abs(e1));
+  // Known value: Madelung energy of a point charge in its own periodic
+  // images with background = -2.837297/(2L) * q^2 (simple cubic Wigner).
+  EXPECT_NEAR(e1, -2.83729748 / (2.0 * 4.0), 1e-5);
+}
+
+}  // namespace
+}  // namespace ls3df

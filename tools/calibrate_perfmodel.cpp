@@ -1,0 +1,118 @@
+// Development tool: calibrate the per-machine performance-model constants
+// against the paper's Table I by Levenberg-Marquardt on the relative
+// Tflop/s error, and print the fitted constants plus a row-by-row
+// comparison. The fitted values are baked into src/perfmodel/machines.cpp.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linalg/lstsq.h"
+#include "perfmodel/machines.h"
+#include "perfmodel/paper_data.h"
+#include "perfmodel/simulator.h"
+
+using namespace ls3df;
+
+namespace {
+
+// Free parameters (log-space for positivity):
+// e0, np_a1, np_a2, net_c0, net_delta, ov_k, ov_gamma|ov_lat, gp_k, w
+MachineModel with_params(const MachineModel& base,
+                         const std::vector<double>& lp) {
+  MachineModel m = base;
+  m.e0 = std::exp(lp[0]);
+  m.np_a1 = std::exp(lp[1]);
+  m.np_a2 = std::exp(lp[2]);
+  m.net_c0 = std::exp(lp[3]);
+  m.net_delta = std::exp(lp[4]);
+  m.ov_k = std::exp(lp[5]);
+  if (m.comm == CommAlgorithm::kCollective)
+    m.ov_gamma = std::exp(lp[6]);
+  else
+    m.ov_lat = std::exp(lp[6]);
+  m.gp_k = std::exp(lp[7]);
+  m.flops_per_atom_iter = std::exp(lp[8]);
+  return m;
+}
+
+std::vector<double> to_params(const MachineModel& m) {
+  // Baked constants may be exactly zero (e.g. a vanishing Amdahl term);
+  // clamp so the log-space parameterization stays finite.
+  auto lg = [](double v) { return std::log(std::max(v, 1e-12)); };
+  return {lg(m.e0),
+          lg(m.np_a1),
+          lg(m.np_a2),
+          lg(m.net_c0),
+          lg(m.net_delta),
+          lg(m.ov_k),
+          lg(m.comm == CommAlgorithm::kCollective ? m.ov_gamma : m.ov_lat),
+          lg(m.gp_k),
+          lg(m.flops_per_atom_iter)};
+}
+
+void calibrate(const MachineModel& base, const std::vector<int>& free_idx) {
+  std::vector<paper::TableRow> rows;
+  for (const auto& r : paper::table1())
+    if (base.name == r.machine) rows.push_back(r);
+
+  std::vector<double> xs(rows.size()), ys(rows.size(), 1.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) xs[i] = static_cast<double>(i);
+
+  const std::vector<double> base_params = to_params(base);
+  auto expand = [&](const std::vector<double>& sub) {
+    std::vector<double> full = base_params;
+    for (std::size_t k = 0; k < free_idx.size(); ++k)
+      full[free_idx[k]] = sub[k];
+    return full;
+  };
+
+  auto model = [&](const std::vector<double>& sub, double x) {
+    const auto& row = rows[static_cast<int>(x)];
+    MachineModel m = with_params(base, expand(sub));
+    SimResult s = simulate_scf_iteration(m, row.division, row.cores, row.np);
+    return s.tflops / row.tflops;  // fit ratio to 1
+  };
+
+  std::vector<double> sub0;
+  for (int k : free_idx) sub0.push_back(base_params[k]);
+  FitResult fit =
+      fit_levenberg_marquardt(model, xs, ys, sub0, 400, 1e-14);
+  MachineModel m = with_params(base, expand(fit.params));
+
+  std::printf("== %s: mean |rel dev| = %.3f%%\n", base.name.c_str(),
+              100 * fit.mean_abs_rel_dev);
+  std::printf(
+      "   e0=%.4f np_a1=%.3e np_a2=%.3e net_c0=%.4g net_delta=%.3f\n"
+      "   ov_k=%.4g ov_gamma|lat=%.4g gp_k=%.4g w=%.4g\n",
+      m.e0, m.np_a1, m.np_a2, m.net_c0, m.net_delta, m.ov_k,
+      m.comm == CommAlgorithm::kCollective ? m.ov_gamma : m.ov_lat, m.gp_k,
+      m.flops_per_atom_iter);
+  std::printf("   %-10s %6s %6s | %7s %7s | %6s %6s | %5s\n", "division",
+              "cores", "Np", "paperTF", "modelTF", "paper%", "model%",
+              "err%");
+  for (const auto& row : rows) {
+    SimResult s = simulate_scf_iteration(m, row.division, row.cores, row.np);
+    std::printf("   %2dx%2dx%2d   %6d %6d | %7.2f %7.2f | %6.1f %6.1f | %5.1f\n",
+                row.division.x, row.division.y, row.division.z, row.cores,
+                row.np, row.tflops, s.tflops, row.pct_peak, s.pct_peak,
+                100 * (s.tflops / row.tflops - 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Parameter indices: 0 e0, 1 np_a1, 2 np_a2, 3 net_c0, 4 net_delta,
+  // 5 ov_k, 6 ov_gamma|ov_lat, 7 gp_k, 8 flops/atom.
+  // flops/atom (8) is held fixed: it is derived from the paper's wall
+  // times (60 s/iter at 31.35 Tflop/s etc.) and cancels out of Tflop/s in
+  // the compute-bound limit, so Table I cannot identify it.
+  // Franklin has 16 rows: fit the efficiency + overhead terms.
+  calibrate(machine_franklin(), {0, 1, 2, 5, 6});
+  // Jaguar (6 rows): Np-dependence dominates (20/40/80 at fixed groups).
+  calibrate(machine_jaguar(), {0, 1, 2, 5});
+  // Intrepid (6 rows, Np = 64 fixed): machine-wide contention dominates.
+  calibrate(machine_intrepid(), {0, 3, 4, 5});
+  return 0;
+}
