@@ -40,7 +40,38 @@ double band_kinetic(const GVectors& basis, const cd* psi) {
   return e;
 }
 
+// Mat slots of the all-band solver (V/HV/Vn sized up to ng x 2nb, the
+// rest ng x nb or smaller).
+constexpr int kV = 0, kHV = 1, kX = 2, kHX = 3, kR = 4, kT = 5, kVn = 6,
+              kG = 7, kY = 8;
+// Vec slots of the band-by-band solver.
+constexpr int kHpsi = 0, kRes = 1, kDir = 2, kHDir = 3, kPrevDir = 4;
+
 }  // namespace
+
+MatC& EigenWorkspace::mat(int slot, int rows, int cols) {
+  assert(slot >= 0 && slot < kMatSlots);
+  const std::size_t need = static_cast<std::size_t>(rows) * cols;
+  if (need > mat_peak_[slot]) {
+    mat_peak_[slot] = need;
+    ++allocs_;
+  }
+  // reshape, not resize: no zero-fill sweep — every slot is fully
+  // written before it is read (which also keeps results independent of
+  // the arena's history).
+  mats_[slot].reshape(rows, cols);
+  return mats_[slot];
+}
+
+std::vector<std::complex<double>>& EigenWorkspace::vec(int slot, int n) {
+  assert(slot >= 0 && slot < kVecSlots);
+  if (static_cast<std::size_t>(n) > vec_peak_[slot]) {
+    vec_peak_[slot] = n;
+    ++allocs_;
+  }
+  vecs_[slot].resize(n);
+  return vecs_[slot];
+}
 
 void orthonormalize_cholesky(MatC& X) {
   MatC S = overlap(X, X);
@@ -106,39 +137,62 @@ MatC random_wavefunctions(const GVectors& basis, int n_bands,
 }
 
 EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
-                                 const EigensolverOptions& opt) {
+                                 const EigensolverOptions& opt,
+                                 EigenWorkspace& ws) {
   const GVectors& basis = h.basis();
   const int ng = basis.count();
   const int nb = psi.cols();
   assert(psi.rows() == ng);
   assert(nb <= ng);
 
+  // Reserve every slot at its per-solve maximum up front so later
+  // (smaller) resizes can never grow storage mid-iteration.
+  const int vmax = std::min(2 * nb, ng);
+  ws.mat(kV, ng, vmax);
+  ws.mat(kHV, ng, vmax);
+  ws.mat(kVn, ng, vmax);
+  ws.mat(kX, ng, nb);
+  ws.mat(kHX, ng, nb);
+  ws.mat(kR, ng, nb);
+  ws.mat(kT, ng, nb);
+  ws.mat(kG, vmax, vmax);
+  ws.mat(kY, vmax, nb);
+
   orthonormalize_cholesky(psi);
 
   EigensolverResult result;
-  MatC V = psi;       // current Ritz block
-  MatC HV;
-  h.apply(V, HV);
+  MatC& X = ws.mat(kX, ng, nb);
+  MatC& HX = ws.mat(kHX, ng, nb);
+  MatC& R = ws.mat(kR, ng, nb);
+  MatC& T = ws.mat(kT, ng, nb);
+  MatC* V = &ws.mat(kV, ng, nb);  // current Ritz block (cols grow/shrink)
+  std::copy(psi.data(), psi.data() + psi.size(), V->data());
+  MatC& HV = ws.mat(kHV, ng, nb);
+  h.apply(*V, HV);
+
+  const auto rayleigh_ritz = [&]() {
+    const int dim = V->cols();
+    MatC& G = ws.mat(kG, dim, dim);
+    gemm(Op::kConjTrans, Op::kNone, cd(1, 0), *V, HV, cd(0, 0), G);
+    EighResult eg = eigh(G);
+    // Keep the lowest nb Ritz vectors.
+    MatC& Y = ws.mat(kY, dim, nb);
+    for (int j = 0; j < nb; ++j)
+      for (int i = 0; i < dim; ++i) Y(i, j) = eg.eigenvectors(i, j);
+    gemm(Op::kNone, Op::kNone, cd(1, 0), *V, Y, cd(0, 0), X);
+    gemm(Op::kNone, Op::kNone, cd(1, 0), HV, Y, cd(0, 0), HX);
+    result.eigenvalues.assign(eg.eigenvalues.begin(),
+                              eg.eigenvalues.begin() + nb);
+  };
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // Rayleigh-Ritz in span(V).
-    MatC G = overlap(V, HV);
-    EighResult eg = eigh(G);
-    const int dim = V.cols();
-    // Keep the lowest nb Ritz vectors.
-    MatC Y(dim, nb);
-    for (int j = 0; j < nb; ++j)
-      for (int i = 0; i < dim; ++i) Y(i, j) = eg.eigenvectors(i, j);
-    MatC X(ng, nb), HX(ng, nb);
-    gemm(Op::kNone, Op::kNone, cd(1, 0), V, Y, cd(0, 0), X);
-    gemm(Op::kNone, Op::kNone, cd(1, 0), HV, Y, cd(0, 0), HX);
-    result.eigenvalues.assign(eg.eigenvalues.begin(),
-                              eg.eigenvalues.begin() + nb);
+    rayleigh_ritz();
 
     // Residuals R = HX - X diag(eps).
-    MatC R = HX;
+    std::copy(HX.data(), HX.data() + HX.size(), R.data());
     for (int j = 0; j < nb; ++j)
       zaxpy(ng, cd(-result.eigenvalues[j], 0.0), X.col(j), R.col(j));
     double max_res = 0;
@@ -147,12 +201,11 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
     result.max_residual = max_res;
     if (max_res < opt.residual_tol) {
       result.converged = true;
-      psi = std::move(X);
+      std::copy(X.data(), X.data() + X.size(), psi.data());
       return result;
     }
 
     // Preconditioned correction block.
-    MatC T(ng, nb);
     for (int j = 0; j < nb; ++j) {
       if (opt.precondition) {
         precondition_tpa(basis, band_kinetic(basis, X.col(j)), R.col(j),
@@ -166,7 +219,7 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
     // linearly dependent are dropped, and the total is capped at ng so the
     // subspace can never exceed the full basis (small fragments can have
     // very few plane waves).
-    MatC Vn(ng, std::min(2 * nb, ng));
+    MatC& Vn = ws.mat(kVn, ng, vmax);
     for (int j = 0; j < nb; ++j) std::copy(X.col(j), X.col(j) + ng, Vn.col(j));
     int cols = nb;
     for (int j = 0; j < nb && cols < Vn.cols(); ++j) {
@@ -186,44 +239,46 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
       // No useful corrections left: the block is as converged as the
       // basis allows.
       result.converged = true;
-      psi = std::move(X);
+      std::copy(X.data(), X.data() + X.size(), psi.data());
       return result;
     }
-    MatC Vt(ng, cols);
+    V = &ws.mat(kV, ng, cols);
     for (int j = 0; j < cols; ++j)
-      std::copy(Vn.col(j), Vn.col(j) + ng, Vt.col(j));
-    V = std::move(Vt);
-    h.apply(V, HV);
+      std::copy(Vn.col(j), Vn.col(j) + ng, V->col(j));
+    h.apply(*V, HV);
   }
 
   // Not converged within budget: return the best current Ritz vectors.
-  MatC G = overlap(V, HV);
-  EighResult eg = eigh(G);
-  MatC Y(V.cols(), nb);
-  for (int j = 0; j < nb; ++j)
-    for (int i = 0; i < V.cols(); ++i) Y(i, j) = eg.eigenvectors(i, j);
-  MatC X(ng, nb);
-  gemm(Op::kNone, Op::kNone, cd(1, 0), V, Y, cd(0, 0), X);
-  psi = std::move(X);
-  result.eigenvalues.assign(eg.eigenvalues.begin(),
-                            eg.eigenvalues.begin() + nb);
+  rayleigh_ritz();
+  std::copy(X.data(), X.data() + X.size(), psi.data());
   return result;
 }
 
+EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
+                                 const EigensolverOptions& opt) {
+  EigenWorkspace ws;
+  return solve_all_band(h, psi, opt, ws);
+}
+
 EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
-                                     const EigensolverOptions& opt) {
+                                     const EigensolverOptions& opt,
+                                     EigenWorkspace& ws) {
   const GVectors& basis = h.basis();
   const int ng = basis.count();
   const int nb = psi.cols();
   orthonormalize_gram_schmidt(psi);
 
   EigensolverResult result;
-  std::vector<cd> hpsi(ng), r(ng), d(ng), hd(ng), prev_d;
+  std::vector<cd>& hpsi = ws.vec(kHpsi, ng);
+  std::vector<cd>& r = ws.vec(kRes, ng);
+  std::vector<cd>& d = ws.vec(kDir, ng);
+  std::vector<cd>& hd = ws.vec(kHDir, ng);
+  std::vector<cd>& prev_d = ws.vec(kPrevDir, ng);
   double max_res = 0;
 
   for (int j = 0; j < nb; ++j) {
     cd* x = psi.col(j);
-    prev_d.clear();
+    bool have_prev = false;  // no CG history at the start of each band
     double prev_r2 = 0;
 
     // Orthogonalize the starting vector against the already-converged
@@ -266,14 +321,15 @@ EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
       if (opt.precondition) {
         precondition_tpa(basis, band_kinetic(basis, x), r.data(), d.data());
       } else {
-        d = r;
+        std::copy(r.begin(), r.end(), d.begin());
       }
       const double r2 = zdotc(ng, r.data(), d.data()).real();
-      if (!prev_d.empty() && prev_r2 > 0) {
+      if (have_prev && prev_r2 > 0) {
         const double beta = std::max(0.0, r2 / prev_r2);
         zaxpy(ng, cd(beta, 0.0), prev_d.data(), d.data());
       }
-      prev_d = d;
+      std::copy(d.begin(), d.end(), prev_d.begin());
+      have_prev = true;
       prev_r2 = r2;
 
       // Orthogonalize the direction to bands <= j and normalize.
@@ -314,6 +370,12 @@ EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
   result.max_residual = max_res;
   result.converged = max_res < opt.residual_tol;
   return result;
+}
+
+EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
+                                     const EigensolverOptions& opt) {
+  EigenWorkspace ws;
+  return solve_band_by_band(h, psi, opt, ws);
 }
 
 }  // namespace ls3df

@@ -31,6 +31,39 @@ struct EigensolverResult {
   bool converged = false;
 };
 
+// Reusable scratch arena for the block temporaries of the iterative
+// solvers. One arena per persistent worker lane: buffers grow to the
+// largest fragment the lane ever solves and are then reused across
+// fragments and outer SCF iterations with zero further heap traffic.
+// allocations() counts capacity-growth events, which is the probe the
+// LS3DF determinism test uses to verify the steady state allocates
+// nothing.
+//
+// An arena carries no state between solves — every slot is fully
+// overwritten before it is read — so results are independent of which
+// lane (and therefore which arena) a fragment lands on.
+class EigenWorkspace {
+ public:
+  static constexpr int kMatSlots = 9;  // kV..kY in eigensolver.cpp
+  static constexpr int kVecSlots = 5;  // kHpsi..kPrevDir
+
+  // Slot `slot` resized to rows x cols (values unspecified). Storage is
+  // reused; an allocation is counted only when the element count exceeds
+  // the slot's previous peak (when the underlying vector really grows).
+  MatC& mat(int slot, int rows, int cols);
+  // Same for contiguous complex vectors.
+  std::vector<std::complex<double>>& vec(int slot, int n);
+
+  long allocations() const { return allocs_; }
+
+ private:
+  MatC mats_[kMatSlots];
+  std::vector<std::complex<double>> vecs_[kVecSlots];
+  std::size_t mat_peak_[kMatSlots] = {};
+  std::size_t vec_peak_[kVecSlots] = {};
+  long allocs_ = 0;
+};
+
 // Orthonormalize the columns of X in place via S = X^H X, X <- X L^{-H}
 // (BLAS-3; the paper's overlap-matrix scheme). Falls back to Gram-Schmidt
 // if S is numerically singular.
@@ -46,11 +79,18 @@ std::vector<double> subspace_rotate(const Hamiltonian& h, MatC& X);
 
 // Blocked Davidson with TPA preconditioning. psi holds the initial guess
 // (columns need not be orthonormal) and is replaced by the lowest
-// psi.cols() eigenvector approximations.
+// psi.cols() eigenvector approximations. With a workspace, all block
+// temporaries live in (and persist through) the caller's arena.
+EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
+                                 const EigensolverOptions& opt,
+                                 EigenWorkspace& ws);
 EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
                                  const EigensolverOptions& opt = {});
 
 // Band-by-band preconditioned CG.
+EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
+                                     const EigensolverOptions& opt,
+                                     EigenWorkspace& ws);
 EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
                                      const EigensolverOptions& opt = {});
 

@@ -49,7 +49,7 @@ void Hamiltonian::apply_local(const cd* in, cd* out) const {
 void Hamiltonian::apply(const MatC& psi, MatC& hpsi) const {
   const int ng = basis_->count(), nb = psi.cols();
   assert(psi.rows() == ng);
-  hpsi.resize(ng, nb);
+  hpsi.reshape(ng, nb);  // every element is written below; skip zero-fill
   // Local potential: per-band FFTs.
   for (int j = 0; j < nb; ++j) apply_local(psi.col(j), hpsi.col(j));
   // Kinetic: diagonal in q-space.
@@ -98,7 +98,7 @@ FieldR Hamiltonian::kinetic_energy_density(
   const double inv_vol = 1.0 / basis_->lattice().volume();
   FieldR tau(shape);
   std::vector<cd> grad(ng);
-  FieldC work(shape);
+  FieldC& work = work_;
   for (int j = 0; j < nb; ++j) {
     if (occ[j] == 0.0) continue;
     for (int dim = 0; dim < 3; ++dim) {
@@ -120,11 +120,20 @@ FieldR Hamiltonian::kinetic_energy_density(
 
 FieldR Hamiltonian::density(const MatC& psi,
                             const std::vector<double>& occ) const {
+  FieldR rho(basis_->grid_shape());
+  density_into(psi, occ, rho);
+  return rho;
+}
+
+void Hamiltonian::density_into(const MatC& psi,
+                               const std::vector<double>& occ,
+                               FieldR& rho) const {
   const Vec3i shape = basis_->grid_shape();
   const int nb = psi.cols();
   assert(static_cast<int>(occ.size()) == nb);
-  FieldR rho(shape);
-  FieldC work(shape);
+  assert(rho.shape() == shape);
+  rho.fill(0.0);
+  FieldC& work = work_;
   const double inv_vol = 1.0 / basis_->lattice().volume();
   for (int j = 0; j < nb; ++j) {
     if (occ[j] == 0.0) continue;
@@ -143,7 +152,6 @@ FieldR Hamiltonian::density(const MatC& psi,
       flops_->add(FlopCounter::fft3d(g.x, g.y, g.z) + 3 * rho.size());
     }
   }
-  return rho;
 }
 
 }  // namespace ls3df

@@ -7,6 +7,12 @@
 //   apply()       all bands at once (BLAS-3 nonlocal, batched FFTs)
 //   apply_band()  one band at a time (BLAS-2 nonlocal), the original
 //                 PEtot band-by-band scheme
+//
+// Thread safety: apply/apply_band/density/density_into/
+// kinetic_energy_density all reuse the internal FFT scratch (work_), so
+// one Hamiltonian instance must not be driven from two threads at once.
+// The LS3DF engine guarantees this by owning one Hamiltonian per
+// fragment and running each fragment on a single worker lane.
 #pragma once
 
 #include <memory>
@@ -55,6 +61,12 @@ class Hamiltonian {
   // Electron density of the given (orthonormal) bands with occupations;
   // normalized so that  int rho d3r = sum(occ).
   FieldR density(const MatC& psi, const std::vector<double>& occ) const;
+
+  // Same, accumulated into a caller-owned field of the FFT-grid shape
+  // (overwritten). Uses the internal FFT scratch: zero heap allocation —
+  // the steady-state path of the LS3DF fragment pipeline.
+  void density_into(const MatC& psi, const std::vector<double>& occ,
+                    FieldR& rho) const;
 
  private:
   void apply_local(const std::complex<double>* in,

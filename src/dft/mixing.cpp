@@ -3,7 +3,7 @@
 #include <cassert>
 #include <cmath>
 
-#include "fft/fft3d.h"
+#include "fft/plan_cache.h"
 #include "grid/gvectors.h"
 #include "linalg/eigen.h"
 
@@ -28,7 +28,7 @@ FieldR PotentialMixer::kerker_smooth(const FieldR& residual) const {
   FieldC work(shape_);
   for (std::size_t i = 0; i < residual.size(); ++i)
     work[i] = std::complex<double>(residual[i], 0.0);
-  Fft3D fft(shape_);
+  const Fft3D& fft = fft_plan(shape_);
   fft.forward(work.raw());
   const Vec3d b = lattice_.reciprocal();
   for (int i1 = 0; i1 < shape_.x; ++i1) {

@@ -1,5 +1,6 @@
 #include "fft/fft.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -103,6 +104,7 @@ Fft1D::Fft1D(int n) : n_(n) {
     }
     fft_pow2(kernel.data(), bs_m_, -1);
     bs_kernel_fft_ = std::move(kernel);
+    bs_work_.resize(bs_m_);
   }
 }
 
@@ -150,8 +152,11 @@ void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
             stride * p, sign);
   // Combine: X[k1*m + k2] = sum_r out_r[k2] * w_n^{r*(k1*m+k2)}.
   const int scale = n_ / n;  // map twiddle exponent mod n to root table
-  std::vector<cplx> t(p);
-  std::vector<cplx> col(p);
+  // Smooth factors are <= 7, so the butterfly column fits on the stack
+  // (this recursion is the innermost hot loop: no heap traffic here).
+  assert(p <= 7);
+  cplx t[7];
+  cplx col[7];
   for (int k2 = 0; k2 < m; ++k2) {
     for (int r = 0; r < p; ++r) col[r] = out[r * m + k2];
     for (int k1 = 0; k1 < p; ++k1) {
@@ -170,7 +175,8 @@ void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
 
 void Fft1D::transform_bluestein(cplx* data, int sign) const {
   const int n = n_, m = bs_m_;
-  std::vector<cplx> a(m, cplx(0, 0));
+  std::vector<cplx>& a = bs_work_;
+  std::fill(a.begin(), a.end(), cplx(0, 0));
   for (int k = 0; k < n; ++k) {
     const cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
     a[k] = data[k] * c;

@@ -9,6 +9,9 @@
 // Conventions: forward transform uses exp(-2*pi*i*j*k/n) with no scaling;
 // the inverse uses exp(+2*pi*i*j*k/n) and scales by 1/n, so
 // inverse(forward(x)) == x.
+//
+// Transforms reuse internal scratch buffers, so one instance must not be
+// transformed from two threads at once (see fft/plan_cache.h).
 #pragma once
 
 #include <complex>
@@ -53,6 +56,7 @@ class Fft1D {
   int bs_m_ = 0;                   // power-of-two convolution length
   std::vector<cplx> bs_chirp_;     // b_k = exp(+i pi k^2 / n)
   std::vector<cplx> bs_kernel_fft_;  // FFT of zero-padded chirp kernel
+  mutable std::vector<cplx> bs_work_;  // convolution scratch (size bs_m_)
 };
 
 }  // namespace ls3df

@@ -1,11 +1,16 @@
 #include "fft/fft3d.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ls3df {
 
 Fft3D::Fft3D(Vec3i shape)
-    : shape_(shape), fx_(shape.x), fy_(shape.y), fz_(shape.z) {
+    : shape_(shape),
+      fx_(shape.x),
+      fy_(shape.y),
+      fz_(shape.z),
+      scratch_(std::max(shape.x, shape.y)) {
   assert(shape.x >= 1 && shape.y >= 1 && shape.z >= 1);
 }
 
@@ -23,7 +28,7 @@ void Fft3D::transform(cplx* data, bool inv) const {
     }
 
   // Axis y: stride n3 within each x-slab.
-  std::vector<cplx> buf(std::max(n1, n2));
+  std::vector<cplx>& buf = scratch_;
   for (int ix = 0; ix < n1; ++ix)
     for (int iz = 0; iz < n3; ++iz) {
       cplx* base = data + static_cast<std::size_t>(ix) * n2 * n3 + iz;

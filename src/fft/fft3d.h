@@ -5,6 +5,11 @@
 //
 // Data layout: row-major with z fastest, i.e. index(ix,iy,iz) =
 // (ix*n2 + iy)*n3 + iz, matching Grid3D.
+//
+// Thread safety: transforms reuse internal scratch (no allocation per
+// call), so concurrent transform() calls on one instance race. Use one
+// instance per thread — the per-thread plan cache (fft/plan_cache.h)
+// exists for exactly this.
 #pragma once
 
 #include <memory>
@@ -35,6 +40,7 @@ class Fft3D {
 
   Vec3i shape_;
   Fft1D fx_, fy_, fz_;
+  mutable std::vector<cplx> scratch_;  // strided-axis gather buffer
 };
 
 }  // namespace ls3df

@@ -1,0 +1,36 @@
+#include "fft/plan_cache.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace ls3df {
+
+namespace {
+
+// Grid extents are far below 2^21, so a shape packs into one key.
+long long shape_key(Vec3i s) {
+  return (static_cast<long long>(s.x) << 42) |
+         (static_cast<long long>(s.y) << 21) | static_cast<long long>(s.z);
+}
+
+using PlanMap = std::unordered_map<long long, std::unique_ptr<Fft3D>>;
+
+PlanMap& local_plans() {
+  thread_local PlanMap plans;
+  return plans;
+}
+
+}  // namespace
+
+const Fft3D& fft_plan(Vec3i shape) {
+  PlanMap& plans = local_plans();
+  auto& slot = plans[shape_key(shape)];
+  if (!slot) slot = std::make_unique<Fft3D>(shape);
+  return *slot;
+}
+
+int fft_plan_cache_size() {
+  return static_cast<int>(local_plans().size());
+}
+
+}  // namespace ls3df

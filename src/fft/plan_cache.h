@@ -1,0 +1,26 @@
+// Per-thread cache of Fft3D plans keyed by grid shape.
+//
+// Planning (factorization, twiddle tables, Bluestein kernels) is cheap
+// but not free, and the LS3DF pipeline transforms the same handful of
+// shapes — the global grid every GENPOT/mixing step, one shape per
+// fragment size class — thousands of times per run. The cache makes a
+// plan once per (thread, shape) and keeps it for the life of the thread.
+//
+// The cache is thread-local on purpose: Fft3D transforms use internal
+// scratch, so a shared instance would race. Worker threads are
+// persistent (see parallel/thread_pool.h), so each worker's plans stay
+// warm across SCF iterations exactly like its eigensolver arena.
+#pragma once
+
+#include "fft/fft3d.h"
+
+namespace ls3df {
+
+// Returns this thread's cached plan for `shape`, creating it on first use.
+// The reference stays valid for the life of the calling thread.
+const Fft3D& fft_plan(Vec3i shape);
+
+// Number of distinct plans cached by the calling thread (diagnostics).
+int fft_plan_cache_size();
+
+}  // namespace ls3df

@@ -13,9 +13,14 @@
 //              produce V_out; mix with V_in and iterate.
 // Self-consistency is measured by  int |V_out - V_in| d3r  (Fig. 6).
 //
-// Fragments are independent given V_in, so PEtot_F distributes fragments
-// over worker threads (the single-node analogue of the paper's processor
-// groups; see src/parallel and src/perfmodel).
+// Fragments are independent given V_in, so all four phases run on the
+// persistent execution engine (src/parallel/thread_pool.h): PEtot_F
+// dispatches one task per LPT-scheduled group of fragments — the
+// single-node analogue of the paper's processor groups — while Gen_VF
+// fans out per fragment and Gen_dens per global-density slab. Each group
+// owns a persistent EigenWorkspace arena, so the steady state (after the
+// first outer iteration) allocates no fragment workspace memory at all,
+// and results are bit-identical for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +29,12 @@
 
 #include "atoms/structure.h"
 #include "common/timer.h"
+#include "dft/eigensolver.h"
 #include "dft/energy.h"
 #include "dft/mixing.h"
 #include "dft/scf.h"
 #include "fragment/decomposition.h"
+#include "parallel/scheduler.h"
 
 namespace ls3df {
 
@@ -110,8 +117,24 @@ class Ls3dfSolver {
   // Electron count of fragment f's box.
   double fragment_electrons(int f) const;
 
+  // Scheduling introspection (tests, benches). last_assignment() is the
+  // LPT fragment-to-group assignment computed by the latest petot_f();
+  // executed_group_of()[f] is the group whose task actually solved
+  // fragment f — by construction these agree, and the scheduler
+  // integration test asserts it.
+  const GroupAssignment& last_assignment() const { return assignment_; }
+  const std::vector<int>& executed_group_of() const {
+    return executed_group_of_;
+  }
+  // Capacity-growth events across the per-group eigensolver arenas. The
+  // count is flat after the first outer iteration: the steady state
+  // solves every fragment with zero workspace heap traffic.
+  long workspace_allocations() const;
+
  private:
   struct FragmentContext;
+
+  void solve_fragment(int f, EigenWorkspace& ws);
 
   Structure structure_;
   Ls3dfOptions opt_;
@@ -119,6 +142,12 @@ class Ls3dfSolver {
   Vec3i global_grid_;
   FieldR vion_;  // global bare ionic potential
   std::vector<std::unique_ptr<FragmentContext>> contexts_;
+  // Persistent per-group scratch arenas; workspaces_[g] is only ever
+  // touched by the task executing group g, and survives across outer
+  // iterations and solve() calls.
+  std::vector<EigenWorkspace> workspaces_;
+  GroupAssignment assignment_;
+  std::vector<int> executed_group_of_;
   mutable PhaseProfiler profile_;
 };
 

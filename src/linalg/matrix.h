@@ -22,8 +22,10 @@ class Matrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * cols_;
+  }
+  bool empty() const { return size() == 0; }
 
   T& operator()(int i, int j) {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
@@ -41,11 +43,24 @@ class Matrix {
     return data_.data() + static_cast<std::size_t>(j) * rows_;
   }
 
-  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+  // Zero the logical rows x cols extent (reshape may keep larger
+  // backing storage; the slack is never read and need not be swept).
+  void set_zero() { std::fill(data_.begin(), data_.begin() + size(), T{}); }
   void resize(int rows, int cols) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(static_cast<std::size_t>(rows) * cols, T{});
+  }
+  // Set dimensions reusing storage without the zero-fill of resize();
+  // element values are unspecified. Storage grows monotonically to the
+  // peak extent and is never shrunk or re-initialized below it, so a
+  // shrink-then-grow cycle (the workspace-reuse pattern) sweeps no
+  // memory at all.
+  void reshape(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    const std::size_t need = static_cast<std::size_t>(rows) * cols;
+    if (need > data_.size()) data_.resize(need);
   }
 
   static Matrix identity(int n) {

@@ -1,0 +1,88 @@
+#include "parallel/task_graph.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+namespace ls3df {
+
+int TaskGraph::add(std::function<void()> fn, const std::vector<int>& deps) {
+  const int id = static_cast<int>(tasks_.size());
+  tasks_.push_back(Node{std::move(fn), {}, 0});
+  for (int d : deps) {
+    assert(d >= 0 && d < id);
+    tasks_[d].dependents.push_back(id);
+    ++tasks_[id].n_deps;
+  }
+  return id;
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  const int n = size();
+  if (n == 0) return;
+
+  // All scheduling state lives on the runner's stack and is guarded by
+  // one mutex; run_batch returns only after every lane has exited, so the
+  // references captured below never dangle.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  std::vector<int> deps_left(n);
+  std::exception_ptr error;
+  bool abandoned = false;
+  int remaining = n;
+  for (int i = 0; i < n; ++i) {
+    deps_left[i] = tasks_[i].n_deps;
+    if (deps_left[i] == 0) ready.push_back(i);
+  }
+
+  // Each lane pulls ready tasks until the whole graph has drained. A lane
+  // with nothing ready sleeps; it is woken when a finishing task readies
+  // a dependent (or the graph completes). Deadlock-free: with remaining
+  // tasks and an empty ready queue, some lane is executing a task whose
+  // completion will ready a dependent (the graph is acyclic). A throwing
+  // task abandons the graph (its dependents never run) and the first
+  // exception is rethrown from run().
+  auto lane = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&]() {
+        return abandoned || remaining == 0 || !ready.empty();
+      });
+      if (abandoned || remaining == 0) return;
+      const int id = ready.front();
+      ready.pop_front();
+      lock.unlock();
+      try {
+        tasks_[id].fn();
+      } catch (...) {
+        lock.lock();
+        if (!error) error = std::current_exception();
+        abandoned = true;
+        cv.notify_all();
+        return;
+      }
+      lock.lock();
+      // A task that completed concurrently with a failure must neither
+      // ready its dependents nor touch the (now meaningless) count.
+      if (abandoned) return;
+      --remaining;
+      for (int d : tasks_[id].dependents)
+        if (--deps_left[d] == 0) ready.push_back(d);
+      if (remaining == 0 || !ready.empty()) cv.notify_all();
+    }
+  };
+
+  const int lanes = std::min(n, pool.thread_count() + 1);
+  if (lanes <= 1) {
+    lane();
+  } else {
+    std::vector<std::function<void()>> slots(lanes, lane);
+    pool.run_batch(std::move(slots));
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ls3df

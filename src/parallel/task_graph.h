@@ -1,0 +1,46 @@
+// Dependency-ordered batch execution on a ThreadPool.
+//
+// A TaskGraph is a DAG of tasks; run() executes every task exactly once,
+// never starting a task before all of its dependencies have finished, and
+// running independent tasks concurrently on the pool. The calling thread
+// participates, so graphs can be run from inside pool tasks.
+//
+// This is the engine's forward-looking API: the LS3DF outer loop today
+// runs its four phases with barriers between them (matching the paper's
+// per-phase timings), but Gen_VF -> PEtot_F -> Gen_dens chains per
+// fragment are expressible as a graph, which is how the phase barriers
+// will eventually be dissolved (see ROADMAP.md).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace ls3df {
+
+class TaskGraph {
+ public:
+  // Adds a task depending on the given previously-added task ids; returns
+  // the new task's id. Dependencies must be < the new id (no cycles by
+  // construction).
+  int add(std::function<void()> fn, const std::vector<int>& deps = {});
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+
+  // Executes the whole graph; returns when every task has finished. If a
+  // task throws, the graph is abandoned (dependents of unfinished tasks
+  // never start) and the first exception is rethrown here. The graph can
+  // be run again (run resets the scheduling state, not the tasks).
+  void run(ThreadPool& pool);
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<int> dependents;  // edges to tasks waiting on this one
+    int n_deps = 0;
+  };
+  std::vector<Node> tasks_;
+};
+
+}  // namespace ls3df

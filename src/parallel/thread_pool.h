@@ -1,20 +1,104 @@
-// Minimal work-sharing primitives. The paper runs fragments on Ng
-// independent MPI process groups of Np cores each; on a single node we
-// reproduce the same decomposition with threads: fragments are scheduled
-// onto worker threads (the "groups"), and the group assignment logic is
-// shared with the performance model.
+// The LS3DF single-node execution engine.
+//
+// == Architecture ==
+//
+// The paper (Sec. VI) keeps Ng processor groups persistently busy on
+// LPT-balanced fragment work: groups are created once, fragments are
+// assigned by the longest-processing-time heuristic (src/parallel/
+// scheduler.h), and every outer SCF iteration re-dispatches work onto the
+// same groups, so the machine never pays startup or reallocation cost in
+// the hot loop. This header is the single-node analogue:
+//
+//   ThreadPool    persistent worker threads + a condition-variable work
+//                 queue. Created once (or via shared_pool()) and reused
+//                 across phases, SCF iterations, and solver instances.
+//                 Batch submission (run_batch) blocks until the batch
+//                 completes, with the *calling thread participating* in
+//                 execution, so nested batches can never deadlock and a
+//                 batch of N tasks really uses N concurrent lanes.
+//
+//   parallel_for  the classic index loop, now a thin wrapper that carves
+//                 [0, n) into min(n_workers, n) dynamically-balanced slot
+//                 tasks on the shared pool. n == 1 or n_workers <= 1 runs
+//                 inline with no queue traffic at all.
+//
+//   TaskGraph     (task_graph.h) dependency-ordered batch execution on a
+//                 ThreadPool, for pipelines whose phases can overlap.
+//
+// The fragment pipeline (src/fragment/ls3df.cpp) drives all four paper
+// phases through this engine: Gen_VF and Gen_dens fan out per fragment /
+// per density slab, and PEtot_F dispatches one task per LPT group, each
+// group owning a persistent per-worker scratch arena (EigenWorkspace) so
+// fragment solves allocate nothing after the first outer iteration.
+//
+// Determinism contract: the engine never changes arithmetic. Every task
+// computes a value that depends only on its inputs, and reductions are
+// ordered by task index, not completion order, so results are
+// bit-identical for any worker count.
 #pragma once
 
-#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace ls3df {
 
-// Run fn(i, worker) for i in [0, n) across n_workers threads. Work is
-// claimed dynamically via an atomic counter (good load balance for
-// heterogeneous fragment costs). n_workers <= 1 runs inline.
+// Persistent pool of worker threads with a shared FIFO work queue.
+class ThreadPool {
+ public:
+  // Spawns `n_threads` background workers (>= 0; a pool with 0 threads is
+  // legal — the submitting thread then executes everything in run_batch).
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  // Total tasks executed since construction (for reuse diagnostics).
+  long tasks_executed() const;
+
+  // Run all tasks and return when every one of them has finished. The
+  // calling thread helps execute queued tasks while it waits; tasks may
+  // themselves call run_batch (or parallel_for) without deadlocking.
+  // The first exception thrown by a task is rethrown here after the
+  // whole batch has drained.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  // Pop-and-run queued tasks until `batch` completes; sleep when the
+  // queue is empty.
+  void help_until_done(Batch& batch);
+  void finish_batch_task(Batch* batch);
+  static void run_task(const std::function<void()>& fn, Batch* batch);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: queue became non-empty
+  std::condition_variable cv_done_;  // waiters: a batch task finished
+  std::deque<std::pair<std::function<void()>, Batch*>> queue_;
+  std::vector<std::thread> threads_;
+  long executed_ = 0;
+  bool stop_ = false;
+};
+
+// Process-wide pool with default_workers() - 1 background threads (the
+// submitting thread is the remaining lane), created on first use and kept
+// alive for the life of the process — the persistent-group model.
+ThreadPool& shared_pool();
+
+// Run fn(i, worker) for i in [0, n) with dynamic (atomic-counter) load
+// balance across min(n_workers, n) lanes of the shared pool. `worker` is
+// the lane index in [0, min(n_workers, n)), stable for the duration of
+// the call — per-lane scratch indexed by it is race-free. n <= 1 or
+// n_workers <= 1 runs inline on the calling thread.
 void parallel_for(int n, int n_workers,
                   const std::function<void(int index, int worker)>& fn);
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/constants.h"
-#include "fft/fft3d.h"
+#include "fft/plan_cache.h"
 #include "linalg/blas.h"
 
 namespace ls3df {
@@ -87,7 +87,7 @@ FieldR build_local_potential(const Structure& s, Vec3i shape) {
     }
   }
 
-  Fft3D fft(shape);
+  const Fft3D& fft = fft_plan(shape);
   fft.inverse(vg.raw());
   // The inverse FFT convention includes 1/N; V(G) was defined as Fourier
   // *coefficients*, so multiply back by N.
@@ -123,7 +123,7 @@ FieldR build_initial_density(const Structure& s, Vec3i shape) {
       }
     }
   }
-  Fft3D fft(shape);
+  const Fft3D& fft = fft_plan(shape);
   fft.inverse(rg.raw());
   const double n = static_cast<double>(rg.size());
   FieldR rho(shape);

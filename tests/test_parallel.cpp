@@ -1,12 +1,16 @@
-// Thread-pool and fragment-scheduler tests.
+// Thread-pool, task-graph and fragment-scheduler tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.h"
 #include "parallel/scheduler.h"
+#include "parallel/task_graph.h"
 #include "parallel/thread_pool.h"
 
 namespace ls3df {
@@ -43,6 +47,162 @@ TEST(ParallelFor, SumMatchesSerial) {
 }
 
 TEST(DefaultWorkers, AtLeastOne) { EXPECT_GE(default_workers(), 1); }
+
+TEST(ThreadPool, BatchRunsEveryTask) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(64);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i)
+    tasks.emplace_back([&counts, i]() { counts[i]++; });
+  pool.run_batch(std::move(tasks));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, PersistsAcrossManyBatches) {
+  // The engine's whole point: one pool, reused for every dispatch. 200
+  // batches through the same pool must run every task exactly once, with
+  // no worker churn (thread_count is fixed at construction).
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.thread_count(), 4);
+  std::atomic<long> total{0};
+  for (int b = 0; b < 200; ++b) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+      tasks.emplace_back([&total]() { total.fetch_add(1); });
+    pool.run_batch(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 200L * 16);
+  EXPECT_GT(pool.tasks_executed(), 0);
+}
+
+TEST(ThreadPool, ZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) tasks.emplace_back([&ran]() { ran++; });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, NestedBatchesDoNotDeadlock) {
+  // Waiters participate in execution, so a batch submitted from inside a
+  // pool task completes even when every worker is busy waiting.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.emplace_back([&pool, &inner_runs]() {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j)
+        inner.emplace_back([&inner_runs]() { inner_runs++; });
+      pool.run_batch(std::move(inner));
+    });
+  }
+  pool.run_batch(std::move(outer));
+  EXPECT_EQ(inner_runs.load(), 4 * 8);
+}
+
+TEST(ThreadPool, NestedParallelForOnSharedPool) {
+  std::atomic<int> total{0};
+  parallel_for(4, 4, [&](int, int) {
+    parallel_for(10, 2, [&](int, int) { total++; });
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, BatchExceptionPropagates) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([]() {});
+  tasks.emplace_back([]() { throw std::runtime_error("task failed"); });
+  tasks.emplace_back([]() {});
+  tasks.emplace_back([]() {});
+  EXPECT_THROW(pool.run_batch(std::move(tasks)), std::runtime_error);
+  // The pool survives a failed batch and keeps executing.
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> again;
+  for (int i = 0; i < 4; ++i) again.emplace_back([&ran]() { ran++; });
+  pool.run_batch(std::move(again));
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskGraph, RespectsDependencies) {
+  // Diamond: a -> {b, c} -> d, plus a chain hanging off d. Record the
+  // finish order and assert every edge is honoured.
+  ThreadPool pool(3);
+  TaskGraph g;
+  std::mutex mu;
+  std::vector<int> order;
+  auto rec = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  const int a = g.add([&]() { rec(0); });
+  const int b = g.add([&]() { rec(1); }, {a});
+  const int c = g.add([&]() { rec(2); }, {a});
+  const int d = g.add([&]() { rec(3); }, {b, c});
+  const int e = g.add([&]() { rec(4); }, {d});
+  g.run(pool);
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(3), pos(4));
+  (void)e;
+}
+
+TEST(TaskGraph, StressManyIndependentChains) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  constexpr int kChains = 16, kLinks = 25;
+  std::vector<std::atomic<int>> progress(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    int prev = -1;
+    for (int l = 0; l < kLinks; ++l) {
+      auto fn = [&progress, c, l]() {
+        // Chain order is the dependency order: links must see their
+        // predecessor's increment already applied.
+        EXPECT_EQ(progress[c].load(), l);
+        progress[c]++;
+      };
+      prev = (prev < 0) ? g.add(fn) : g.add(fn, {prev});
+    }
+  }
+  g.run(pool);
+  for (int c = 0; c < kChains; ++c) EXPECT_EQ(progress[c].load(), kLinks);
+}
+
+TEST(TaskGraph, TaskExceptionPropagatesAndSkipsDependents) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<bool> dependent_ran{false};
+  const int a = g.add([]() { throw std::runtime_error("graph task"); });
+  g.add([&]() { dependent_ran = true; }, {a});
+  // An independent root that is likely mid-execution when the failure
+  // lands: its completion must not resurrect or wedge the abandoned
+  // graph (regression test for the remaining-count underflow hang).
+  g.add([]() {
+    for (volatile int i = 0; i < 200000; ++i) {
+    }
+  });
+  EXPECT_THROW(g.run(pool), std::runtime_error);
+  EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST(TaskGraph, RunsTwice) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  const int a = g.add([&]() { runs++; });
+  g.add([&]() { runs++; }, {a});
+  g.run(pool);
+  g.run(pool);
+  EXPECT_EQ(runs.load(), 4);
+}
 
 TEST(Scheduler, UniformCostsBalancePerfectly) {
   std::vector<double> costs(64, 1.0);
