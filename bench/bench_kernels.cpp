@@ -10,7 +10,11 @@
 // trajectory can be tracked across PRs. The summary includes the PEtot_F
 // engine scaling probe: wall time at n_workers = 1 vs 4 on an 8-fragment
 // division, plus the resulting speedup (>= 1.5x expected on >= 4 cores;
-// on a single-core host it reports ~1.0).
+// on a single-core host it reports ~1.0), and the batched-vs-looped
+// probes for the fused kernels (gemm_batched, fft_many, petot_f batched
+// at width 4 — the tentpole target is >= 1.5x over looped per-fragment
+// solves on >= 4 cores, >= 1.0x on one, always with bit-identical
+// densities).
 #include <benchmark/benchmark.h>
 
 #include <complex>
@@ -18,6 +22,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <algorithm>
 
 #include "atoms/builders.h"
 #include "common/flops.h"
@@ -29,6 +35,7 @@
 #include "fft/fft3d.h"
 #include "fragment/ls3df.h"
 #include "linalg/blas.h"
+#include "parallel/thread_pool.h"
 
 namespace {
 
@@ -135,6 +142,84 @@ void BM_HamiltonianApply(benchmark::State& state) {
 }
 BENCHMARK(BM_HamiltonianApply)->Arg(8)->Arg(16)->Arg(32);
 
+// Shared fixtures for the batched-vs-looped probes: the interactive
+// google-benchmark entries and the JSON summary time the same work.
+
+// 8 same-shape fragment overlaps (the batched fragment-solve GEMM).
+struct GemmBatchFixture {
+  static constexpr int kNg = 1500, kNb = 50, kMembers = 8;
+  std::vector<MatC> X;
+  std::vector<MatC> S;
+  std::vector<GemmBatchItem> items;
+  GemmBatchFixture() {
+    for (int t = 0; t < kMembers; ++t) {
+      X.push_back(random_matc(kNg, kNb, 40 + t));
+      S.emplace_back(kNb, kNb);
+    }
+    for (int t = 0; t < kMembers; ++t) items.push_back({&X[t], &X[t], &S[t]});
+  }
+  GemmBatchFixture(const GemmBatchFixture&) = delete;
+  void run_looped() {
+    for (int t = 0; t < kMembers; ++t)
+      gemm(Op::kConjTrans, Op::kNone, cd(1, 0), X[t], X[t], cd(0, 0), S[t]);
+  }
+  void run_batched(int workers) {
+    gemm_batched(Op::kConjTrans, Op::kNone, cd(1, 0), items, cd(0, 0),
+                 workers);
+  }
+  static double flops() {
+    return static_cast<double>(FlopCounter::zgemm(kNb, kNb, kNg)) * kMembers;
+  }
+};
+
+// A 16-grid many-transform stack (the batched local-potential sweep).
+struct FftManyFixture {
+  static constexpr int kN = 24, kCount = 16;
+  Fft3D plan{{kN, kN, kN}};
+  std::vector<cplx> stack;
+  FftManyFixture() : stack(plan.size() * kCount) {
+    Rng rng(6);
+    for (auto& v : stack) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  FftManyFixture(const FftManyFixture&) = delete;
+  void run_looped() {
+    for (int g = 0; g < kCount; ++g)
+      plan.forward(stack.data() + static_cast<std::size_t>(g) * plan.size());
+  }
+  void run_many(int workers) {
+    plan.forward_many(stack.data(), kCount, workers);
+  }
+  static double flops() {
+    return static_cast<double>(FlopCounter::fft3d(kN, kN, kN)) * kCount;
+  }
+};
+
+// Batched vs looped GEMM on a stack of same-shape fragment overlaps.
+void BM_GemmBatched(benchmark::State& state) {
+  GemmBatchFixture fx;
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fx.run_batched(workers);
+    benchmark::DoNotOptimize(fx.S[0].data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      fx.flops() * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBatched)->Arg(1)->Arg(4);
+
+// Many-transform sweep vs looped single transforms.
+void BM_FftMany(benchmark::State& state) {
+  FftManyFixture fx;
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fx.run_many(workers);
+    benchmark::DoNotOptimize(fx.stack.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.plan.size() *
+                          FftManyFixture::kCount);
+}
+BENCHMARK(BM_FftMany)->Arg(1)->Arg(4);
+
 void BM_OrthonormalizeCholesky(benchmark::State& state) {
   MatC X0 = random_matc(1200, 48, 9);
   for (auto _ : state) {
@@ -179,7 +264,9 @@ double time_best_ms(int reps, Fn&& fn) {
 // An 8-fragment LS3DF problem: H2 chain, division 1x1x4 (four cells
 // along z gives four size-2 and four size-1 fragments; a 2x2x2 division
 // is structurally degenerate in LS3DF and rejected by the solver).
-Ls3dfOptions petot_options(int workers) {
+// batch_width 0 is the looped per-fragment dispatch; > 0 groups
+// same-size-class fragments into lockstep batches.
+Ls3dfOptions petot_options(int workers, int batch_width) {
   Ls3dfOptions lo;
   lo.division = {1, 1, 4};
   lo.points_per_cell = 8;
@@ -188,6 +275,7 @@ Ls3dfOptions petot_options(int workers) {
   lo.extra_bands = 3;
   lo.eig.max_iterations = 8;
   lo.n_workers = workers;
+  lo.batch_width = batch_width;
   return lo;
 }
 
@@ -201,17 +289,25 @@ Structure petot_structure() {
   return s;
 }
 
-// One warmed petot_f() sweep at the given worker count. Warming runs the
-// allocation iteration; the engine is deterministic, so both worker
-// counts then time bit-identical work.
-double petot_f_ms(int workers) {
+// A warmed PEtot_F probe at the given worker count and batch width.
+// Warming runs the allocation iteration; the engine is deterministic, so
+// every configuration times bit-identical work per sweep.
+struct PetotProbe {
   Structure s = petot_structure();
-  Ls3dfSolver solver(s, petot_options(workers));
-  FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
-  solver.gen_vf(v);
-  solver.petot_f();  // warm: arenas and FFT plans allocate here
-  return time_best_ms(3, [&]() { solver.petot_f(); });
-}
+  Ls3dfSolver solver;
+  double best_ms = 1e300;
+  PetotProbe(int workers, int batch_width)
+      : solver(s, petot_options(workers, batch_width)) {
+    FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
+    solver.gen_vf(v);
+    solver.petot_f();  // warm: arenas and FFT plans allocate here
+  }
+  void timed_sweep() {
+    Timer t;
+    solver.petot_f();
+    best_ms = std::min(best_ms, t.seconds() * 1e3);
+  }
+};
 
 std::vector<JsonEntry> kernel_summary() {
   std::vector<JsonEntry> out;
@@ -250,12 +346,63 @@ std::vector<JsonEntry> kernel_summary() {
     out.push_back({"hamiltonian_apply_16", ms, flops});
   }
 
-  const double w1 = petot_f_ms(1);
-  const double w4 = petot_f_ms(4);
+  {
+    // Batched vs looped GEMM over 8 same-shape fragment overlaps.
+    GemmBatchFixture fx;
+    const int workers = std::min(4, default_workers());
+    const double looped = time_best_ms(3, [&]() { fx.run_looped(); });
+    const double batched =
+        time_best_ms(3, [&]() { fx.run_batched(workers); });
+    out.push_back({"gemm_looped_8x1500x50", looped, fx.flops()});
+    out.push_back({"gemm_batched_8x1500x50", batched, fx.flops()});
+    out.push_back({"gemm_batched_speedup_over_looped",
+                   batched > 0 ? looped / batched : 0, 0});
+  }
+  {
+    // Many-transform FFT sweep vs looped single transforms.
+    FftManyFixture fx;
+    const int workers = std::min(4, default_workers());
+    const double looped = time_best_ms(5, [&]() { fx.run_looped(); });
+    const double many = time_best_ms(5, [&]() { fx.run_many(workers); });
+    out.push_back({"fft_looped_16x24", looped, fx.flops()});
+    out.push_back({"fft_many_16x24", many, fx.flops()});
+    out.push_back(
+        {"fft_many_speedup_over_looped", many > 0 ? looped / many : 0, 0});
+  }
+
+  // PEtot_F probes. Looped per-fragment dispatch at 1 and 4 workers (the
+  // cross-PR trajectory entries), then the batched path at width 4: the
+  // tentpole target is >= 1.5x over the looped 1-worker sweep on >= 4
+  // cores (>= 1.0x on one core), with a bit-identical patched density.
+  // The three configurations time the same deterministic work and are
+  // swept in an interleaved round-robin so slow-machine drift hits all
+  // of them equally instead of biasing whichever ran last.
+  const int wmax = std::min(4, default_workers());
+  PetotProbe looped_w1(1, 0), looped_w4(4, 0), batched_b4(wmax, 4);
+  for (int rep = 0; rep < 5; ++rep) {
+    looped_w1.timed_sweep();
+    looped_w4.timed_sweep();
+    batched_b4.timed_sweep();
+  }
+  const double w1 = looped_w1.best_ms;
+  const double w4 = looped_w4.best_ms;
+  const double b4 = batched_b4.best_ms;
   out.push_back({"petot_f_1x1x4_w1", w1, 0});
   out.push_back({"petot_f_1x1x4_w4", w4, 0});
   out.push_back({"petot_f_1x1x4_speedup_w4_over_w1", w4 > 0 ? w1 / w4 : 0,
                  0});
+  out.push_back({"petot_f_1x1x4_batched_b4", b4, 0});
+  out.push_back({"petot_f_batched_b4_speedup_over_looped_w1",
+                 b4 > 0 ? w1 / b4 : 0, 0});
+  // Both paths advanced through the same number of deterministic sweeps
+  // (warm + 5): their patched densities must agree bit for bit.
+  const FieldR rho_looped = looped_w1.solver.gen_dens();
+  const FieldR rho_batched = batched_b4.solver.gen_dens();
+  bool identical = rho_looped.size() == rho_batched.size();
+  for (std::size_t i = 0; identical && i < rho_looped.size(); ++i)
+    identical = rho_looped[i] == rho_batched[i];
+  out.push_back(
+      {"petot_f_batched_bit_identical_to_looped", identical ? 1.0 : 0.0, 0});
   return out;
 }
 

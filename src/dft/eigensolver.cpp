@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "common/rng.h"
 #include "linalg/blas.h"
 #include "linalg/eigen.h"
+#include "parallel/thread_pool.h"
 
 namespace ls3df {
 
@@ -73,10 +75,51 @@ std::vector<std::complex<double>>& EigenWorkspace::vec(int slot, int n) {
   return vecs_[slot];
 }
 
+void EigenWorkspace::reserve(int ng, int nb, bool all_band) {
+  const int vmax = std::min(2 * nb, ng);
+  if (all_band) {
+    mat(kV, ng, vmax);
+    mat(kHV, ng, vmax);
+    mat(kVn, ng, vmax);
+    mat(kX, ng, nb);
+    mat(kHX, ng, nb);
+    mat(kR, ng, nb);
+    mat(kT, ng, nb);
+    mat(kG, vmax, vmax);
+    mat(kY, vmax, nb);
+  }
+  for (int s = 0; s < kVecSlots; ++s) vec(s, ng);
+  scratch_.reserve(all_band ? std::max(vmax, 2) : 2);
+}
+
+EigenWorkspace& BatchWorkspace::member(int i) {
+  assert(i >= 0);
+  while (static_cast<int>(members_.size()) <= i) members_.emplace_back();
+  return members_[i];
+}
+
+long BatchWorkspace::allocations() const {
+  long total = apply_.allocations();
+  for (const EigenWorkspace& ws : members_) total += ws.allocations();
+  return total;
+}
+
 void orthonormalize_cholesky(MatC& X) {
   MatC S = overlap(X, X);
   try {
     MatC L = cholesky(S);
+    trsm_right_lherm(L, X);
+  } catch (const std::runtime_error&) {
+    orthonormalize_gram_schmidt(X);
+  }
+}
+
+void orthonormalize_cholesky(MatC& X, EigenScratch& ws) {
+  MatC& S = ws.mat(EigenScratch::kS, X.cols(), X.cols());
+  gemm(Op::kConjTrans, Op::kNone, cd(1, 0), X, X, cd(0, 0), S);
+  try {
+    MatC& L = ws.mat(EigenScratch::kL, X.cols(), X.cols());
+    cholesky(S, L);
     trsm_right_lherm(L, X);
   } catch (const std::runtime_error&) {
     orthonormalize_gram_schmidt(X);
@@ -136,6 +179,67 @@ MatC random_wavefunctions(const GVectors& basis, int n_bands,
   return psi;
 }
 
+namespace {
+
+// The per-iteration scalar steps of the Davidson loop, shared verbatim by
+// the per-fragment and batched drivers so the two paths are bit-identical
+// by construction.
+
+// Residuals R = HX - X diag(eps); returns the max column norm.
+double residual_block(const MatC& X, const MatC& HX,
+                      const std::vector<double>& evals, MatC& R) {
+  const int ng = X.rows(), nb = X.cols();
+  std::copy(HX.data(), HX.data() + HX.size(), R.data());
+  for (int j = 0; j < nb; ++j)
+    zaxpy(ng, cd(-evals[j], 0.0), X.col(j), R.col(j));
+  double max_res = 0;
+  for (int j = 0; j < nb; ++j)
+    max_res = std::max(max_res, dznrm2(ng, R.col(j)));
+  return max_res;
+}
+
+// Preconditioned correction block T from residuals R.
+void correction_block(const GVectors& basis, bool precondition, const MatC& X,
+                      const MatC& R, MatC& T) {
+  const int ng = X.rows(), nb = X.cols();
+  for (int j = 0; j < nb; ++j) {
+    if (precondition) {
+      precondition_tpa(basis, band_kinetic(basis, X.col(j)), R.col(j),
+                       T.col(j));
+    } else {
+      std::copy(R.col(j), R.col(j) + ng, T.col(j));
+    }
+  }
+}
+
+// New search space [X | accepted corrections]: corrections are
+// Gram-Schmidt-appended one at a time; columns that are (numerically)
+// linearly dependent are dropped, and the total is capped at Vn.cols()
+// (== min(2nb, ng)) so the subspace can never exceed the full basis
+// (small fragments can have very few plane waves). Returns the accepted
+// column count; T is consumed.
+int expand_search_space(const MatC& X, MatC& T, MatC& Vn) {
+  const int ng = X.rows(), nb = X.cols();
+  for (int j = 0; j < nb; ++j) std::copy(X.col(j), X.col(j) + ng, Vn.col(j));
+  int cols = nb;
+  for (int j = 0; j < nb && cols < Vn.cols(); ++j) {
+    cd* t = T.col(j);
+    for (int pass = 0; pass < 2; ++pass)
+      for (int k = 0; k < cols; ++k) {
+        const cd proj = zdotc(ng, Vn.col(k), t);
+        zaxpy(ng, -proj, Vn.col(k), t);
+      }
+    const double nrm = dznrm2(ng, t);
+    if (nrm < 1e-8) continue;  // dependent: drop
+    zscal(ng, cd(1.0 / nrm, 0.0), t);
+    std::copy(t, t + ng, Vn.col(cols));
+    ++cols;
+  }
+  return cols;
+}
+
+}  // namespace
+
 EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
                                  const EigensolverOptions& opt,
                                  EigenWorkspace& ws) {
@@ -148,17 +252,9 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
   // Reserve every slot at its per-solve maximum up front so later
   // (smaller) resizes can never grow storage mid-iteration.
   const int vmax = std::min(2 * nb, ng);
-  ws.mat(kV, ng, vmax);
-  ws.mat(kHV, ng, vmax);
-  ws.mat(kVn, ng, vmax);
-  ws.mat(kX, ng, nb);
-  ws.mat(kHX, ng, nb);
-  ws.mat(kR, ng, nb);
-  ws.mat(kT, ng, nb);
-  ws.mat(kG, vmax, vmax);
-  ws.mat(kY, vmax, nb);
+  ws.reserve(ng, nb, /*all_band=*/true);
 
-  orthonormalize_cholesky(psi);
+  orthonormalize_cholesky(psi, ws.scratch());
 
   EigensolverResult result;
   MatC& X = ws.mat(kX, ng, nb);
@@ -174,15 +270,15 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
     const int dim = V->cols();
     MatC& G = ws.mat(kG, dim, dim);
     gemm(Op::kConjTrans, Op::kNone, cd(1, 0), *V, HV, cd(0, 0), G);
-    EighResult eg = eigh(G);
+    EighView eg = eigh(G, ws.scratch());
     // Keep the lowest nb Ritz vectors.
     MatC& Y = ws.mat(kY, dim, nb);
     for (int j = 0; j < nb; ++j)
-      for (int i = 0; i < dim; ++i) Y(i, j) = eg.eigenvectors(i, j);
+      for (int i = 0; i < dim; ++i) Y(i, j) = (*eg.eigenvectors)(i, j);
     gemm(Op::kNone, Op::kNone, cd(1, 0), *V, Y, cd(0, 0), X);
     gemm(Op::kNone, Op::kNone, cd(1, 0), HV, Y, cd(0, 0), HX);
-    result.eigenvalues.assign(eg.eigenvalues.begin(),
-                              eg.eigenvalues.begin() + nb);
+    result.eigenvalues.assign(eg.eigenvalues->begin(),
+                              eg.eigenvalues->begin() + nb);
   };
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
@@ -191,50 +287,16 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
     // Rayleigh-Ritz in span(V).
     rayleigh_ritz();
 
-    // Residuals R = HX - X diag(eps).
-    std::copy(HX.data(), HX.data() + HX.size(), R.data());
-    for (int j = 0; j < nb; ++j)
-      zaxpy(ng, cd(-result.eigenvalues[j], 0.0), X.col(j), R.col(j));
-    double max_res = 0;
-    for (int j = 0; j < nb; ++j)
-      max_res = std::max(max_res, dznrm2(ng, R.col(j)));
-    result.max_residual = max_res;
-    if (max_res < opt.residual_tol) {
+    result.max_residual = residual_block(X, HX, result.eigenvalues, R);
+    if (result.max_residual < opt.residual_tol) {
       result.converged = true;
       std::copy(X.data(), X.data() + X.size(), psi.data());
       return result;
     }
 
-    // Preconditioned correction block.
-    for (int j = 0; j < nb; ++j) {
-      if (opt.precondition) {
-        precondition_tpa(basis, band_kinetic(basis, X.col(j)), R.col(j),
-                         T.col(j));
-      } else {
-        std::copy(R.col(j), R.col(j) + ng, T.col(j));
-      }
-    }
-    // New search space [X | accepted corrections]: corrections are
-    // Gram-Schmidt-appended one at a time; columns that are (numerically)
-    // linearly dependent are dropped, and the total is capped at ng so the
-    // subspace can never exceed the full basis (small fragments can have
-    // very few plane waves).
+    correction_block(basis, opt.precondition, X, R, T);
     MatC& Vn = ws.mat(kVn, ng, vmax);
-    for (int j = 0; j < nb; ++j) std::copy(X.col(j), X.col(j) + ng, Vn.col(j));
-    int cols = nb;
-    for (int j = 0; j < nb && cols < Vn.cols(); ++j) {
-      cd* t = T.col(j);
-      for (int pass = 0; pass < 2; ++pass)
-        for (int k = 0; k < cols; ++k) {
-          const cd proj = zdotc(ng, Vn.col(k), t);
-          zaxpy(ng, -proj, Vn.col(k), t);
-        }
-      const double nrm = dznrm2(ng, t);
-      if (nrm < 1e-8) continue;  // dependent: drop
-      zscal(ng, cd(1.0 / nrm, 0.0), t);
-      std::copy(t, t + ng, Vn.col(cols));
-      ++cols;
-    }
+    const int cols = expand_search_space(X, T, Vn);
     if (cols == nb) {
       // No useful corrections left: the block is as converged as the
       // basis allows.
@@ -254,6 +316,171 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
   return result;
 }
 
+std::vector<EigensolverResult> solve_all_band_batched(
+    const std::vector<FragmentSolve>& frags, const EigensolverOptions& opt,
+    BatchWorkspace& ws, int n_workers) {
+  const int k_members = static_cast<int>(frags.size());
+  std::vector<EigensolverResult> results(k_members);
+  if (k_members == 0) return results;
+
+  struct Member {
+    const Hamiltonian* h;
+    MatC* psi;
+    EigenWorkspace* ws;
+    int ng, nb, vmax;
+    int cols;  // current Ritz-block width
+    bool done = false;
+  };
+  std::vector<Member> mem(k_members);
+  for (int i = 0; i < k_members; ++i) {
+    Member& m = mem[i];
+    m.h = frags[i].h;
+    m.psi = frags[i].psi;
+    m.ws = &ws.member(i);
+    m.ng = m.h->basis().count();
+    m.nb = m.psi->cols();
+    m.vmax = std::min(2 * m.nb, m.ng);
+    m.cols = m.nb;
+    assert(m.psi->rows() == m.ng);
+    assert(m.nb <= m.ng);
+    assert(m.h->basis().grid_shape() == frags[0].h->basis().grid_shape());
+  }
+
+  std::vector<int> active(k_members);
+  std::iota(active.begin(), active.end(), 0);
+
+  // Per-member setup: slot reservation, orthonormalization, V <- psi.
+  parallel_for(k_members, n_workers, [&](int i, int /*worker*/) {
+    Member& m = mem[i];
+    m.ws->reserve(m.ng, m.nb, /*all_band=*/true);
+    orthonormalize_cholesky(*m.psi, m.ws->scratch());
+    MatC& V = m.ws->mat(kV, m.ng, m.nb);
+    std::copy(m.psi->data(), m.psi->data() + m.psi->size(), V.data());
+  });
+
+  // One batched H application serves every active member. Each member
+  // keeps its original workspace slot even after earlier members
+  // converge out of the item list, so per-slot arena peaks never
+  // regress.
+  const auto batched_apply = [&](const std::vector<int>& who) {
+    std::vector<Hamiltonian::ApplyItem> items;
+    items.reserve(who.size());
+    for (int i : who) {
+      Member& m = mem[i];
+      items.push_back({m.h, &m.ws->mat(kV, m.ng, m.cols),
+                       &m.ws->mat(kHV, m.ng, m.cols), i});
+    }
+    Hamiltonian::apply_batched(items, ws.apply(), n_workers);
+  };
+
+  // Rayleigh-Ritz across the active members: the subspace projection and
+  // both Ritz rotations run as batched GEMMs; the dense eigh of each
+  // small G stays per member (arena-backed), fanned out over members.
+  const auto rayleigh_ritz = [&](const std::vector<int>& who) {
+    std::vector<GemmBatchItem> g_items, x_items, hx_items;
+    g_items.reserve(who.size());
+    for (int i : who) {
+      Member& m = mem[i];
+      g_items.push_back({&m.ws->mat(kV, m.ng, m.cols),
+                         &m.ws->mat(kHV, m.ng, m.cols),
+                         &m.ws->mat(kG, m.cols, m.cols)});
+    }
+    gemm_batched(Op::kConjTrans, Op::kNone, cd(1, 0), g_items, cd(0, 0),
+                 n_workers);
+    parallel_for(static_cast<int>(who.size()), n_workers,
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[who[a]];
+                   EigensolverResult& res = results[who[a]];
+                   const int dim = m.cols;
+                   MatC& G = m.ws->mat(kG, dim, dim);
+                   EighView eg = eigh(G, m.ws->scratch());
+                   MatC& Y = m.ws->mat(kY, dim, m.nb);
+                   for (int j = 0; j < m.nb; ++j)
+                     for (int i2 = 0; i2 < dim; ++i2)
+                       Y(i2, j) = (*eg.eigenvectors)(i2, j);
+                   res.eigenvalues.assign(eg.eigenvalues->begin(),
+                                          eg.eigenvalues->begin() + m.nb);
+                 });
+    x_items.reserve(who.size());
+    hx_items.reserve(who.size());
+    for (int i : who) {
+      Member& m = mem[i];
+      MatC& Y = m.ws->mat(kY, m.cols, m.nb);
+      x_items.push_back(
+          {&m.ws->mat(kV, m.ng, m.cols), &Y, &m.ws->mat(kX, m.ng, m.nb)});
+      hx_items.push_back(
+          {&m.ws->mat(kHV, m.ng, m.cols), &Y, &m.ws->mat(kHX, m.ng, m.nb)});
+    }
+    gemm_batched(Op::kNone, Op::kNone, cd(1, 0), x_items, cd(0, 0), n_workers);
+    gemm_batched(Op::kNone, Op::kNone, cd(1, 0), hx_items, cd(0, 0),
+                 n_workers);
+  };
+
+  batched_apply(active);
+
+  for (int iter = 0; iter < opt.max_iterations && !active.empty(); ++iter) {
+    for (int i : active) results[i].iterations = iter + 1;
+
+    rayleigh_ritz(active);
+
+    // Per-member tail: residuals, convergence, preconditioning, search-
+    // space expansion. Members are independent, so this fans out.
+    parallel_for(static_cast<int>(active.size()), n_workers,
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[active[a]];
+                   EigensolverResult& res = results[active[a]];
+                   MatC& X = m.ws->mat(kX, m.ng, m.nb);
+                   MatC& HX = m.ws->mat(kHX, m.ng, m.nb);
+                   MatC& R = m.ws->mat(kR, m.ng, m.nb);
+                   res.max_residual =
+                       residual_block(X, HX, res.eigenvalues, R);
+                   if (res.max_residual < opt.residual_tol) {
+                     res.converged = true;
+                     std::copy(X.data(), X.data() + X.size(),
+                               m.psi->data());
+                     m.done = true;
+                     return;
+                   }
+                   MatC& T = m.ws->mat(kT, m.ng, m.nb);
+                   correction_block(m.h->basis(), opt.precondition, X, R, T);
+                   MatC& Vn = m.ws->mat(kVn, m.ng, m.vmax);
+                   const int cols = expand_search_space(X, T, Vn);
+                   if (cols == m.nb) {
+                     res.converged = true;
+                     std::copy(X.data(), X.data() + X.size(),
+                               m.psi->data());
+                     m.done = true;
+                     return;
+                   }
+                   MatC& V = m.ws->mat(kV, m.ng, cols);
+                   for (int j = 0; j < cols; ++j)
+                     std::copy(Vn.col(j), Vn.col(j) + m.ng, V.col(j));
+                   m.cols = cols;
+                 });
+
+    // Converged members drop out; the rest advance in lockstep.
+    std::vector<int> still;
+    still.reserve(active.size());
+    for (int i : active)
+      if (!mem[i].done) still.push_back(i);
+    active = std::move(still);
+    if (!active.empty()) batched_apply(active);
+  }
+
+  // Budget exhausted: return the best current Ritz vectors for whoever is
+  // left (same final rotation the per-fragment driver performs).
+  if (!active.empty()) {
+    rayleigh_ritz(active);
+    parallel_for(static_cast<int>(active.size()), n_workers,
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[active[a]];
+                   MatC& X = m.ws->mat(kX, m.ng, m.nb);
+                   std::copy(X.data(), X.data() + X.size(), m.psi->data());
+                 });
+  }
+  return results;
+}
+
 EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
                                  const EigensolverOptions& opt) {
   EigenWorkspace ws;
@@ -266,6 +493,7 @@ EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
   const GVectors& basis = h.basis();
   const int ng = basis.count();
   const int nb = psi.cols();
+  ws.reserve(ng, nb, /*all_band=*/false);
   orthonormalize_gram_schmidt(psi);
 
   EigensolverResult result;
@@ -345,13 +573,13 @@ EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,
       h.apply_band(d.data(), hd.data());
       const double add = zdotc(ng, d.data(), hd.data()).real();
       const cd axd = zdotc(ng, x, hd.data());
-      MatC h2(2, 2);
+      MatC& h2 = ws.scratch().mat(EigenScratch::kA, 2, 2);
       h2(0, 0) = eps;
       h2(1, 1) = add;
       h2(0, 1) = axd;
       h2(1, 0) = std::conj(axd);
-      EighResult e2 = eigh(h2);
-      const cd c0 = e2.eigenvectors(0, 0), c1 = e2.eigenvectors(1, 0);
+      EighView e2 = eigh(h2, ws.scratch());
+      const cd c0 = (*e2.eigenvectors)(0, 0), c1 = (*e2.eigenvectors)(1, 0);
       for (int g = 0; g < ng; ++g) x[g] = c0 * x[g] + c1 * d[g];
       // Re-project against lower bands to stop rounding drift from
       // re-introducing converged components, then renormalize.

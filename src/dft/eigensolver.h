@@ -9,11 +9,47 @@
 //    PEtot scheme; BLAS-2 dominated).
 // Both use the Teter-Payne-Allan kinetic preconditioner standard in
 // planewave codes [Payne et al., Rev. Mod. Phys. 64, 1045 (1992)].
+//
+// == Batched fragment eigensolves (architecture) ==
+//
+// LS3DF's runtime is dominated by thousands of *small* fragment solves
+// whose BLAS-3 calls and FFTs are individually too skinny to saturate the
+// kernels. Fragments in the same size class share identical (ng, nb)
+// shapes, so solve_all_band_batched() runs K of them in lockstep:
+//
+//   one batched H application      Hamiltonian::apply_batched — every
+//                                  band of every member scattered into a
+//                                  contiguous grid stack, one
+//                                  inverse/forward many-transform sweep
+//                                  (Fft3D::forward_many), one fused
+//                                  nonlocal GEMM grid (gemm_batched);
+//   K small Rayleigh-Ritz solves   subspace G = V^H HV and the Ritz
+//                                  rotations run as batched GEMMs; the
+//                                  dense eigh of each (<= 2nb)^2 subspace
+//                                  matrix stays per member, arena-backed;
+//   per-member scalar steps        residuals, TPA preconditioning and
+//                                  search-space expansion fan out over
+//                                  members.
+//
+// Members converge independently: a converged member drops out of the
+// lockstep batch and the remaining members keep iterating, so every
+// member executes exactly the arithmetic the per-fragment solver would —
+// results are bit-identical to solve_all_band for any batch width and
+// worker count; batching only changes scheduling and cache behaviour.
+//
+// This driver is also the seam a GPU backend slots into: the contiguous
+// grid stack, the fused GEMM work grid, and the per-batch workspace
+// arenas are exactly the units a device stream wants, while the
+// per-member scalar steps stay on the host. Porting apply_batched and
+// gemm_batched moves the dominant cost to the device without touching
+// the LPT scheduler or the SCF loop.
 #pragma once
 
+#include <deque>
 #include <vector>
 
 #include "dft/hamiltonian.h"
+#include "linalg/eigen.h"
 #include "linalg/matrix.h"
 
 namespace ls3df {
@@ -54,20 +90,53 @@ class EigenWorkspace {
   // Same for contiguous complex vectors.
   std::vector<std::complex<double>>& vec(int slot, int n);
 
-  long allocations() const { return allocs_; }
+  // Scratch arena for the dense eigh/cholesky calls of the Rayleigh-Ritz
+  // loop (linalg/eigen.h), owned by the same lane as the block slots so
+  // the whole solve allocates nothing in the steady state.
+  EigenScratch& scratch() { return scratch_; }
+
+  // Grow every slot to the extents a fragment of (ng, nb) can ever need,
+  // so solves of any fragment at or below those extents never allocate.
+  // all_band additionally reserves the block-solver matrix slots (the
+  // band-by-band solver only uses the vector slots).
+  void reserve(int ng, int nb, bool all_band = true);
+
+  long allocations() const { return allocs_ + scratch_.allocations(); }
 
  private:
   MatC mats_[kMatSlots];
   std::vector<std::complex<double>> vecs_[kVecSlots];
   std::size_t mat_peak_[kMatSlots] = {};
   std::size_t vec_peak_[kVecSlots] = {};
+  EigenScratch scratch_;
   long allocs_ = 0;
+};
+
+// Workspace set of a fragment batch: one EigenWorkspace per member plus
+// the apply-stack arena. One BatchWorkspace per scheduled batch,
+// persistent across outer SCF iterations (batch composition is fixed by
+// the size-class grouping, so slots reach their peak in the first
+// iteration and are reused ever after).
+class BatchWorkspace {
+ public:
+  EigenWorkspace& member(int i);
+  ApplyBatchWorkspace& apply() { return apply_; }
+
+  // Capacity-growth events across every member arena and the apply stack.
+  long allocations() const;
+
+ private:
+  std::deque<EigenWorkspace> members_;  // deque: stable member addresses
+  ApplyBatchWorkspace apply_;
 };
 
 // Orthonormalize the columns of X in place via S = X^H X, X <- X L^{-H}
 // (BLAS-3; the paper's overlap-matrix scheme). Falls back to Gram-Schmidt
 // if S is numerically singular.
 void orthonormalize_cholesky(MatC& X);
+// Arena-backed variant (identical arithmetic; S and L live in the
+// scratch, so steady-state calls allocate nothing).
+void orthonormalize_cholesky(MatC& X, EigenScratch& ws);
 
 // Classic modified Gram-Schmidt, one column at a time (BLAS-1/2; the
 // original band-by-band scheme).
@@ -86,6 +155,21 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
                                  EigenWorkspace& ws);
 EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
                                  const EigensolverOptions& opt = {});
+
+// One member of a batched fragment solve.
+struct FragmentSolve {
+  const Hamiltonian* h = nullptr;
+  MatC* psi = nullptr;  // initial guess in, eigenvector approximations out
+};
+
+// Batched all-band solver: runs every member's Davidson iteration in
+// lockstep (see the architecture block above). All members must share the
+// FFT grid shape (same size class); results[i] is bit-identical to
+// solve_all_band(*frags[i].h, *frags[i].psi, opt) for any batch width and
+// n_workers.
+std::vector<EigensolverResult> solve_all_band_batched(
+    const std::vector<FragmentSolve>& frags, const EigensolverOptions& opt,
+    BatchWorkspace& ws, int n_workers = 1);
 
 // Band-by-band preconditioned CG.
 EigensolverResult solve_band_by_band(const Hamiltonian& h, MatC& psi,

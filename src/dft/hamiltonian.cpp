@@ -4,11 +4,41 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "fft/plan_cache.h"
 #include "linalg/blas.h"
+#include "parallel/thread_pool.h"
 
 namespace ls3df {
 
 using cd = std::complex<double>;
+
+cd* ApplyBatchWorkspace::grid_stack(std::size_t n) {
+  // Grow-only, like Matrix::reshape: the stack is fully written before
+  // it is read, so a shrink-then-regrow cycle (members converging out,
+  // then the next SCF iteration starting over) must not pay a zero-fill
+  // sweep over the regrown region.
+  if (n > stack_peak_) {
+    stack_peak_ = n;
+    ++allocs_;
+    stack_.resize(n);
+  }
+  return stack_.data();
+}
+
+MatC& ApplyBatchWorkspace::proj(int member, int rows, int cols) {
+  assert(member >= 0);
+  while (static_cast<int>(proj_.size()) <= member) {
+    proj_.emplace_back();
+    proj_peak_.push_back(0);
+  }
+  const std::size_t need = static_cast<std::size_t>(rows) * cols;
+  if (need > proj_peak_[member]) {
+    proj_peak_[member] = need;
+    ++allocs_;
+  }
+  proj_[member].reshape(rows, cols);
+  return proj_[member];
+}
 
 Vec3i default_fft_grid(const Lattice& lat, double ecut_hartree) {
   const double gmax = std::sqrt(2.0 * ecut_hartree);
@@ -63,6 +93,102 @@ void Hamiltonian::apply(const MatC& psi, MatC& hpsi) const {
   if (flops_) {
     flops_->add(4ull * ng * nb);  // kinetic
     flops_->add(2 * FlopCounter::zgemm(nl_->num_projectors(), nb, ng));
+  }
+}
+
+void Hamiltonian::apply_batched(const std::vector<ApplyItem>& items,
+                                ApplyBatchWorkspace& ws, int n_workers) {
+  const int k_members = static_cast<int>(items.size());
+  if (k_members == 0) return;
+  const Vec3i shape = items[0].h->basis().grid_shape();
+  const std::size_t gsize =
+      static_cast<std::size_t>(shape.x) * shape.y * shape.z;
+
+  // Grid-stack layout: member i's bands occupy grids [off[i], off[i+1]).
+  std::vector<int> off(k_members + 1, 0);
+  for (int t = 0; t < k_members; ++t) {
+    const ApplyItem& it = items[t];
+    assert(it.h && it.psi && it.hpsi);
+    assert(it.h->basis().grid_shape() == shape);
+    assert(it.psi->rows() == it.h->basis().count());
+    off[t + 1] = off[t] + it.psi->cols();
+    it.hpsi->reshape(it.psi->rows(), it.psi->cols());
+  }
+  const int total = off[k_members];
+  if (total == 0) return;
+  cd* stack = ws.grid_stack(static_cast<std::size_t>(total) * gsize);
+  std::vector<int> member_of(total);
+  for (int t = 0; t < k_members; ++t)
+    for (int u = off[t]; u < off[t + 1]; ++u) member_of[u] = t;
+
+  // Local potential, batched: scatter every band, one inverse sweep,
+  // multiply by each member's V_loc, one forward sweep, gather. The
+  // per-band sequence is exactly apply_local()'s.
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const int t = member_of[u];
+    const ApplyItem& it = items[t];
+    it.h->basis().scatter(it.psi->col(u - off[t]), stack + u * gsize);
+  });
+  fft_inverse_many(shape, stack, total, n_workers);
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const FieldR& vloc = items[member_of[u]].h->local_potential();
+    cd* grid = stack + u * gsize;
+    for (std::size_t i = 0; i < gsize; ++i) grid[i] *= vloc[i];
+  });
+  fft_forward_many(shape, stack, total, n_workers);
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const int t = member_of[u];
+    const ApplyItem& it = items[t];
+    const GVectors& basis = it.h->basis();
+    const int j = u - off[t];
+    cd* h = it.hpsi->col(j);
+    basis.gather(stack + u * gsize, h);
+    // Kinetic: diagonal in q-space (same expression as apply()).
+    const cd* p = it.psi->col(j);
+    for (int g = 0; g < basis.count(); ++g) h[g] += 0.5 * basis.g2(g) * p[g];
+  });
+
+  // Nonlocal, batched: P_t = B_t^H psi_t, scale rows by the KB strengths,
+  // hpsi_t += B_t P_t — the two GEMMs of NonlocalKB::apply_all_bands
+  // fused across members.
+  std::vector<GemmBatchItem> overlap_items, accum_items;
+  std::vector<int> nl_members;
+  for (int t = 0; t < k_members; ++t) {
+    const NonlocalKB& nl = items[t].h->nonlocal();
+    if (nl.num_projectors() == 0) continue;
+    const int slot = items[t].slot >= 0 ? items[t].slot : t;
+    MatC& P = ws.proj(slot, nl.num_projectors(), items[t].psi->cols());
+    overlap_items.push_back({&nl.projectors(), items[t].psi, &P});
+    accum_items.push_back({&nl.projectors(), &P, items[t].hpsi});
+    nl_members.push_back(t);
+  }
+  if (!overlap_items.empty()) {
+    gemm_batched(Op::kConjTrans, Op::kNone, cd(1, 0), overlap_items, cd(0, 0),
+                 n_workers);
+    parallel_for(static_cast<int>(nl_members.size()), n_workers,
+                 [&](int m, int /*worker*/) {
+                   const int t = nl_members[m];
+                   const NonlocalKB& nl = items[t].h->nonlocal();
+                   MatC& P = *overlap_items[m].c;
+                   const std::vector<double>& d = nl.strengths();
+                   for (int j = 0; j < P.cols(); ++j)
+                     for (int p = 0; p < P.rows(); ++p) P(p, j) *= d[p];
+                 });
+    gemm_batched(Op::kNone, Op::kNone, cd(1, 0), accum_items, cd(1, 0),
+                 n_workers);
+  }
+
+  // Flop accounting mirrors apply() per member.
+  for (int t = 0; t < k_members; ++t) {
+    const ApplyItem& it = items[t];
+    if (!it.h->flops_) continue;
+    const int ng = it.h->basis().count(), nb = it.psi->cols();
+    it.h->flops_->add(static_cast<unsigned long long>(nb) *
+                      (2 * FlopCounter::fft3d(shape.x, shape.y, shape.z) +
+                       6 * gsize));
+    it.h->flops_->add(4ull * ng * nb);
+    it.h->flops_->add(
+        2 * FlopCounter::zgemm(it.h->nl_->num_projectors(), nb, ng));
   }
 }
 

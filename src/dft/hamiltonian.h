@@ -15,7 +15,9 @@
 // fragment and running each fragment on a single worker lane.
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "atoms/structure.h"
 #include "common/flops.h"
@@ -26,6 +28,28 @@
 #include "pseudo/pseudopotential.h"
 
 namespace ls3df {
+
+// Grow-only scratch arena for Hamiltonian::apply_batched: the contiguous
+// many-transform grid stack plus one nonlocal projection matrix per batch
+// member. One arena per batch, persistent across SCF iterations, so the
+// steady state allocates nothing; allocations() counts capacity-growth
+// events like EigenWorkspace so the LS3DF probe can watch it.
+class ApplyBatchWorkspace {
+ public:
+  // Contiguous stack of n complex grid points (values unspecified).
+  std::complex<double>* grid_stack(std::size_t n);
+  // Projection matrix slot for batch member `member`, sized rows x cols.
+  MatC& proj(int member, int rows, int cols);
+
+  long allocations() const { return allocs_; }
+
+ private:
+  std::vector<std::complex<double>> stack_;
+  std::size_t stack_peak_ = 0;
+  std::deque<MatC> proj_;  // deque: slot addresses stay stable on growth
+  std::vector<std::size_t> proj_peak_;
+  long allocs_ = 0;
+};
 
 class Hamiltonian {
  public:
@@ -46,6 +70,31 @@ class Hamiltonian {
   // hpsi = H psi for a single band.
   void apply_band(const std::complex<double>* psi,
                   std::complex<double>* hpsi) const;
+
+  // One member of a batched application: hpsi_i = H_i psi_i. `slot`
+  // names the member's workspace slot; it must stay stable for the
+  // lifetime of the batch (callers that drop converged members from the
+  // item list keep each survivor's original slot, so per-slot arena
+  // peaks never regress). Negative means "use the item's position".
+  struct ApplyItem {
+    const Hamiltonian* h = nullptr;
+    const MatC* psi = nullptr;
+    MatC* hpsi = nullptr;
+    int slot = -1;
+  };
+
+  // Batched application across a stack of same-size-class fragments (all
+  // members must share the FFT grid shape; basis tables are per member).
+  // The local part scatters every band of every member into one
+  // contiguous grid stack and runs a single inverse/forward many-
+  // transform sweep; the nonlocal part runs two batched GEMMs. Per-band
+  // arithmetic is exactly apply()'s, so a batched call is bit-identical
+  // to the member-by-member loop for any n_workers — batching only
+  // changes scheduling and cache behaviour. This is the seam a GPU
+  // backend slots into: the grid stack and the fused GEMM grid are the
+  // device-friendly units.
+  static void apply_batched(const std::vector<ApplyItem>& items,
+                            ApplyBatchWorkspace& ws, int n_workers = 1);
 
   // Kinetic energy sum_i occ_i <psi_i| -1/2 nabla^2 |psi_i>.
   double kinetic_energy(const MatC& psi, const std::vector<double>& occ) const;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fft/plan_cache.h"
+#include "parallel/thread_pool.h"
+
 namespace ls3df {
 
 Fft3D::Fft3D(Vec3i shape)
@@ -52,6 +55,48 @@ void Fft3D::transform(cplx* data, bool inv) const {
         fx_.forward(buf.data());
       for (int ix = 0; ix < n1; ++ix) base[ix * sx] = buf[ix];
     }
+}
+
+namespace {
+
+void transform_many(const Fft3D& self, cplx* stack, int count, bool inv,
+                    int n_workers) {
+  if (count <= 0) return;
+  const std::size_t stride = self.size();
+  if (n_workers <= 1 || count == 1) {
+    for (int g = 0; g < count; ++g) {
+      cplx* grid = stack + static_cast<std::size_t>(g) * stride;
+      if (inv)
+        self.inverse(grid);
+      else
+        self.forward(grid);
+    }
+    return;
+  }
+  const Vec3i shape = self.shape();
+  // Each lane transforms through its own thread-local plan so the
+  // strided-axis scratch is never shared between concurrent grids; the
+  // cache lookup happens once per lane, not once per grid.
+  std::vector<const Fft3D*> lane_plan(std::min(n_workers, count), nullptr);
+  parallel_for(count, n_workers, [&](int g, int worker) {
+    const Fft3D*& plan = lane_plan[worker];
+    if (!plan) plan = &fft_plan(shape);
+    cplx* grid = stack + static_cast<std::size_t>(g) * stride;
+    if (inv)
+      plan->inverse(grid);
+    else
+      plan->forward(grid);
+  });
+}
+
+}  // namespace
+
+void Fft3D::forward_many(cplx* stack, int count, int n_workers) const {
+  transform_many(*this, stack, count, false, n_workers);
+}
+
+void Fft3D::inverse_many(cplx* stack, int count, int n_workers) const {
+  transform_many(*this, stack, count, true, n_workers);
 }
 
 }  // namespace ls3df

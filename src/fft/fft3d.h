@@ -35,6 +35,18 @@ class Fft3D {
   void forward(std::vector<cplx>& v) const { forward(v.data()); }
   void inverse(std::vector<cplx>& v) const { inverse(v.data()); }
 
+  // Many-transform sweep over a contiguous stack of `count` grids of this
+  // shape (stack[g * size() .. (g+1) * size())). Transforms are
+  // independent, so the sweep fans out over min(n_workers, count) lanes
+  // of the shared pool; each lane transforms through its *own*
+  // thread-local cached plan (fft/plan_cache.h), so no scratch is shared
+  // and each grid's arithmetic is exactly what a serial forward()/
+  // inverse() call would produce — results are bit-identical for any
+  // n_workers. This is the transform shape the batched fragment solver
+  // feeds: one sweep serves every band of every fragment in a batch.
+  void forward_many(cplx* stack, int count, int n_workers = 1) const;
+  void inverse_many(cplx* stack, int count, int n_workers = 1) const;
+
  private:
   void transform(cplx* data, bool inv) const;
 

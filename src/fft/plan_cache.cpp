@@ -29,6 +29,14 @@ const Fft3D& fft_plan(Vec3i shape) {
   return *slot;
 }
 
+void fft_forward_many(Vec3i shape, cplx* stack, int count, int n_workers) {
+  fft_plan(shape).forward_many(stack, count, n_workers);
+}
+
+void fft_inverse_many(Vec3i shape, cplx* stack, int count, int n_workers) {
+  fft_plan(shape).inverse_many(stack, count, n_workers);
+}
+
 int fft_plan_cache_size() {
   return static_cast<int>(local_plans().size());
 }

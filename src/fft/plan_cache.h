@@ -20,6 +20,14 @@ namespace ls3df {
 // The reference stays valid for the life of the calling thread.
 const Fft3D& fft_plan(Vec3i shape);
 
+// Many-transform sweep over a contiguous stack of `count` same-shape
+// grids through the cached plans: the calling thread's plan drives the
+// sweep and each worker lane transforms via its own thread-local plan
+// (see Fft3D::forward_many). Results are bit-identical to `count` serial
+// single-grid transforms for any n_workers.
+void fft_forward_many(Vec3i shape, cplx* stack, int count, int n_workers = 1);
+void fft_inverse_many(Vec3i shape, cplx* stack, int count, int n_workers = 1);
+
 // Number of distinct plans cached by the calling thread (diagnostics).
 int fft_plan_cache_size();
 

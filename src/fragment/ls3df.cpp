@@ -1,8 +1,10 @@
 #include "fragment/ls3df.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "dft/eigensolver.h"
@@ -194,6 +196,26 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
     contexts_.push_back(std::move(ctx));
     ++findex;
   }
+
+  measured_seconds_.assign(contexts_.size(), -1.0);
+
+  // Size classes for the batched PEtot_F path: fragments whose solves
+  // share (grid shape, basis size, band count) can run in lockstep.
+  // Batch composition depends only on the decomposition, so batches and
+  // their workspaces are stable across outer iterations.
+  if (opt_.batch_width > 0 && !contexts_.empty()) {
+    std::vector<int> class_of(contexts_.size());
+    std::map<std::array<int, 5>, int> ids;
+    for (std::size_t f = 0; f < contexts_.size(); ++f) {
+      const FragmentContext& ctx = *contexts_[f];
+      const std::array<int, 5> key{ctx.grid.x, ctx.grid.y, ctx.grid.z,
+                                   ctx.h->basis().count(), ctx.n_bands};
+      auto [it, inserted] = ids.emplace(key, static_cast<int>(ids.size()));
+      class_of[f] = it->second;
+      (void)inserted;
+    }
+    batches_ = make_batches(class_of, opt_.batch_width);
+  }
 }
 
 Ls3dfSolver::~Ls3dfSolver() = default;
@@ -210,12 +232,8 @@ void Ls3dfSolver::gen_vf(const FieldR& v_global) {
                });
 }
 
-void Ls3dfSolver::solve_fragment(int f, EigenWorkspace& ws) {
+void Ls3dfSolver::finish_fragment(int f) {
   FragmentContext& ctx = *contexts_[f];
-  EigensolverResult r =
-      opt_.all_band ? solve_all_band(*ctx.h, ctx.psi, opt_.eig, ws)
-                    : solve_band_by_band(*ctx.h, ctx.psi, opt_.eig, ws);
-  ctx.eigenvalues = std::move(r.eigenvalues);
   // Each fragment is filled to local neutrality; with smearing,
   // degenerate shells are occupied fractionally. (A shared global
   // chemical potential in the spirit of Yang's divide-and-conquer
@@ -227,9 +245,34 @@ void Ls3dfSolver::solve_fragment(int f, EigenWorkspace& ws) {
   ctx.h->density_into(ctx.psi, ctx.occ, ctx.rho);
 }
 
+void Ls3dfSolver::solve_fragment(int f, EigenWorkspace& ws) {
+  FragmentContext& ctx = *contexts_[f];
+  EigensolverResult r =
+      opt_.all_band ? solve_all_band(*ctx.h, ctx.psi, opt_.eig, ws)
+                    : solve_band_by_band(*ctx.h, ctx.psi, opt_.eig, ws);
+  ctx.eigenvalues = std::move(r.eigenvalues);
+  finish_fragment(f);
+}
+
+void Ls3dfSolver::record_measured(int f, double seconds) {
+  double& m = measured_seconds_[f];
+  m = m < 0 ? seconds : 0.5 * m + 0.5 * seconds;
+}
+
 void Ls3dfSolver::petot_f() {
   const int n_frag = static_cast<int>(contexts_.size());
   if (n_frag == 0) return;
+  if (opt_.batch_width > 0 && !batches_.empty()) {
+    petot_f_batched(
+        std::max(1, std::min(opt_.n_workers,
+                             static_cast<int>(batches_.size()))));
+  } else {
+    petot_f_per_fragment(std::max(1, std::min(opt_.n_workers, n_frag)));
+  }
+}
+
+void Ls3dfSolver::petot_f_per_fragment(int n_groups) {
+  const int n_frag = static_cast<int>(contexts_.size());
   // The paper's dispatch, in miniature: LPT-schedule fragments onto
   // Ng = min(n_workers, n_frag) groups using the same cost model the
   // performance simulator uses, then run one engine task per group.
@@ -237,11 +280,21 @@ void Ls3dfSolver::petot_f() {
   // persistent arena; a fragment's solve depends only on the fragment
   // state, so the grouping (and hence the worker count) cannot change
   // the numbers.
-  const int n_groups = std::max(1, std::min(opt_.n_workers, n_frag));
   assignment_ = assign_fragments(fragment_costs(), n_groups);
   executed_group_of_.assign(n_frag, -1);
   if (static_cast<int>(workspaces_.size()) < n_groups)
     workspaces_.resize(n_groups);
+
+  // Presize every arena to the largest fragment: once measured costs
+  // feed the scheduler, any fragment may land on any group in a later
+  // iteration, and the steady state must still allocate nothing.
+  int ng_max = 0, nb_max = 0;
+  for (const auto& ctx : contexts_) {
+    ng_max = std::max(ng_max, ctx->h->basis().count());
+    nb_max = std::max(nb_max, ctx->n_bands);
+  }
+  for (EigenWorkspace& ws : workspaces_)
+    ws.reserve(ng_max, nb_max, opt_.all_band);
 
   std::vector<std::vector<int>> members(n_groups);
   for (int f = 0; f < n_frag; ++f)
@@ -252,7 +305,9 @@ void Ls3dfSolver::petot_f() {
     Timer timer;
     for (int f : members[g]) {
       executed_group_of_[f] = g;
+      Timer ft;
       solve_fragment(f, workspaces_[g]);
+      record_measured(f, ft.seconds());
     }
     busy[g] = timer.seconds();
   };
@@ -269,6 +324,113 @@ void Ls3dfSolver::petot_f() {
 
   // Aggregate per-group busy time: parallel efficiency of this phase is
   // busy / (n_groups * wall), the quantity behind the paper's 95.8%.
+  double total_busy = 0;
+  for (double b : busy) total_busy += b;
+  profile_.add("PEtot_F.workers", total_busy);
+}
+
+void Ls3dfSolver::petot_f_batched(int n_groups) {
+  const int n_frag = static_cast<int>(contexts_.size());
+  const int n_batches = static_cast<int>(batches_.size());
+
+  // Refresh batch costs from the (possibly measurement-blended) fragment
+  // costs, then LPT over batches: the batch is the schedulable unit.
+  const std::vector<double> costs = fragment_costs();
+  for (FragmentBatch& b : batches_) {
+    b.cost = 0;
+    for (int f : b.members) b.cost += costs[f];
+  }
+  const BatchAssignment ba = assign_batches(batches_, n_frag, n_groups);
+  assignment_.group_of = ba.fragment_group_of;
+  assignment_.group_cost = ba.batches.group_cost;
+  assignment_.max_cost = ba.batches.max_cost;
+  assignment_.total_cost = ba.batches.total_cost;
+  assignment_.efficiency = ba.batches.efficiency;
+  executed_group_of_.assign(n_frag, -1);
+
+  // One persistent workspace per batch, presized to the batch's solve
+  // extents (including the apply stack at the maximum Ritz-block width)
+  // so the steady state allocates nothing.
+  while (batch_workspaces_.size() < batches_.size())
+    batch_workspaces_.push_back(std::make_unique<BatchWorkspace>());
+  for (int b = 0; b < n_batches; ++b) {
+    BatchWorkspace& bw = *batch_workspaces_[b];
+    std::size_t stack = 0;
+    int i = 0;
+    for (int f : batches_[b].members) {
+      const FragmentContext& ctx = *contexts_[f];
+      const int ng = ctx.h->basis().count();
+      const int vmax = std::min(2 * ctx.n_bands, ng);
+      bw.member(i).reserve(ng, ctx.n_bands, opt_.all_band);
+      if (opt_.all_band) {
+        const Vec3i g = ctx.h->basis().grid_shape();
+        stack += static_cast<std::size_t>(vmax) * g.x * g.y * g.z;
+        bw.apply().proj(i, ctx.h->nonlocal().num_projectors(), vmax);
+      }
+      ++i;
+    }
+    if (stack > 0) bw.apply().grid_stack(stack);
+  }
+
+  std::vector<std::vector<int>> members(n_groups);  // batch ids per group
+  for (int b = 0; b < n_batches; ++b)
+    members[ba.batches.group_of[b]].push_back(b);
+
+  // Lanes not consumed by batch-level parallelism drive the batched
+  // kernels' internal work grids (fused GEMM tiles, many-FFT sweeps).
+  const int inner = std::max(1, opt_.n_workers / n_groups);
+  const std::vector<double> analytic = analytic_costs();
+
+  std::vector<double> busy(n_groups, 0.0);
+  const auto run_group = [&](int g) {
+    Timer timer;
+    for (int b : members[g]) {
+      const FragmentBatch& batch = batches_[b];
+      BatchWorkspace& bw = *batch_workspaces_[b];
+      const int k_members = static_cast<int>(batch.members.size());
+      Timer bt;
+      for (int f : batch.members) executed_group_of_[f] = g;
+      if (opt_.all_band) {
+        std::vector<FragmentSolve> items;
+        items.reserve(k_members);
+        for (int f : batch.members)
+          items.push_back({contexts_[f]->h.get(), &contexts_[f]->psi});
+        std::vector<EigensolverResult> rs =
+            solve_all_band_batched(items, opt_.eig, bw, inner);
+        for (int k = 0; k < k_members; ++k)
+          contexts_[batch.members[k]]->eigenvalues =
+              std::move(rs[k].eigenvalues);
+        parallel_for(k_members, inner, [&](int k, int /*worker*/) {
+          finish_fragment(batch.members[k]);
+        });
+      } else {
+        // Band-by-band has no lockstep driver; members still share the
+        // batch's schedulable unit and per-member arenas.
+        for (int k = 0; k < k_members; ++k)
+          solve_fragment(batch.members[k], bw.member(k));
+      }
+      // Apportion the measured batch time over members by analytic
+      // weight (individual lockstep times are not separable).
+      const double dt = bt.seconds();
+      double asum = 0;
+      for (int f : batch.members) asum += analytic[f];
+      for (int f : batch.members)
+        record_measured(f, asum > 0 ? dt * analytic[f] / asum
+                                    : dt / k_members);
+    }
+    busy[g] = timer.seconds();
+  };
+
+  if (n_groups == 1) {
+    run_group(0);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n_groups);
+    for (int g = 0; g < n_groups; ++g)
+      tasks.emplace_back([&run_group, g]() { run_group(g); });
+    shared_pool().run_batch(std::move(tasks));
+  }
+
   double total_busy = 0;
   for (double b : busy) total_busy += b;
   profile_.add("PEtot_F.workers", total_busy);
@@ -348,10 +510,11 @@ double Ls3dfSolver::patched_nonlocal_energy() const {
 long Ls3dfSolver::workspace_allocations() const {
   long total = 0;
   for (const auto& ws : workspaces_) total += ws.allocations();
+  for (const auto& bw : batch_workspaces_) total += bw->allocations();
   return total;
 }
 
-std::vector<double> Ls3dfSolver::fragment_costs() const {
+std::vector<double> Ls3dfSolver::analytic_costs() const {
   std::vector<double> costs;
   costs.reserve(contexts_.size());
   for (const auto& ctx : contexts_) {
@@ -360,6 +523,31 @@ std::vector<double> Ls3dfSolver::fragment_costs() const {
     // Dominant terms of one all-band iteration: subspace gemms + FFTs.
     costs.push_back(ng * nb * nb + ng * std::log2(std::max(2.0, ng)) * nb);
   }
+  return costs;
+}
+
+std::vector<double> Ls3dfSolver::fragment_costs() const {
+  std::vector<double> costs = analytic_costs();
+  // Blend in measured solve times once every fragment has one: the
+  // analytic model is the iteration-1 prior, measurements re-balance
+  // later iterations. Rescaling to the analytic total keeps the blend
+  // meaningful (LPT itself is scale-invariant).
+  bool all_measured = !measured_seconds_.empty();
+  for (double m : measured_seconds_)
+    if (m < 0) {
+      all_measured = false;
+      break;
+    }
+  if (!all_measured) return costs;
+  double analytic_sum = 0, measured_sum = 0;
+  for (std::size_t f = 0; f < costs.size(); ++f) {
+    analytic_sum += costs[f];
+    measured_sum += measured_seconds_[f];
+  }
+  if (measured_sum <= 0 || analytic_sum <= 0) return costs;
+  const double scale = analytic_sum / measured_sum;
+  for (std::size_t f = 0; f < costs.size(); ++f)
+    costs[f] = 0.5 * costs[f] + 0.5 * measured_seconds_[f] * scale;
   return costs;
 }
 

@@ -15,12 +15,17 @@
 //
 // Fragments are independent given V_in, so all four phases run on the
 // persistent execution engine (src/parallel/thread_pool.h): PEtot_F
-// dispatches one task per LPT-scheduled group of fragments — the
-// single-node analogue of the paper's processor groups — while Gen_VF
-// fans out per fragment and Gen_dens per global-density slab. Each group
-// owns a persistent EigenWorkspace arena, so the steady state (after the
-// first outer iteration) allocates no fragment workspace memory at all,
-// and results are bit-identical for any worker count.
+// dispatches one task per LPT-scheduled group — the single-node analogue
+// of the paper's processor groups — while Gen_VF fans out per fragment
+// and Gen_dens per global-density slab. With batch_width > 0, PEtot_F's
+// schedulable unit is a *batch* of same-size-class fragments (cost = sum
+// of member costs): each batch runs the lockstep batched eigensolver
+// (dft/eigensolver.h), fusing the members' Hamiltonian applications and
+// subspace GEMMs into strided batched kernels whose internal work grids
+// fan out over the batch's share of the worker lanes. Every batch owns a
+// persistent BatchWorkspace, so the steady state (after the first outer
+// iteration) allocates no fragment workspace memory at all, and results
+// are bit-identical for any batch width and worker count.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +72,11 @@ struct Ls3dfOptions {
 
   std::uint64_t seed = 2718;
   int n_workers = 1;                // threads for PEtot_F
+  // Max fragments per same-size-class batch in PEtot_F. A batch is the
+  // schedulable unit: one fused Hamiltonian application / GEMM sweep
+  // serves all members (bit-identical to per-fragment solves). 0 disables
+  // batching and restores the per-fragment LPT dispatch.
+  int batch_width = 4;
   bool compute_energy = true;
 };
 
@@ -108,8 +118,12 @@ class Ls3dfSolver {
   double patched_kinetic_energy() const;
   double patched_nonlocal_energy() const;
 
-  // Estimated solve cost per fragment (for the load-balancing scheduler
-  // and the performance model): basis size x bands.
+  // Estimated solve cost per fragment for the load-balancing scheduler
+  // and the performance model. Iteration 1 uses the analytic model
+  // (basis size x bands); once every fragment has a measured solve time
+  // from petot_f(), the analytic prior is blended 50/50 with the
+  // measured exponential moving average (rescaled to the analytic
+  // total), so LPT re-balances on real timings across outer iterations.
   std::vector<double> fragment_costs() const;
 
   // Number of atoms assigned to fragment f's box (incl. buffer).
@@ -118,13 +132,21 @@ class Ls3dfSolver {
   double fragment_electrons(int f) const;
 
   // Scheduling introspection (tests, benches). last_assignment() is the
-  // LPT fragment-to-group assignment computed by the latest petot_f();
+  // LPT fragment-to-group assignment computed by the latest petot_f()
+  // (flattened from the batch-level assignment when batching is on);
   // executed_group_of()[f] is the group whose task actually solved
   // fragment f — by construction these agree, and the scheduler
   // integration test asserts it.
   const GroupAssignment& last_assignment() const { return assignment_; }
   const std::vector<int>& executed_group_of() const {
     return executed_group_of_;
+  }
+  // Same-size-class batches PEtot_F schedules (empty when batch_width
+  // is 0); stable across outer iterations.
+  const std::vector<FragmentBatch>& batches() const { return batches_; }
+  // Measured per-fragment solve seconds (EMA; < 0 before first measure).
+  const std::vector<double>& measured_fragment_seconds() const {
+    return measured_seconds_;
   }
   // Capacity-growth events across the per-group eigensolver arenas. The
   // count is flat after the first outer iteration: the steady state
@@ -135,6 +157,13 @@ class Ls3dfSolver {
   struct FragmentContext;
 
   void solve_fragment(int f, EigenWorkspace& ws);
+  // Occupations + density of a solved fragment (shared tail of the
+  // per-fragment and batched paths).
+  void finish_fragment(int f);
+  void petot_f_per_fragment(int n_groups);
+  void petot_f_batched(int n_groups);
+  std::vector<double> analytic_costs() const;
+  void record_measured(int f, double seconds);
 
   Structure structure_;
   Ls3dfOptions opt_;
@@ -142,10 +171,19 @@ class Ls3dfSolver {
   Vec3i global_grid_;
   FieldR vion_;  // global bare ionic potential
   std::vector<std::unique_ptr<FragmentContext>> contexts_;
-  // Persistent per-group scratch arenas; workspaces_[g] is only ever
-  // touched by the task executing group g, and survives across outer
-  // iterations and solve() calls.
+  // Persistent per-group scratch arenas (per-fragment path); presized to
+  // the largest fragment so adaptive re-grouping can never grow them.
+  // workspaces_[g] is only ever touched by the task executing group g,
+  // and survives across outer iterations and solve() calls.
   std::vector<EigenWorkspace> workspaces_;
+  // Batched path: the same-size-class batches (stable across iterations)
+  // and one persistent workspace per batch, touched only by the task
+  // executing that batch.
+  std::vector<FragmentBatch> batches_;
+  std::vector<std::unique_ptr<BatchWorkspace>> batch_workspaces_;
+  // Measured per-fragment solve seconds (EMA), fed back into
+  // fragment_costs() with the analytic model as the iteration-1 prior.
+  std::vector<double> measured_seconds_;
   GroupAssignment assignment_;
   std::vector<int> executed_group_of_;
   mutable PhaseProfiler profile_;

@@ -1,5 +1,6 @@
 #include "grid/gvectors.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -35,13 +36,25 @@ GVectors::GVectors(const Lattice& lattice, Vec3i grid_shape,
 
 void GVectors::scatter(const std::complex<double>* coeff, FieldC& grid) const {
   assert(grid.shape() == grid_shape_);
-  grid.fill(std::complex<double>(0, 0));
-  for (std::size_t i = 0; i < fft_index_.size(); ++i)
-    grid[fft_index_[i]] = coeff[i];
+  scatter(coeff, grid.data());
 }
 
 void GVectors::gather(const FieldC& grid, std::complex<double>* coeff) const {
   assert(grid.shape() == grid_shape_);
+  gather(grid.data(), coeff);
+}
+
+void GVectors::scatter(const std::complex<double>* coeff,
+                       std::complex<double>* grid) const {
+  const std::size_t n = static_cast<std::size_t>(grid_shape_.x) *
+                        grid_shape_.y * grid_shape_.z;
+  std::fill(grid, grid + n, std::complex<double>(0, 0));
+  for (std::size_t i = 0; i < fft_index_.size(); ++i)
+    grid[fft_index_[i]] = coeff[i];
+}
+
+void GVectors::gather(const std::complex<double>* grid,
+                      std::complex<double>* coeff) const {
   for (std::size_t i = 0; i < fft_index_.size(); ++i)
     coeff[i] = grid[fft_index_[i]];
 }

@@ -42,6 +42,14 @@ class GVectors {
   // Gather FFT-grid values into compact coefficients.
   void gather(const FieldC& grid, std::complex<double>* coeff) const;
 
+  // Raw-pointer variants over a caller-owned grid of grid_shape() extent
+  // (used by the batched Hamiltonian path, whose grids live in a
+  // contiguous many-transform stack rather than in Field3D objects).
+  void scatter(const std::complex<double>* coeff,
+               std::complex<double>* grid) const;
+  void gather(const std::complex<double>* grid,
+              std::complex<double>* coeff) const;
+
   // Signed FFT frequency for index i on an axis of n points.
   static int freq(int i, int n) { return i <= n / 2 ? i : i - n; }
 

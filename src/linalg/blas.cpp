@@ -1,7 +1,10 @@
 #include "linalg/blas.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "parallel/thread_pool.h"
 
 namespace ls3df {
 
@@ -29,17 +32,22 @@ T apply_op(Op op, const Matrix<T>& A, int i, int j) {
 // stay in registers.
 constexpr int kKBlock = 256;
 
-// Blocked overlap kernel: C += alpha * A^H B with A (ka x m), B (ka x n),
-// both column-major. 2x2 register tiles over (i, j), k-blocked so the
-// four active columns stay L1-resident. Complex arithmetic is expanded
-// into real/imaginary parts so the compiler can vectorize the inner loop.
+// Blocked overlap kernel: C(:, j0:j1) += alpha * A^H B(:, j0:j1) with A
+// (ka x m), B (ka x n), both column-major. 2x2 register tiles over (i, j),
+// k-blocked so the four active columns stay L1-resident. Complex
+// arithmetic is expanded into real/imaginary parts so the compiler can
+// vectorize the inner loop. The column range exists for gemm_batched's
+// tile grid; j0 must be even (relative to column 0) so the 2-column
+// pairing — and therefore the exact floating-point expression used for
+// each C element — matches the full-range sweep.
 void gemm_conjtrans_none_blocked(std::complex<double> alpha, const MatC& A,
-                                 const MatC& B, MatC& C) {
+                                 const MatC& B, MatC& C, int j0, int j1) {
   using cd = std::complex<double>;
-  const int ka = A.rows(), m = C.rows(), n = C.cols();
+  const int ka = A.rows(), m = C.rows();
+  const int n = j1;
   for (int kk = 0; kk < ka; kk += kKBlock) {
     const int ke = std::min(ka, kk + kKBlock);
-    int j = 0;
+    int j = j0;
     for (; j + 1 < n; j += 2) {
       const cd* b0 = B.col(j);
       const cd* b1 = B.col(j + 1);
@@ -92,15 +100,17 @@ void gemm_conjtrans_none_blocked(std::complex<double> alpha, const MatC& A,
   }
 }
 
-// Blocked gaxpy kernel: C += alpha * A B with A (m x k), B (k x n). Four
-// C columns advance per sweep of A, quartering the dominant A traffic of
-// the plain column-at-a-time gaxpy for the tall-skinny shapes PEtot_F
-// produces.
+// Blocked gaxpy kernel: C(:, j0:j1) += alpha * A B(:, j0:j1) with A
+// (m x k), B (k x n). Four C columns advance per sweep of A, quartering
+// the dominant A traffic of the plain column-at-a-time gaxpy for the
+// tall-skinny shapes PEtot_F produces. j0 must be a multiple of 4 so the
+// 4-column grouping matches the full-range sweep (see gemm_batched).
 void gemm_none_none_blocked(std::complex<double> alpha, const MatC& A,
-                            const MatC& B, MatC& C) {
+                            const MatC& B, MatC& C, int j0, int j1) {
   using cd = std::complex<double>;
-  const int m = C.rows(), n = C.cols(), k = A.cols();
-  int j = 0;
+  const int m = C.rows(), k = A.cols();
+  const int n = j1;
+  int j = j0;
   for (; j + 3 < n; j += 4) {
     cd* c0 = C.col(j);
     cd* c1 = C.col(j + 1);
@@ -153,11 +163,11 @@ void gemm_impl(Op opA, Op opB, T alpha, const Matrix<T>& A,
 
   if constexpr (std::is_same_v<T, std::complex<double>>) {
     if (opA == Op::kNone && opB == Op::kNone) {
-      gemm_none_none_blocked(alpha, A, B, C);
+      gemm_none_none_blocked(alpha, A, B, C, 0, n);
       return;
     }
     if (opA == Op::kConjTrans && opB == Op::kNone) {
-      gemm_conjtrans_none_blocked(alpha, A, B, C);
+      gemm_conjtrans_none_blocked(alpha, A, B, C, 0, n);
       return;
     }
   } else {
@@ -184,11 +194,100 @@ void gemm_impl(Op opA, Op opB, T alpha, const Matrix<T>& A,
     }
 }
 
+// Columns of C per batched work unit. A multiple of both register-tile
+// widths (2 for the conj-trans kernel, 4 for the gaxpy kernel), so every
+// tile's column pairing starts exactly where the full-range sweep would
+// put it and the batched arithmetic is element-for-element identical to
+// serial gemm().
+constexpr int kBatchTileCols = 32;
+
+// General op fallback restricted to a column range (rare in the batched
+// path; kept for completeness).
+void gemm_general_range(Op opA, Op opB, std::complex<double> alpha,
+                        const MatC& A, const MatC& B, MatC& C, int j0,
+                        int j1) {
+  using cd = std::complex<double>;
+  const int m = C.rows();
+  const int k = (opA == Op::kNone) ? A.cols() : A.rows();
+  for (int j = j0; j < j1; ++j)
+    for (int l = 0; l < k; ++l) {
+      const cd b = alpha * apply_op(opB, B, l, j);
+      if (b == cd{}) continue;
+      for (int i = 0; i < m; ++i) C(i, j) += apply_op(opA, A, i, l) * b;
+    }
+}
+
 }  // namespace
 
 void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
           const MatC& B, std::complex<double> beta, MatC& C) {
   gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
+void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
+                  const std::vector<GemmBatchItem>& items,
+                  std::complex<double> beta, int n_workers) {
+  using cd = std::complex<double>;
+  if (items.empty()) return;
+
+  // Flatten the batch into (member, column tile) work units. The unit
+  // count depends only on the item shapes — never on n_workers — and each
+  // C element is written by exactly one unit, so scheduling cannot change
+  // any value.
+  struct Unit {
+    int item;
+    int j0, j1;
+  };
+  std::vector<Unit> units;
+  for (int t = 0; t < static_cast<int>(items.size()); ++t) {
+    const GemmBatchItem& it = items[t];
+    assert(it.a && it.b && it.c);
+    const MatC& A = *it.a;
+    const MatC& B = *it.b;
+    MatC& C = *it.c;
+    const int m = C.rows(), n = C.cols();
+    const int k = (opA == Op::kNone) ? A.cols() : A.rows();
+    assert(((opA == Op::kNone) ? A.rows() : A.cols()) == m);
+    assert(((opB == Op::kNone) ? B.rows() : B.cols()) == k);
+    assert(((opB == Op::kNone) ? B.cols() : B.rows()) == n);
+    (void)A;
+    (void)B;
+    (void)m;
+    (void)k;
+    for (int j0 = 0; j0 < n; j0 += kBatchTileCols)
+      units.push_back({t, j0, std::min(n, j0 + kBatchTileCols)});
+  }
+
+  const auto run_unit = [&](const Unit& u) {
+    const GemmBatchItem& it = items[u.item];
+    MatC& C = *it.c;
+    // Per-tile beta handling mirrors gemm_impl's whole-matrix pass.
+    if (beta == cd{}) {
+      for (int j = u.j0; j < u.j1; ++j)
+        std::fill(C.col(j), C.col(j) + C.rows(), cd{});
+    } else if (beta != cd{1}) {
+      for (int j = u.j0; j < u.j1; ++j) {
+        cd* cj = C.col(j);
+        for (int i = 0; i < C.rows(); ++i) cj[i] *= beta;
+      }
+    }
+    if (u.j0 == u.j1) return;
+    if (opA == Op::kNone && opB == Op::kNone) {
+      gemm_none_none_blocked(alpha, *it.a, *it.b, C, u.j0, u.j1);
+    } else if (opA == Op::kConjTrans && opB == Op::kNone) {
+      gemm_conjtrans_none_blocked(alpha, *it.a, *it.b, C, u.j0, u.j1);
+    } else {
+      gemm_general_range(opA, opB, alpha, *it.a, *it.b, C, u.j0, u.j1);
+    }
+  };
+
+  const int n_units = static_cast<int>(units.size());
+  if (n_workers <= 1 || n_units <= 1) {
+    for (const Unit& u : units) run_unit(u);
+  } else {
+    parallel_for(n_units, n_workers,
+                 [&](int u, int /*worker*/) { run_unit(units[u]); });
+  }
 }
 
 void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,

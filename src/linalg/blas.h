@@ -1,10 +1,12 @@
 // Minimal BLAS-like kernels built from scratch: matrix-matrix products
 // (the BLAS-3 path that Sec. IV's all-band optimization relies on),
 // matrix-vector products (the BLAS-2 path of the original band-by-band
-// scheme), and the level-1 helpers the CG solvers need.
+// scheme), the strided-batched product the fragment batching engine fuses
+// same-class solves with, and the level-1 helpers the CG solvers need.
 #pragma once
 
 #include <complex>
+#include <vector>
 
 #include "linalg/matrix.h"
 
@@ -17,6 +19,26 @@ void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
           const MatC& B, std::complex<double> beta, MatC& C);
 void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,
           double beta, MatR& C);
+
+// One member of a batched product: C = alpha * op(A) * op(B) + beta * C.
+// Shapes may differ between members (same-class fragment batches share
+// them, but the nonlocal path has per-fragment projector counts).
+struct GemmBatchItem {
+  const MatC* a = nullptr;
+  const MatC* b = nullptr;
+  MatC* c = nullptr;
+};
+
+// Batched GEMM: every item's product, fused into one sweep over a grid of
+// (member, column-tile) work units executed via parallel_for on the shared
+// pool. Tiles are aligned to the register-blocking width of the serial
+// kernels, so each C element is produced by exactly the arithmetic gemm()
+// would use — a batched call is bit-identical to the member-by-member
+// loop for any n_workers, which is what lets the batched fragment solver
+// promise per-fragment reproducibility. n_workers <= 1 runs inline.
+void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
+                  const std::vector<GemmBatchItem>& items,
+                  std::complex<double> beta, int n_workers = 1);
 
 // y = alpha * op(A) * x + beta * y (BLAS-2).
 void gemv(Op opA, std::complex<double> alpha, const MatC& A,

@@ -31,12 +31,14 @@ JacobiRot compute_rotation(double app, double aqq, cd apq) {
   return {c, phase * (t * c)};
 }
 
-}  // namespace
-
-EighResult eigh(const MatC& A) {
+// Jacobi eigendecomposition into caller-provided storage. Shared by the
+// allocating and arena-backed entry points so both produce bit-identical
+// results. M/V/evecs are fully overwritten; no input state survives.
+void eigh_core(const MatC& A, MatC& M, MatC& V, std::vector<int>& order,
+               std::vector<double>& evals, MatC& evecs) {
   const int n = A.rows();
   assert(A.cols() == n);
-  MatC M(n, n);
+  M.reshape(n, n);
   // Symmetrize from the lower triangle.
   for (int j = 0; j < n; ++j) {
     M(j, j) = cd(A(j, j).real(), 0.0);
@@ -45,7 +47,12 @@ EighResult eigh(const MatC& A) {
       M(j, i) = std::conj(A(i, j));
     }
   }
-  MatC V = MatC::identity(n);
+  V.reshape(n, n);
+  for (int j = 0; j < n; ++j) {
+    cd* vj = V.col(j);
+    std::fill(vj, vj + n, cd{});
+    vj[j] = cd(1.0, 0.0);
+  }
 
   auto off_norm = [&]() {
     double s = 0;
@@ -88,19 +95,101 @@ EighResult eigh(const MatC& A) {
   }
 
   // Sort ascending by eigenvalue.
-  std::vector<int> order(n);
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](int a, int b) { return M(a, a).real() < M(b, b).real(); });
 
-  EighResult result;
-  result.eigenvalues.resize(n);
-  result.eigenvectors.resize(n, n);
+  evals.resize(n);
+  evecs.reshape(n, n);
   for (int j = 0; j < n; ++j) {
-    result.eigenvalues[j] = M(order[j], order[j]).real();
-    for (int i = 0; i < n; ++i) result.eigenvectors(i, j) = V(i, order[j]);
+    evals[j] = M(order[j], order[j]).real();
+    for (int i = 0; i < n; ++i) evecs(i, j) = V(i, order[j]);
   }
+}
+
+// Cholesky into caller-provided lower-triangular storage (upper triangle
+// zeroed). Shared by the allocating and arena-backed entry points.
+void cholesky_core(const MatC& A, MatC& L) {
+  const int n = A.rows();
+  assert(A.cols() == n);
+  double scale = 0.0;
+  for (int j = 0; j < n; ++j) scale = std::max(scale, A(j, j).real());
+  // Reject near-singular matrices too: downstream triangular solves would
+  // amplify rounding noise catastrophically.
+  const double min_pivot = std::max(scale, 1e-300) * 1e-13;
+  L.reshape(n, n);
+  for (int j = 0; j < n; ++j) {
+    cd* lj = L.col(j);
+    std::fill(lj, lj + j, cd{});  // strict upper triangle of this column
+    double d = A(j, j).real();
+    for (int k = 0; k < j; ++k) d -= std::norm(L(j, k));
+    if (d <= min_pivot)
+      throw std::runtime_error("cholesky: not (numerically) positive definite");
+    const double ljj = std::sqrt(d);
+    L(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      cd acc = A(i, j);
+      for (int k = 0; k < j; ++k) acc -= L(i, k) * std::conj(L(j, k));
+      L(i, j) = acc / ljj;
+    }
+  }
+}
+
+}  // namespace
+
+MatC& EigenScratch::mat(int slot, int rows, int cols) {
+  assert(slot >= 0 && slot < kSlots);
+  const std::size_t need = static_cast<std::size_t>(rows) * cols;
+  if (need > mat_peak_[slot]) {
+    mat_peak_[slot] = need;
+    ++allocs_;
+  }
+  mats_[slot].reshape(rows, cols);
+  return mats_[slot];
+}
+
+std::vector<double>& EigenScratch::dvec(int n) {
+  if (static_cast<std::size_t>(n) > dvec_peak_) {
+    dvec_peak_ = n;
+    ++allocs_;
+  }
+  dvec_.resize(n);
+  return dvec_;
+}
+
+std::vector<int>& EigenScratch::ivec(int n) {
+  if (static_cast<std::size_t>(n) > ivec_peak_) {
+    ivec_peak_ = n;
+    ++allocs_;
+  }
+  ivec_.resize(n);
+  return ivec_;
+}
+
+void EigenScratch::reserve(int dim) {
+  for (int slot = 0; slot < kSlots; ++slot) mat(slot, dim, dim);
+  dvec(dim);
+  ivec(dim);
+}
+
+EighResult eigh(const MatC& A) {
+  MatC M, V;
+  std::vector<int> order;
+  EighResult result;
+  eigh_core(A, M, V, order, result.eigenvalues, result.eigenvectors);
   return result;
+}
+
+EighView eigh(const MatC& A, EigenScratch& ws) {
+  const int n = A.rows();
+  MatC& M = ws.mat(EigenScratch::kM, n, n);
+  MatC& V = ws.mat(EigenScratch::kV, n, n);
+  MatC& evecs = ws.mat(EigenScratch::kEvecs, n, n);
+  std::vector<int>& order = ws.ivec(n);
+  std::vector<double>& evals = ws.dvec(n);
+  eigh_core(A, M, V, order, evals, evecs);
+  return EighView{&evals, &evecs};
 }
 
 EighResultReal eigh(const MatR& A) {
@@ -119,29 +208,12 @@ EighResultReal eigh(const MatR& A) {
 }
 
 MatC cholesky(const MatC& A) {
-  const int n = A.rows();
-  assert(A.cols() == n);
-  double scale = 0.0;
-  for (int j = 0; j < n; ++j) scale = std::max(scale, A(j, j).real());
-  // Reject near-singular matrices too: downstream triangular solves would
-  // amplify rounding noise catastrophically.
-  const double min_pivot = std::max(scale, 1e-300) * 1e-13;
-  MatC L(n, n);
-  for (int j = 0; j < n; ++j) {
-    double d = A(j, j).real();
-    for (int k = 0; k < j; ++k) d -= std::norm(L(j, k));
-    if (d <= min_pivot)
-      throw std::runtime_error("cholesky: not (numerically) positive definite");
-    const double ljj = std::sqrt(d);
-    L(j, j) = ljj;
-    for (int i = j + 1; i < n; ++i) {
-      cd acc = A(i, j);
-      for (int k = 0; k < j; ++k) acc -= L(i, k) * std::conj(L(j, k));
-      L(i, j) = acc / ljj;
-    }
-  }
+  MatC L;
+  cholesky_core(A, L);
   return L;
 }
+
+void cholesky(const MatC& A, MatC& L) { cholesky_core(A, L); }
 
 void trsm_right_lherm(const MatC& L, MatC& B) {
   // Solve X L^H = B, i.e. for each row x of B: x = b * L^{-H}.

@@ -20,6 +20,49 @@ struct EighResult {
 // and diagonal are required to be meaningful; the matrix is symmetrized).
 EighResult eigh(const MatC& A);
 
+// Grow-only scratch arena for the dense solvers below. The Rayleigh-Ritz
+// loop of the iterative eigensolver calls eigh() every iteration on a
+// subspace matrix of at most a few hundred rows; with an arena those
+// calls allocate nothing once the arena has reached its peak — the last
+// per-iteration heap source the fragment-workspace probe could not see.
+// allocations() counts capacity-growth events exactly like
+// EigenWorkspace so the two probes compose.
+class EigenScratch {
+ public:
+  static constexpr int kSlots = 6;  // M, V, evecs, S, L, caller slot
+
+  // Slot ids for the arena-backed entry points and their callers.
+  static constexpr int kM = 0, kV = 1, kEvecs = 2, kS = 3, kL = 4, kA = 5;
+
+  MatC& mat(int slot, int rows, int cols);
+  std::vector<double>& dvec(int n);
+  std::vector<int>& ivec(int n);
+
+  // Grow every slot to the given subspace dimension so steady-state use
+  // can never allocate (idempotent once grown).
+  void reserve(int dim);
+
+  long allocations() const { return allocs_; }
+
+ private:
+  MatC mats_[kSlots];
+  std::size_t mat_peak_[kSlots] = {};
+  std::vector<double> dvec_;
+  std::vector<int> ivec_;
+  std::size_t dvec_peak_ = 0, ivec_peak_ = 0;
+  long allocs_ = 0;
+};
+
+// Arena-backed eigendecomposition: identical arithmetic to eigh(), but
+// every temporary and both outputs live in (and persist through) the
+// caller's scratch arena. The returned views alias scratch storage and
+// stay valid until the next arena-backed call on the same scratch.
+struct EighView {
+  const std::vector<double>* eigenvalues;  // ascending, n entries
+  const MatC* eigenvectors;                // n x n
+};
+EighView eigh(const MatC& A, EigenScratch& ws);
+
 // Real symmetric convenience wrapper.
 struct EighResultReal {
   std::vector<double> eigenvalues;
@@ -31,6 +74,11 @@ EighResultReal eigh(const MatR& A);
 // matrix; returns lower-triangular L. Throws std::runtime_error if A is
 // not (numerically) positive definite.
 MatC cholesky(const MatC& A);
+
+// Arena-backed variant: factors into caller-owned (typically
+// scratch-resident) storage, allocating nothing once L has reached its
+// peak extent. Same arithmetic and same not-positive-definite throw.
+void cholesky(const MatC& A, MatC& L);
 
 // Solve X * L^H = B in place (right triangular solve), i.e. replace B by
 // B * L^{-H}. Used to orthonormalize a band block from its overlap matrix:

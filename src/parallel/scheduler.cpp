@@ -43,4 +43,50 @@ GroupAssignment assign_fragments(const std::vector<double>& costs,
   return out;
 }
 
+std::vector<FragmentBatch> make_batches(const std::vector<int>& class_of,
+                                        int width) {
+  assert(width >= 1);
+  const int n = static_cast<int>(class_of.size());
+
+  // Fragments per class, in ascending fragment order.
+  int n_classes = 0;
+  for (int f = 0; f < n; ++f) n_classes = std::max(n_classes, class_of[f] + 1);
+  std::vector<std::vector<int>> by_class(n_classes);
+  for (int f = 0; f < n; ++f) by_class[class_of[f]].push_back(f);
+
+  std::vector<FragmentBatch> batches;
+  for (int c = 0; c < n_classes; ++c) {
+    const std::vector<int>& members = by_class[c];
+    for (std::size_t start = 0; start < members.size();
+         start += static_cast<std::size_t>(width)) {
+      FragmentBatch b;
+      b.size_class = c;
+      const std::size_t end =
+          std::min(members.size(), start + static_cast<std::size_t>(width));
+      b.members.assign(members.begin() + start, members.begin() + end);
+      batches.push_back(std::move(b));
+    }
+  }
+  std::sort(batches.begin(), batches.end(),
+            [](const FragmentBatch& a, const FragmentBatch& b) {
+              return a.members.front() < b.members.front();
+            });
+  return batches;
+}
+
+BatchAssignment assign_batches(const std::vector<FragmentBatch>& batches,
+                               int n_fragments, int n_groups) {
+  std::vector<double> batch_costs;
+  batch_costs.reserve(batches.size());
+  for (const FragmentBatch& b : batches) batch_costs.push_back(b.cost);
+
+  BatchAssignment out;
+  out.batches = assign_fragments(batch_costs, n_groups);
+  out.fragment_group_of.assign(n_fragments, 0);
+  for (std::size_t b = 0; b < batches.size(); ++b)
+    for (int f : batches[b].members)
+      out.fragment_group_of[f] = out.batches.group_of[b];
+  return out;
+}
+
 }  // namespace ls3df

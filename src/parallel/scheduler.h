@@ -27,4 +27,36 @@ struct GroupAssignment {
 GroupAssignment assign_fragments(const std::vector<double>& costs,
                                  int n_groups);
 
+// A batch of same-size-class fragments: the schedulable unit of the
+// batched PEtot_F path. Every member shares the (ng, nb) shape class, so
+// one fused Hamiltonian application / GEMM sweep serves all of them.
+struct FragmentBatch {
+  int size_class = 0;
+  std::vector<int> members;  // ascending fragment indices
+  double cost = 0;           // sum of member costs (set by the scheduler
+                             // from the current fragment costs)
+};
+
+// Chunk each size class's fragments into batches of at most `width`
+// members, preserving ascending fragment order within a class. class_of
+// is any labeling where equal labels mean identical solve shapes.
+// Deterministic: batch composition depends only on class_of and width,
+// so batches — and their persistent workspaces — are stable across outer
+// SCF iterations even as measured costs drift; each dispatch fills
+// FragmentBatch::cost from the costs current at that moment. Batches are
+// ordered by their first member's index.
+std::vector<FragmentBatch> make_batches(const std::vector<int>& class_of,
+                                        int width);
+
+// LPT over batches (the batch is the schedulable unit; its cost is the
+// sum of member costs). `batches` holds the batch-level assignment;
+// fragment_group_of flattens it back to per-fragment groups for
+// introspection and the patching phases.
+struct BatchAssignment {
+  GroupAssignment batches;
+  std::vector<int> fragment_group_of;
+};
+BatchAssignment assign_batches(const std::vector<FragmentBatch>& batches,
+                               int n_fragments, int n_groups);
+
 }  // namespace ls3df

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "atoms/builders.h"
 #include "common/rng.h"
@@ -258,6 +260,155 @@ TEST(SubspaceRotate, SortsAndPreservesSpan) {
   for (int j = 0; j < 5; ++j)
     for (int g = 0; g < gv.count(); g += 7)
       EXPECT_LT(std::abs(rec(g, j) - psi(g, j)), 1e-9);
+}
+
+TEST(BatchedSolver, BitIdenticalToPerFragmentSolves) {
+  // The tentpole contract: solve_all_band_batched over K same-shape
+  // Hamiltonians returns exactly what K independent solve_all_band calls
+  // return — eigenvalues and wavefunctions alike, for any worker count.
+  // Members get different atomic configurations and different local
+  // potentials so the lockstep really exercises per-member state,
+  // including different convergence trajectories.
+  const Lattice lat = Lattice::cubic(8.0);
+  const Vec3i grid{10, 10, 10};
+  std::vector<std::unique_ptr<Hamiltonian>> hams;
+  std::vector<MatC> psis_ref, psis_bat;
+  const int nb = 5;
+  for (int t = 0; t < 3; ++t) {
+    Structure s(lat);
+    s.add_atom(Species::kZn, {2.0 + 0.6 * t, 2.0, 2.0});
+    s.add_atom(Species::kTe, {2.0 + 0.6 * t, 2.0, 4.5});
+    if (t == 2) s.add_atom(Species::kO, {5.5, 5.5, 5.5});
+    GVectors gv(lat, grid, 1.2);
+    hams.push_back(std::make_unique<Hamiltonian>(s, gv));
+    psis_ref.push_back(random_wavefunctions(gv, nb, 1000 + t));
+    psis_bat.push_back(psis_ref.back());
+  }
+
+  const EigensolverOptions opt{12, 1e-7, true};
+  std::vector<EigensolverResult> refs;
+  for (int t = 0; t < 3; ++t)
+    refs.push_back(solve_all_band(*hams[t], psis_ref[t], opt));
+
+  for (int workers : {1, 4}) {
+    std::vector<MatC> psis = psis_bat;
+    std::vector<FragmentSolve> frags;
+    for (int t = 0; t < 3; ++t) frags.push_back({hams[t].get(), &psis[t]});
+    BatchWorkspace ws;
+    std::vector<EigensolverResult> rs =
+        solve_all_band_batched(frags, opt, ws, workers);
+    ASSERT_EQ(rs.size(), 3u);
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_EQ(rs[t].converged, refs[t].converged) << t;
+      EXPECT_EQ(rs[t].iterations, refs[t].iterations) << t;
+      ASSERT_EQ(rs[t].eigenvalues.size(), refs[t].eigenvalues.size()) << t;
+      for (std::size_t j = 0; j < rs[t].eigenvalues.size(); ++j)
+        ASSERT_EQ(rs[t].eigenvalues[j], refs[t].eigenvalues[j])
+            << "member " << t << " band " << j << " workers=" << workers;
+      for (int j = 0; j < nb; ++j)
+        for (int g = 0; g < psis[t].rows(); ++g)
+          ASSERT_EQ(psis[t](g, j), psis_ref[t](g, j))
+              << "member " << t << " workers=" << workers;
+    }
+  }
+}
+
+TEST(BatchedSolver, WidthOneMatchesSolo) {
+  // Degenerate batch: a single member must follow the identical path.
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 8.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {10, 10, 10}, 1.2);
+  Hamiltonian h(s, gv);
+  MatC p_ref = random_wavefunctions(gv, 4, 77);
+  MatC p_bat = p_ref;
+  EigensolverOptions opt{20, 1e-8, true};
+  EigensolverResult ref = solve_all_band(h, p_ref, opt);
+  BatchWorkspace ws;
+  std::vector<FragmentSolve> frags{{&h, &p_bat}};
+  std::vector<EigensolverResult> rs = solve_all_band_batched(frags, opt, ws);
+  ASSERT_EQ(rs[0].eigenvalues.size(), ref.eigenvalues.size());
+  for (std::size_t j = 0; j < ref.eigenvalues.size(); ++j)
+    ASSERT_EQ(rs[0].eigenvalues[j], ref.eigenvalues[j]);
+  for (int j = 0; j < 4; ++j)
+    for (int g = 0; g < p_ref.rows(); ++g)
+      ASSERT_EQ(p_bat(g, j), p_ref(g, j));
+}
+
+TEST(BatchedSolver, SteadyStateAllocatesNothing) {
+  // The BatchWorkspace arenas may only grow on the first solve of a
+  // given batch composition; repeated solves reuse warm buffers. The
+  // members differ in atom (and therefore projector) count and band
+  // count, so members converge out of the lockstep at different
+  // iterations — workspace slots must stay keyed to the member, not to
+  // the member's position in the shrinking active list.
+  const Lattice lat = Lattice::cubic(8.0);
+  const Vec3i grid{10, 10, 10};
+  std::vector<std::unique_ptr<Hamiltonian>> hams;
+  std::vector<int> bands;
+  for (int t = 0; t < 2; ++t) {
+    Structure s(lat);
+    s.add_atom(Species::kZn, {2.0 + t, 2.0, 2.0});
+    if (t == 1) {
+      s.add_atom(Species::kTe, {5.0, 5.0, 5.0});
+      s.add_atom(Species::kTe, {2.5, 5.0, 2.5});
+    }
+    GVectors gv(lat, grid, 1.2);
+    hams.push_back(std::make_unique<Hamiltonian>(s, gv));
+    bands.push_back(t == 0 ? 2 : 5);
+  }
+  ASSERT_NE(hams[0]->nonlocal().num_projectors(),
+            hams[1]->nonlocal().num_projectors());
+  BatchWorkspace ws;
+  const EigensolverOptions opt{6, 1e-9, true};
+  long after_first = -1;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<MatC> psis;
+    for (int t = 0; t < 2; ++t)
+      psis.push_back(
+          random_wavefunctions(hams[t]->basis(), bands[t], 5 + rep));
+    std::vector<FragmentSolve> frags;
+    for (int t = 0; t < 2; ++t) frags.push_back({hams[t].get(), &psis[t]});
+    solve_all_band_batched(frags, opt, ws);
+    if (rep == 0) {
+      after_first = ws.allocations();
+      EXPECT_GT(after_first, 0);
+    } else {
+      EXPECT_EQ(ws.allocations(), after_first) << "rep " << rep;
+    }
+  }
+}
+
+TEST(BatchedHamiltonianApply, BitIdenticalToApply) {
+  const Lattice lat = Lattice::cubic(8.0);
+  const Vec3i grid{10, 10, 10};
+  std::vector<std::unique_ptr<Hamiltonian>> hams;
+  std::vector<MatC> psis;
+  for (int t = 0; t < 3; ++t) {
+    Structure s(lat);
+    s.add_atom(Species::kZn, {2.0, 2.0 + 0.8 * t, 2.0});
+    if (t > 0) s.add_atom(Species::kTe, {5.0, 5.0, 2.0 + t});
+    GVectors gv(lat, grid, 1.2);
+    hams.push_back(std::make_unique<Hamiltonian>(s, gv));
+    // Different column counts per member: the Davidson block widths.
+    psis.push_back(random_wavefunctions(gv, 3 + t, 30 + t));
+  }
+  std::vector<MatC> ref(3);
+  for (int t = 0; t < 3; ++t) hams[t]->apply(psis[t], ref[t]);
+  for (int workers : {1, 4}) {
+    std::vector<MatC> out(3);
+    std::vector<Hamiltonian::ApplyItem> items;
+    for (int t = 0; t < 3; ++t)
+      items.push_back({hams[t].get(), &psis[t], &out[t]});
+    ApplyBatchWorkspace ws;
+    Hamiltonian::apply_batched(items, ws, workers);
+    for (int t = 0; t < 3; ++t) {
+      ASSERT_EQ(out[t].rows(), ref[t].rows());
+      ASSERT_EQ(out[t].cols(), ref[t].cols());
+      for (int j = 0; j < out[t].cols(); ++j)
+        for (int g = 0; g < out[t].rows(); ++g)
+          ASSERT_EQ(out[t](g, j), ref[t](g, j))
+              << "member " << t << " workers=" << workers;
+    }
+  }
 }
 
 TEST(Preconditioner, SpeedsUpConvergence) {

@@ -126,6 +126,107 @@ TEST(Gemm, RealMatchesComplex) {
     }
 }
 
+TEST(GemmBatched, BitIdenticalToLoopedGemm) {
+  // The batched-solve contract: fusing products into one sweep must not
+  // change a single bit relative to member-by-member gemm() calls, for
+  // any worker count. Shapes mix tall-skinny (the fragment overlap
+  // shape), odd column counts (exercise the pairing remainder) and
+  // per-member differences (the nonlocal path).
+  struct Shape {
+    int m, n, k;
+  };
+  const std::vector<Shape> shapes{{150, 17, 64}, {150, 32, 64}, {96, 5, 33}};
+  for (Op opA : {Op::kConjTrans, Op::kNone}) {
+    std::vector<MatC> As, Bs, Cb, Cl;
+    for (std::size_t t = 0; t < shapes.size(); ++t) {
+      const auto [m, n, k] = shapes[t];
+      // op(A) is m x k: for kConjTrans store A as k x m.
+      As.push_back(random_matc(opA == Op::kNone ? m : k,
+                               opA == Op::kNone ? k : m, 11 + t));
+      Bs.push_back(random_matc(k, n, 50 + t));
+      Cb.push_back(random_matc(m, n, 90 + t));
+      Cl.push_back(Cb.back());
+    }
+    for (const cd beta : {cd(0, 0), cd(1, 0), cd(0.5, -0.25)}) {
+      for (int workers : {1, 4}) {
+        std::vector<MatC> cb = Cb, cl = Cl;
+        std::vector<GemmBatchItem> items;
+        for (std::size_t t = 0; t < shapes.size(); ++t)
+          items.push_back({&As[t], &Bs[t], &cb[t]});
+        gemm_batched(opA, Op::kNone, cd(0.7, 0.3), items, beta, workers);
+        for (std::size_t t = 0; t < shapes.size(); ++t)
+          gemm(opA, Op::kNone, cd(0.7, 0.3), As[t], Bs[t], beta, cl[t]);
+        for (std::size_t t = 0; t < shapes.size(); ++t)
+          for (int j = 0; j < cb[t].cols(); ++j)
+            for (int i = 0; i < cb[t].rows(); ++i)
+              ASSERT_EQ(cb[t](i, j), cl[t](i, j))
+                  << "item " << t << " (" << i << "," << j << ") opA="
+                  << static_cast<int>(opA) << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(GemmBatched, WideMatrixCrossesTileBoundaries) {
+  // More columns than one 32-column tile: the tile grid must reproduce
+  // the full-range kernel exactly across tile seams.
+  MatC A = random_matc(64, 80, 3);
+  MatC B = random_matc(64, 80, 4);
+  MatC Cb(80, 80), Cl(80, 80);
+  std::vector<GemmBatchItem> items{{&A, &B, &Cb}};
+  gemm_batched(Op::kConjTrans, Op::kNone, cd(1, 0), items, cd(0, 0), 4);
+  gemm(Op::kConjTrans, Op::kNone, cd(1, 0), A, B, cd(0, 0), Cl);
+  for (int j = 0; j < 80; ++j)
+    for (int i = 0; i < 80; ++i) ASSERT_EQ(Cb(i, j), Cl(i, j));
+}
+
+TEST(EighArena, MatchesAllocatingEigh) {
+  EigenScratch ws;
+  for (int n : {1, 2, 5, 16}) {
+    MatC A = random_matc(n, n, 7 * n);
+    // Hermitize.
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < j; ++i) A(i, j) = std::conj(A(j, i));
+    EighResult ref = eigh(A);
+    EighView arena = eigh(A, ws);
+    ASSERT_EQ(static_cast<int>(arena.eigenvalues->size()), n);
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ((*arena.eigenvalues)[j], ref.eigenvalues[j]) << n;
+      for (int i = 0; i < n; ++i)
+        ASSERT_EQ((*arena.eigenvectors)(i, j), ref.eigenvectors(i, j)) << n;
+    }
+  }
+}
+
+TEST(EighArena, SteadyStateAllocatesNothing) {
+  EigenScratch ws;
+  ws.reserve(16);
+  const long after_reserve = ws.allocations();
+  EXPECT_GT(after_reserve, 0);
+  for (int rep = 0; rep < 4; ++rep)
+    for (int n : {16, 8, 3}) {
+      MatC A = random_matc(n, n, 100 + n);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < j; ++i) A(i, j) = std::conj(A(j, i));
+      eigh(A, ws);
+    }
+  EXPECT_EQ(ws.allocations(), after_reserve);
+}
+
+TEST(CholeskyArena, MatchesAllocatingCholesky) {
+  MatC X = random_matc(40, 6, 17);
+  MatC S = overlap(X, X);
+  MatC ref = cholesky(S);
+  MatC L;
+  cholesky(S, L);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) ASSERT_EQ(L(i, j), ref(i, j));
+  MatC bad(2, 2);
+  bad(0, 0) = 1.0;
+  bad(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(bad, L), std::runtime_error);
+}
+
 TEST(Gemv, MatchesGemm) {
   const int m = 9, n = 6;
   MatC A = random_matc(m, n, 30);

@@ -291,19 +291,23 @@ TEST(Ls3df, ExecutorRunsExactlyTheLptAssignment) {
   // The scheduler integration contract: what assign_fragments computes
   // is what the engine executes — every fragment runs in the group LPT
   // assigned it to, and the recorded assignment matches an independent
-  // recomputation from the same costs.
+  // recomputation from the same costs. Costs are captured *before* the
+  // dispatch: petot_f records measured solve times that feed the next
+  // iteration's costs.
   Structure s = h2_chain(3);
   Ls3dfOptions lo = chain_options();
   lo.n_workers = 3;
+  lo.batch_width = 0;  // per-fragment dispatch path
   Ls3dfSolver solver(s, lo);
 
   FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
   solver.gen_vf(v);
+  const std::vector<double> costs_used = solver.fragment_costs();
   solver.petot_f();
 
   const int n_frag = solver.num_fragments();
   const GroupAssignment recomputed =
-      assign_fragments(solver.fragment_costs(), lo.n_workers);
+      assign_fragments(costs_used, lo.n_workers);
   const GroupAssignment& used = solver.last_assignment();
   const std::vector<int>& executed = solver.executed_group_of();
   ASSERT_EQ(static_cast<int>(executed.size()), n_frag);
@@ -313,6 +317,147 @@ TEST(Ls3df, ExecutorRunsExactlyTheLptAssignment) {
     EXPECT_EQ(executed[f], used.group_of[f])
         << "fragment " << f << " ran outside its LPT group";
   }
+}
+
+TEST(Ls3df, BatchedExecutorRunsExactlyTheBatchAssignment) {
+  // Batched dispatch contract: batches group same-size-class fragments,
+  // respect the width cap, and every fragment executes in the group its
+  // *batch* was LPT-assigned to.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.n_workers = 2;
+  lo.batch_width = 2;
+  Ls3dfSolver solver(s, lo);
+
+  FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
+  solver.gen_vf(v);
+  solver.petot_f();
+
+  const auto& batches = solver.batches();
+  ASSERT_FALSE(batches.empty());
+  std::vector<int> seen(solver.num_fragments(), 0);
+  const std::vector<int>& executed = solver.executed_group_of();
+  for (const FragmentBatch& b : batches) {
+    ASSERT_LE(static_cast<int>(b.members.size()), lo.batch_width);
+    ASSERT_FALSE(b.members.empty());
+    for (int f : b.members) ++seen[f];
+    // Every member executed in the same group as the batch's first.
+    for (int f : b.members)
+      EXPECT_EQ(executed[f], executed[b.members.front()])
+          << "fragment " << f << " ran outside its batch's group";
+  }
+  for (int f = 0; f < solver.num_fragments(); ++f)
+    EXPECT_EQ(seen[f], 1) << "fragment " << f << " batched " << seen[f]
+                          << " times";
+  // Same class within each batch: identical solve-cost shape is implied
+  // by identical (grid, ng, nb); fragment_costs is a function of those,
+  // so members of one batch must share the analytic cost.
+  Ls3dfSolver fresh(s, lo);  // unmeasured: analytic costs only
+  const std::vector<double> analytic = fresh.fragment_costs();
+  for (const FragmentBatch& b : batches)
+    for (int f : b.members)
+      EXPECT_EQ(analytic[f], analytic[b.members.front()]) << f;
+}
+
+TEST(Ls3df, BatchedBitIdenticalToPerFragmentAcrossWidthsAndWorkers) {
+  // The tentpole contract: the batched PEtot_F path produces the same
+  // patched density — bit for bit — as the per-fragment path, for any
+  // batch width and worker count.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.max_iterations = 2;
+  lo.l1_tol = 0.0;  // fixed number of outer iterations
+
+  std::vector<double> reference;
+  {
+    lo.batch_width = 0;
+    lo.n_workers = 1;
+    Ls3dfSolver solver(s, lo);
+    Ls3dfResult r = solver.solve();
+    reference.assign(r.rho.data(), r.rho.data() + r.rho.size());
+  }
+  for (int width : {1, 2, 4}) {
+    for (int workers : {1, 4}) {
+      lo.batch_width = width;
+      lo.n_workers = workers;
+      Ls3dfSolver solver(s, lo);
+      Ls3dfResult r = solver.solve();
+      ASSERT_EQ(r.rho.size(), reference.size());
+      for (std::size_t i = 0; i < r.rho.size(); ++i)
+        ASSERT_EQ(r.rho[i], reference[i])
+            << "density differs at point " << i << " for width=" << width
+            << " workers=" << workers;
+    }
+  }
+}
+
+TEST(Ls3df, BatchedSteadyStateAllocatesNothing) {
+  // The allocation probe extended to the batched path: per-batch
+  // workspaces (member arenas + apply stack) may only grow during the
+  // first petot_f; afterwards every lockstep solve reuses warm buffers.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.batch_width = 4;
+  lo.n_workers = 2;
+  lo.max_iterations = 3;
+  lo.l1_tol = 0.0;
+  Ls3dfSolver solver(s, lo);
+
+  FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
+  solver.gen_vf(v);
+  solver.petot_f();
+  const long after_first = solver.workspace_allocations();
+  EXPECT_GT(after_first, 0);
+  for (int iter = 0; iter < 2; ++iter) {
+    FieldR rho = solver.gen_dens();
+    v = solver.genpot(rho);
+    solver.gen_vf(v);
+    solver.petot_f();
+  }
+  EXPECT_EQ(solver.workspace_allocations(), after_first)
+      << "batched workspaces grew after the first outer iteration";
+}
+
+TEST(Ls3df, AdaptiveCostsBlendMeasuredTimes) {
+  // Satellite contract: petot_f records per-fragment solve times; once
+  // every fragment has one, fragment_costs() blends them with the
+  // analytic prior (rescaled), and the next dispatch still runs every
+  // fragment exactly once in its assigned group.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.n_workers = 2;
+  Ls3dfSolver solver(s, lo);
+
+  const std::vector<double> before = solver.fragment_costs();
+  for (double m : solver.measured_fragment_seconds()) EXPECT_LT(m, 0.0);
+
+  FieldR v = solver.genpot(build_initial_density(s, solver.global_grid()));
+  solver.gen_vf(v);
+  solver.petot_f();
+
+  const std::vector<double>& measured = solver.measured_fragment_seconds();
+  ASSERT_EQ(static_cast<int>(measured.size()), solver.num_fragments());
+  for (double m : measured) EXPECT_GE(m, 0.0);
+
+  const std::vector<double> after = solver.fragment_costs();
+  ASSERT_EQ(after.size(), before.size());
+  double total_before = 0, total_after = 0;
+  for (std::size_t f = 0; f < after.size(); ++f) {
+    EXPECT_GT(after[f], 0.0);
+    total_before += before[f];
+    total_after += after[f];
+  }
+  // The blend rescales measurements to the analytic total, so the total
+  // cost is preserved (up to roundoff) while the distribution adapts.
+  EXPECT_NEAR(total_after, total_before, 1e-6 * total_before);
+
+  // A second dispatch on blended costs still executes every fragment in
+  // the group the (batch) assignment names.
+  solver.petot_f();
+  const std::vector<int>& executed = solver.executed_group_of();
+  const GroupAssignment& used = solver.last_assignment();
+  for (int f = 0; f < solver.num_fragments(); ++f)
+    EXPECT_EQ(executed[f], used.group_of[f]) << f;
 }
 
 TEST(Ls3df, ThreadedPetotFMatchesSerial) {
