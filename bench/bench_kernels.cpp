@@ -14,7 +14,9 @@
 // probes for the fused kernels (gemm_batched, fft_many, petot_f batched
 // at width 4 — the tentpole target is >= 1.5x over looped per-fragment
 // solves on >= 4 cores, >= 1.0x on one, always with bit-identical
-// densities).
+// densities), and the sharded-grid probes: the distributed-transpose FFT
+// round trip (with the transpose's share of the wall time) and sharded
+// vs dense GENPOT with the bit-identity flag CI asserts.
 #include <benchmark/benchmark.h>
 
 #include <complex>
@@ -31,10 +33,14 @@
 #include "common/timer.h"
 #include "dft/eigensolver.h"
 #include "dft/hamiltonian.h"
+#include "dft/scf.h"
+#include "fft/dist_fft3d.h"
 #include "fft/fft.h"
 #include "fft/fft3d.h"
 #include "fragment/ls3df.h"
+#include "grid/sharded_field.h"
 #include "linalg/blas.h"
+#include "parallel/shard_comm.h"
 #include "parallel/thread_pool.h"
 
 namespace {
@@ -220,6 +226,49 @@ void BM_FftMany(benchmark::State& state) {
 }
 BENCHMARK(BM_FftMany)->Arg(1)->Arg(4);
 
+// Distributed (slab + pencil-transpose) FFT vs the dense transform on
+// the paper-scale 40^3 global grid.
+struct DistFftFixture {
+  static constexpr int kN = 40, kShards = 4;
+  Vec3i shape{kN, kN, kN};
+  Fft3D dense{Vec3i{kN, kN, kN}};
+  ShardComm comm;
+  DistFft3D dist;
+  std::vector<cplx> dense_x;
+  ShardedFieldR in, out;
+  DistFftFixture()
+      : comm(kShards, std::min(4, default_workers())),
+        dist({kN, kN, kN}, comm),
+        dense_x(dense.size()),
+        in({kN, kN, kN}, kShards),
+        out({kN, kN, kN}, kShards) {
+    Rng rng(8);
+    FieldR f(shape);
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < f.size(); ++i) dense_x[i] = cplx(f[i], 0.0);
+    in.from_dense(f);
+  }
+  DistFftFixture(const DistFftFixture&) = delete;
+  void run_dense() {
+    dense.forward(dense_x.data());
+    dense.inverse(dense_x.data());
+  }
+  void run_dist() {
+    dist.forward(in);
+    dist.inverse(out);
+  }
+};
+
+void BM_DistFft3DRoundTrip(benchmark::State& state) {
+  DistFftFixture fx;
+  for (auto _ : state) {
+    fx.run_dist();
+    benchmark::DoNotOptimize(fx.out.slab(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.dense.size());
+}
+BENCHMARK(BM_DistFft3DRoundTrip);
+
 void BM_OrthonormalizeCholesky(benchmark::State& state) {
   MatC X0 = random_matc(1200, 48, 9);
   for (auto _ : state) {
@@ -368,6 +417,66 @@ std::vector<JsonEntry> kernel_summary() {
     out.push_back({"fft_many_16x24", many, fx.flops()});
     out.push_back(
         {"fft_many_speedup_over_looped", many > 0 ? looped / many : 0, 0});
+  }
+
+  {
+    // Distributed-transpose FFT round trip vs dense on the 40^3 global
+    // grid, plus the share of wall time spent in the pencil transpose.
+    DistFftFixture fx;
+    fx.run_dist();  // warm the exchange mailboxes
+    fx.dist.take_transpose_seconds();
+    const double dense = time_best_ms(5, [&]() { fx.run_dense(); });
+    double transpose_ms = 1e300;
+    const double dist = time_best_ms(5, [&]() {
+      fx.dist.take_transpose_seconds();
+      fx.run_dist();
+      transpose_ms =
+          std::min(transpose_ms, fx.dist.take_transpose_seconds() * 1e3);
+    });
+    const double flops = 2.0 * FlopCounter::fft3d(DistFftFixture::kN,
+                                                  DistFftFixture::kN,
+                                                  DistFftFixture::kN);
+    out.push_back({"fft3d_roundtrip_40_dense", dense, flops});
+    out.push_back({"dist_fft3d_roundtrip_40_s4", dist, flops});
+    out.push_back({"dist_fft3d_transpose_40_s4", transpose_ms, 0});
+  }
+  {
+    // Sharded vs dense GENPOT (V_ion + Hartree + xc) on the 40^3 grid:
+    // the cross-PR trajectory entries plus the bit-identity flag CI
+    // asserts — the sharded pipeline must reproduce the dense potential
+    // exactly.
+    const Vec3i shape{40, 40, 40};
+    const Lattice lat({12.0, 12.0, 12.0});
+    Rng rng(9);
+    FieldR vion(shape), rho(shape);
+    for (std::size_t i = 0; i < vion.size(); ++i) {
+      vion[i] = rng.uniform(-1, 1);
+      rho[i] = rng.uniform(0.0, 0.2);
+    }
+    const double dense_ms = time_best_ms(
+        3, [&]() { benchmark::DoNotOptimize(
+                       effective_potential(vion, rho, lat).data()); });
+    const FieldR v_dense = effective_potential(vion, rho, lat);
+
+    const int shards = 4;
+    ShardComm comm(shards, std::min(4, default_workers()));
+    DistFft3D fft(shape, comm);
+    ShardedFieldR svion(shape, shards), srho(shape, shards),
+        vh(shape, shards), vxc(shape, shards), vout(shape, shards);
+    svion.from_dense(vion);
+    srho.from_dense(rho);
+    sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);  // warm
+    const double sharded_ms = time_best_ms(3, [&]() {
+      sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);
+    });
+    const FieldR v_sharded = vout.to_dense();
+    bool identical = v_sharded.size() == v_dense.size();
+    for (std::size_t i = 0; identical && i < v_dense.size(); ++i)
+      identical = v_sharded[i] == v_dense[i];
+    out.push_back({"genpot_dense_40", dense_ms, 0});
+    out.push_back({"genpot_sharded_40_s4", sharded_ms, 0});
+    out.push_back({"genpot_sharded_bit_identical_to_dense",
+                   identical ? 1.0 : 0.0, 0});
   }
 
   // PEtot_F probes. Looped per-fragment dispatch at 1 and 4 workers (the

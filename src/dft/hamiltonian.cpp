@@ -253,31 +253,61 @@ FieldR Hamiltonian::density(const MatC& psi,
 
 void Hamiltonian::density_into(const MatC& psi,
                                const std::vector<double>& occ,
-                               FieldR& rho) const {
+                               FieldR& rho, int n_workers) const {
   const Vec3i shape = basis_->grid_shape();
   const int nb = psi.cols();
   assert(static_cast<int>(occ.size()) == nb);
   assert(rho.shape() == shape);
   rho.fill(0.0);
-  FieldC& work = work_;
+  const std::size_t ngrid = fft_.size();
+  // Occupied bands only drive the transforms.
+  std::vector<int> bands;
+  bands.reserve(nb);
+  for (int j = 0; j < nb; ++j)
+    if (occ[j] != 0.0) bands.push_back(j);
+  if (bands.empty()) return;
+
   const double inv_vol = 1.0 / basis_->lattice().volume();
-  for (int j = 0; j < nb; ++j) {
-    if (occ[j] == 0.0) continue;
-    basis_->scatter(psi.col(j), work);
-    fft_.inverse(work.raw());
-    // inverse FFT includes 1/N: work(r) = (1/N) sum_G c_G e^{iGr}. A
-    // normalized band (sum |c|^2 = 1) has  int |psi|^2 = 1 with
-    // psi(r) = sum_G c_G e^{iGr} / sqrt(V), so |psi(r)|^2 =
-    // N^2 |work(r)|^2 / V.
-    const double scale = occ[j] * inv_vol * static_cast<double>(work.size()) *
-                         static_cast<double>(work.size());
+  // inverse FFT includes 1/N: grid(r) = (1/N) sum_G c_G e^{iGr}. A
+  // normalized band (sum |c|^2 = 1) has  int |psi|^2 = 1 with
+  // psi(r) = sum_G c_G e^{iGr} / sqrt(V), so |psi(r)|^2 =
+  // N^2 |grid(r)|^2 / V.
+  const auto accumulate_band = [&](int j, const std::complex<double>* grid) {
+    const double scale = occ[j] * inv_vol * static_cast<double>(ngrid) *
+                         static_cast<double>(ngrid);
     for (std::size_t i = 0; i < rho.size(); ++i)
-      rho[i] += scale * std::norm(work[i]);
+      rho[i] += scale * std::norm(grid[i]);
     if (flops_) {
       const Vec3i g = shape;
       flops_->add(FlopCounter::fft3d(g.x, g.y, g.z) + 3 * rho.size());
     }
+  };
+
+  if (n_workers <= 1) {
+    // Serial: stream band by band through the single work_ grid — the
+    // sweep would loop anyway, so don't pay the per-band stack memory.
+    FieldC& work = work_;
+    for (int j : bands) {
+      basis_->scatter(psi.col(j), work);
+      fft_.inverse(work.raw());
+      accumulate_band(j, work.data());
+    }
+    return;
   }
+
+  // Parallel: scatter every occupied band into the contiguous grow-only
+  // stack, run one many-transform inverse sweep over the worker lanes,
+  // then accumulate |psi|^2 in band order. Per-band arithmetic and the
+  // accumulation order match the streaming path exactly, so both are
+  // bit-identical for any n_workers.
+  if (density_stack_.size() < bands.size() * ngrid)
+    density_stack_.resize(bands.size() * ngrid);
+  for (std::size_t k = 0; k < bands.size(); ++k)
+    basis_->scatter(psi.col(bands[k]), density_stack_.data() + k * ngrid);
+  fft_.inverse_many(density_stack_.data(), static_cast<int>(bands.size()),
+                    n_workers);
+  for (std::size_t k = 0; k < bands.size(); ++k)
+    accumulate_band(bands[k], density_stack_.data() + k * ngrid);
 }
 
 }  // namespace ls3df

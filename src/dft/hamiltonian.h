@@ -112,10 +112,17 @@ class Hamiltonian {
   FieldR density(const MatC& psi, const std::vector<double>& occ) const;
 
   // Same, accumulated into a caller-owned field of the FFT-grid shape
-  // (overwritten). Uses the internal FFT scratch: zero heap allocation —
-  // the steady-state path of the LS3DF fragment pipeline.
+  // (overwritten). With n_workers > 1 (the batched fragment dispatch
+  // passes its inner lanes) all occupied bands are scattered into one
+  // contiguous grid stack and moved to real space by a single
+  // Fft3D::inverse_many sweep — the batched-kernel shape of the fragment
+  // solver; the stack is a grow-only internal arena, so the steady state
+  // allocates nothing. With n_workers <= 1 the bands stream through the
+  // single work_ grid (no stack memory). Per-band arithmetic and the
+  // band-order accumulation are identical either way, so the density is
+  // bit-identical for any n_workers.
   void density_into(const MatC& psi, const std::vector<double>& occ,
-                    FieldR& rho) const;
+                    FieldR& rho, int n_workers = 1) const;
 
  private:
   void apply_local(const std::complex<double>* in,
@@ -128,6 +135,10 @@ class Hamiltonian {
   std::unique_ptr<NonlocalKB> nl_;
   FlopCounter* flops_ = nullptr;
   mutable FieldC work_;  // FFT scratch
+  // Grow-only grid stack for density_into's many-transform sweep (one
+  // grid per occupied band). Like work_, shares the instance's
+  // one-thread-at-a-time contract.
+  mutable std::vector<std::complex<double>> density_stack_;
 };
 
 // Default density/FFT grid for a lattice and wavefunction cutoff: large

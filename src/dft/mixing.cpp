@@ -9,6 +9,40 @@
 
 namespace ls3df {
 
+namespace {
+
+// Solve the (m+1) x (m+1) DIIS system (Lagrange-multiplier form) from
+// the residual Gram matrix (row-major, m x m). An empty result means the
+// history is degenerate; both mixers then fall back to linear mixing and
+// drop their history — identical inputs take the identical branch, which
+// keeps the dense and sharded drivers in bit-level lockstep.
+std::vector<double> diis_coefficients(const std::vector<double>& gram,
+                                      int m) {
+  MatR A(m + 1, m + 1);
+  std::vector<double> b(m + 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) A(i, j) = gram[static_cast<std::size_t>(i) * m + j];
+    A(i, m) = 1.0;
+    A(m, i) = 1.0;
+  }
+  A(m, m) = 0.0;
+  b[m] = 1.0;
+  try {
+    return solve_linear(A, b);
+  } catch (const std::runtime_error&) {
+    return {};
+  }
+}
+
+// Kerker damping factor for |G|^2; G = 0 passes through untouched so the
+// residual's constant part still mixes.
+inline bool kerker_damps(double g2) { return g2 > 1e-12; }
+inline double kerker_factor(double g2, double q0) {
+  return g2 / (g2 + q0 * q0);
+}
+
+}  // namespace
+
 PotentialMixer::PotentialMixer(MixerType type, double alpha,
                                const Lattice& lat, Vec3i shape, int history,
                                double kerker_q0)
@@ -38,10 +72,7 @@ FieldR PotentialMixer::kerker_smooth(const FieldR& residual) const {
       for (int i3 = 0; i3 < shape_.z; ++i3) {
         const double gz = GVectors::freq(i3, shape_.z) * b.z;
         const double g2 = gx * gx + gy * gy + gz * gz;
-        // Damp long wavelengths (charge sloshing), but pass the G = 0
-        // component through untouched: the average potential must still
-        // be mixed or the residual's constant part never decays.
-        if (g2 > 1e-12) work(i1, i2, i3) *= g2 / (g2 + q0_ * q0_);
+        if (kerker_damps(g2)) work(i1, i2, i3) *= kerker_factor(g2, q0_);
       }
     }
   }
@@ -56,19 +87,16 @@ FieldR PotentialMixer::mix(const FieldR& v_in, const FieldR& v_out) {
   FieldR residual = v_out;
   residual -= v_in;
 
-  if (type_ == MixerType::kLinear) {
+  // next = v_in + alpha * field (the linear form and every fallback).
+  const auto linear_step = [&](const FieldR& field) {
     FieldR next = v_in;
     for (std::size_t i = 0; i < next.size(); ++i)
-      next[i] += alpha_ * residual[i];
+      next[i] += alpha_ * field[i];
     return next;
-  }
-  if (type_ == MixerType::kKerker) {
-    FieldR smoothed = kerker_smooth(residual);
-    FieldR next = v_in;
-    for (std::size_t i = 0; i < next.size(); ++i)
-      next[i] += alpha_ * smoothed[i];
-    return next;
-  }
+  };
+
+  if (type_ == MixerType::kLinear) return linear_step(residual);
+  if (type_ == MixerType::kKerker) return linear_step(kerker_smooth(residual));
 
   // Pulay/Anderson: keep history of (v_in, residual); minimize the norm of
   // the extrapolated residual subject to coefficients summing to one.
@@ -79,46 +107,121 @@ FieldR PotentialMixer::mix(const FieldR& v_in, const FieldR& v_out) {
     r_history_.erase(r_history_.begin());
   }
   const int m = static_cast<int>(v_history_.size());
-  if (m == 1) {
-    FieldR next = v_in;
-    for (std::size_t i = 0; i < next.size(); ++i)
-      next[i] += alpha_ * residual[i];
-    return next;
-  }
+  if (m == 1) return linear_step(residual);
 
-  // Solve the (m+1) x (m+1) DIIS system with a Lagrange multiplier.
-  MatR A(m + 1, m + 1);
-  std::vector<double> b(m + 1, 0.0);
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < m; ++j) {
-      double dot = 0;
-      for (std::size_t k = 0; k < residual.size(); ++k)
-        dot += r_history_[i][k] * r_history_[j][k];
-      A(i, j) = dot;
-    }
-    A(i, m) = 1.0;
-    A(m, i) = 1.0;
-  }
-  A(m, m) = 0.0;
-  b[m] = 1.0;
+  // Residual Gram matrix via the plane-blocked reduction — the canonical
+  // deterministic dot shared with the sharded mixer.
+  std::vector<double> gram(static_cast<std::size_t>(m) * m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      gram[static_cast<std::size_t>(i) * m + j] =
+          plane_dot(r_history_[i], r_history_[j]);
 
-  std::vector<double> c;
-  try {
-    c = solve_linear(A, b);
-  } catch (const std::runtime_error&) {
+  const std::vector<double> c = diis_coefficients(gram, m);
+  if (c.empty()) {
     // Degenerate history: fall back to linear mixing and drop history.
     v_history_.clear();
     r_history_.clear();
-    FieldR next = v_in;
-    for (std::size_t i = 0; i < next.size(); ++i)
-      next[i] += alpha_ * residual[i];
-    return next;
+    return linear_step(residual);
   }
 
   FieldR next(shape_);
   for (int i = 0; i < m; ++i) {
     for (std::size_t k = 0; k < next.size(); ++k)
       next[k] += c[i] * (v_history_[i][k] + alpha_ * r_history_[i][k]);
+  }
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPotentialMixer: the same arithmetic on x-slabs.
+
+ShardedPotentialMixer::ShardedPotentialMixer(MixerType type, double alpha,
+                                             const Lattice& lat,
+                                             DistFft3D& fft, int history,
+                                             double kerker_q0)
+    : type_(type),
+      alpha_(alpha),
+      lattice_(lat),
+      fft_(fft),
+      max_history_(history),
+      q0_(kerker_q0) {}
+
+void ShardedPotentialMixer::reset() {
+  v_history_.clear();
+  r_history_.clear();
+}
+
+void ShardedPotentialMixer::kerker_smooth(const ShardedFieldR& residual,
+                                          ShardedFieldR& out) {
+  fft_.forward(residual);
+  for_each_pencil_g2(fft_, lattice_, [this](cplx& v, double g2) {
+    if (kerker_damps(g2)) v *= kerker_factor(g2, q0_);
+  });
+  fft_.inverse(out);
+}
+
+ShardedFieldR ShardedPotentialMixer::mix(const ShardedFieldR& v_in,
+                                         const ShardedFieldR& v_out) {
+  ShardComm& comm = fft_.comm();
+  const int n = comm.n_ranks();
+  assert(v_in.global_shape() == fft_.shape() && v_in.n_shards() == n);
+  assert(v_out.global_shape() == fft_.shape() && v_out.n_shards() == n);
+  ShardedFieldR residual = v_out;
+  comm.each_rank([&](int r) { residual.slab(r) -= v_in.slab(r); });
+
+  // next = v_in + alpha * field, slab-local (the linear form and every
+  // fallback below).
+  const auto linear_step = [&](const ShardedFieldR& field) {
+    ShardedFieldR next = v_in;
+    comm.each_rank([&](int r) {
+      FieldR& nf = next.slab(r);
+      const FieldR& ff = field.slab(r);
+      for (std::size_t i = 0; i < nf.size(); ++i) nf[i] += alpha_ * ff[i];
+    });
+    return next;
+  };
+
+  if (type_ == MixerType::kLinear) return linear_step(residual);
+  if (type_ == MixerType::kKerker) {
+    ShardedFieldR smoothed(fft_.shape(), n);
+    kerker_smooth(residual, smoothed);
+    return linear_step(smoothed);
+  }
+
+  v_history_.push_back(v_in);
+  r_history_.push_back(residual);
+  if (static_cast<int>(v_history_.size()) > max_history_) {
+    v_history_.erase(v_history_.begin());
+    r_history_.erase(r_history_.begin());
+  }
+  const int m = static_cast<int>(v_history_.size());
+  if (m == 1) return linear_step(residual);
+
+  std::vector<double> gram(static_cast<std::size_t>(m) * m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      gram[static_cast<std::size_t>(i) * m + j] =
+          plane_dot(r_history_[i], r_history_[j], comm);
+
+  const std::vector<double> c = diis_coefficients(gram, m);
+  if (c.empty()) {
+    v_history_.clear();
+    r_history_.clear();
+    return linear_step(residual);
+  }
+
+  ShardedFieldR next(fft_.shape(), n);
+  for (int i = 0; i < m; ++i) {
+    const ShardedFieldR& vh = v_history_[i];
+    const ShardedFieldR& rh = r_history_[i];
+    comm.each_rank([&](int r) {
+      FieldR& nf = next.slab(r);
+      const FieldR& vf = vh.slab(r);
+      const FieldR& rf = rh.slab(r);
+      for (std::size_t k = 0; k < nf.size(); ++k)
+        nf[k] += c[i] * (vf[k] + alpha_ * rf[k]);
+    });
   }
   return next;
 }

@@ -6,13 +6,22 @@
 //   kPulay  - Anderson/Pulay (DIIS) acceleration over a residual history
 // The paper notes LS3DF uses "the same charge mixing scheme" as direct
 // LDA, so convergence behaviour carries over (Sec. VII).
+//
+// Two drivers share the arithmetic: PotentialMixer on the dense global
+// grid, and ShardedPotentialMixer on x-slabs (grid/sharded_field.h) with
+// the Kerker smoothing running through the distributed FFT. All DIIS
+// inner products use the plane-blocked reduction (plane_dot), so the two
+// mixers are bit-identical for any shard count — the Gram matrix, the
+// coefficient solve, and every pointwise update see the same bits.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "fft/dist_fft3d.h"
 #include "grid/field3d.h"
 #include "grid/lattice.h"
+#include "grid/sharded_field.h"
 
 namespace ls3df {
 
@@ -40,6 +49,35 @@ class PotentialMixer {
   double q0_;
   std::vector<FieldR> v_history_;
   std::vector<FieldR> r_history_;
+};
+
+// The sharded twin: identical schemes and identical bits, with every
+// field living as x-slabs over `fft`'s ShardComm. History is stored
+// per-shard (global/N per rank per slot), DIIS dots are plane-blocked
+// all_gather reductions, and Kerker smoothing runs through the
+// distributed transform — mixing is applied shard-locally end to end.
+class ShardedPotentialMixer {
+ public:
+  ShardedPotentialMixer(MixerType type, double alpha, const Lattice& lat,
+                        DistFft3D& fft, int history = 6,
+                        double kerker_q0 = 0.8);
+
+  ShardedFieldR mix(const ShardedFieldR& v_in, const ShardedFieldR& v_out);
+
+  void reset();
+  MixerType type() const { return type_; }
+
+ private:
+  void kerker_smooth(const ShardedFieldR& residual, ShardedFieldR& out);
+
+  MixerType type_;
+  double alpha_;
+  Lattice lattice_;
+  DistFft3D& fft_;
+  int max_history_;
+  double q0_;
+  std::vector<ShardedFieldR> v_history_;
+  std::vector<ShardedFieldR> r_history_;
 };
 
 }  // namespace ls3df

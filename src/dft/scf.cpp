@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "poisson/poisson.h"
+#include "poisson/sharded_poisson.h"
 #include "pseudo/pseudopotential.h"
 #include "xc/lda.h"
 
@@ -55,6 +56,22 @@ FieldR effective_potential(const FieldR& vion, const FieldR& rho,
   XcResult xc = lda_xc_field(rho, point_vol);
   v += xc.vxc;
   return v;
+}
+
+void sharded_effective_potential(const ShardedFieldR& vion,
+                                 const ShardedFieldR& rho, const Lattice& lat,
+                                 DistFft3D& fft, ShardedFieldR& vh,
+                                 ShardedFieldR& vxc, ShardedFieldR& v_out) {
+  sharded_hartree(fft, rho, lat, vh);
+  // Slab-local assembly in the dense accumulation order:
+  // (vion + vh) + vxc per point.
+  fft.comm().each_rank([&](int r) {
+    lda_vxc_into(rho.slab(r), vxc.slab(r));
+    FieldR& v = v_out.slab(r);
+    v = vion.slab(r);
+    v += vh.slab(r);
+    v += vxc.slab(r);
+  });
 }
 
 ScfResult run_scf(const Structure& s, const ScfOptions& opt) {

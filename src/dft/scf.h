@@ -13,6 +13,8 @@
 #include "dft/energy.h"
 #include "dft/hamiltonian.h"
 #include "dft/mixing.h"
+#include "fft/dist_fft3d.h"
+#include "grid/sharded_field.h"
 
 namespace ls3df {
 
@@ -57,6 +59,16 @@ std::vector<double> smeared_occupations(const std::vector<double>& eigenvalues,
 // Effective potential from a density: V_ion + V_H[rho] + V_xc[rho].
 FieldR effective_potential(const FieldR& vion, const FieldR& rho,
                            const Lattice& lat);
+
+// The sharded twin: GENPOT assembled on x-slabs — Hartree per-shard in
+// G-space via the distributed FFT, LDA xc slab-locally — bit-identical
+// per point to effective_potential on the dense grid for any shard
+// count. `vh` and `vxc` are caller-owned scratch shaped like `rho`, so
+// the steady state allocates nothing.
+void sharded_effective_potential(const ShardedFieldR& vion,
+                                 const ShardedFieldR& rho, const Lattice& lat,
+                                 DistFft3D& fft, ShardedFieldR& vh,
+                                 ShardedFieldR& vxc, ShardedFieldR& v_out);
 
 ScfResult run_scf(const Structure& s, const ScfOptions& opt);
 

@@ -1,0 +1,119 @@
+// Slab-decomposed distributed 3D FFT over a ShardComm — the transform
+// behind the sharded GENPOT pipeline.
+//
+// == Architecture ==
+//
+// Real-space data lives as x-slabs (rank r owns global x planes
+// [x0(r), x1(r)), grid/sharded_field.h layout). One forward transform:
+//
+//   1. local 2D:   each rank transforms its slab along z then y — both
+//                  axes are complete inside an x-slab. Line transforms
+//                  run through the thread-local 1D plan cache
+//                  (fft/plan_cache.h), identical arithmetic to the dense
+//                  Fft3D's z/y passes.
+//   2. transpose:  one ShardComm::all_to_all pencil transpose: block
+//                  (src -> dst) carries src's x planes of dst's y range.
+//                  After it, rank r owns y-pencils: global y in
+//                  [y0(r), y1(r)), full x and z, laid out x-fastest
+//                  (pencil index ((iy - y0) * nz + iz) * nx + ix).
+//   3. local 1D:   each rank transforms its pencils along x (contiguous
+//                  rows).
+//
+// The inverse runs the mirror image (x on pencils, transpose back, then
+// y and z on slabs), which matches the dense Fft3D inverse axis order
+// (x, y, z) exactly. Because per-line arithmetic is the dense code's and
+// the axis order agrees in both directions, the distributed transform is
+// *bit-identical* to the dense one for any shard count and worker count.
+// G-space pointwise kernels (Poisson, Kerker) therefore apply to the
+// pencils with dense-path bits.
+//
+// All rank buffers (slab scratch, pencils, line scratch) are sized once
+// at construction and never reallocated; the all_to_all mailboxes grow
+// only on the first exchange (probed via ShardComm::allocations()). Per
+// rank the footprint is ~3x global/N complex values — no step touches
+// the full grid. Under MPI the two pack/unpack phases wrap
+// MPI_Alltoallv; nothing else changes.
+#pragma once
+
+#include "fft/fft.h"
+#include "grid/gvectors.h"
+#include "grid/lattice.h"
+#include "grid/sharded_field.h"
+#include "parallel/shard_comm.h"
+
+namespace ls3df {
+
+class DistFft3D {
+ public:
+  DistFft3D(Vec3i shape, ShardComm& comm);
+
+  const Vec3i& shape() const { return shape_; }
+  ShardComm& comm() const { return comm_; }
+  int n_shards() const { return comm_.n_ranks(); }
+
+  // Real-space x-slab extents (== ShardedField3D's partition).
+  int x0(int r) const { return ShardedFieldR::shard_begin(shape_.x, n_shards(), r); }
+  int x1(int r) const { return ShardedFieldR::shard_begin(shape_.x, n_shards(), r + 1); }
+  // G-space y-pencil extents.
+  int y0(int r) const { return ShardedFieldR::shard_begin(shape_.y, n_shards(), r); }
+  int y1(int r) const { return ShardedFieldR::shard_begin(shape_.y, n_shards(), r + 1); }
+
+  // Forward: real x-slabs -> G-space pencils (held internally; no
+  // scaling, like Fft3D::forward). Phased — call from the orchestrator
+  // thread, never from inside each_rank.
+  void forward(const ShardedFieldR& in);
+  // Inverse: pencils -> real parts into `out` x-slabs (scales by 1/N^3
+  // via the per-axis inverse transforms, like Fft3D::inverse).
+  void inverse(ShardedFieldR& out);
+
+  // Rank r's pencil block: ((iy - y0(r)) * nz + iz) * nx + ix. Mutate
+  // between forward and inverse for G-space kernels (from each_rank, or
+  // from the orchestrator).
+  cplx* pencil(int r) { return pencil_[r].data(); }
+  std::size_t pencil_size(int r) const { return pencil_[r].size(); }
+
+  // Wall seconds spent in the transpose (pack + unpack) phases since the
+  // last call — the GENPOT.transpose sub-phase feed.
+  double take_transpose_seconds() {
+    const double t = transpose_s_;
+    transpose_s_ = 0;
+    return t;
+  }
+
+ private:
+  void transpose_to_pencils();
+  void transpose_to_slabs();
+
+  Vec3i shape_;
+  ShardComm& comm_;
+  std::vector<std::vector<cplx>> slab_;     // per-rank complex x-slab
+  std::vector<std::vector<cplx>> pencil_;   // per-rank y-pencil block
+  std::vector<std::vector<cplx>> scratch_;  // per-rank strided-y gather
+  double transpose_s_ = 0;
+};
+
+// Apply fn(value, g2) to every G-space pencil point between a forward
+// and an inverse transform, with g2 = |G|^2 of that point — the one
+// place that owns the pencil layout walk, shared by the Poisson and
+// Kerker kernels. The per-point g2 arithmetic matches the dense kernel
+// loops term for term.
+template <typename Fn>
+void for_each_pencil_g2(DistFft3D& fft, const Lattice& lat, const Fn& fn) {
+  const Vec3i s = fft.shape();
+  const Vec3d b = lat.reciprocal();
+  fft.comm().each_rank([&](int r) {
+    cplx* p = fft.pencil(r);
+    for (int iy = fft.y0(r); iy < fft.y1(r); ++iy) {
+      const double gy = GVectors::freq(iy, s.y) * b.y;
+      for (int iz = 0; iz < s.z; ++iz) {
+        const double gz = GVectors::freq(iz, s.z) * b.z;
+        for (int ix = 0; ix < s.x; ++ix, ++p) {
+          const double gx = GVectors::freq(ix, s.x) * b.x;
+          fn(*p, gx * gx + gy * gy + gz * gz);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace ls3df

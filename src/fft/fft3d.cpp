@@ -17,9 +17,8 @@ Fft3D::Fft3D(Vec3i shape)
   assert(shape.x >= 1 && shape.y >= 1 && shape.z >= 1);
 }
 
-void Fft3D::transform(cplx* data, bool inv) const {
+void Fft3D::transform_z(cplx* data, bool inv) const {
   const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
-
   // Axis z: contiguous rows.
   for (int ix = 0; ix < n1; ++ix)
     for (int iy = 0; iy < n2; ++iy) {
@@ -29,7 +28,10 @@ void Fft3D::transform(cplx* data, bool inv) const {
       else
         fz_.forward(row);
     }
+}
 
+void Fft3D::transform_y(cplx* data, bool inv) const {
+  const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
   // Axis y: stride n3 within each x-slab.
   std::vector<cplx>& buf = scratch_;
   for (int ix = 0; ix < n1; ++ix)
@@ -42,8 +44,12 @@ void Fft3D::transform(cplx* data, bool inv) const {
         fy_.forward(buf.data());
       for (int iy = 0; iy < n2; ++iy) base[static_cast<std::size_t>(iy) * n3] = buf[iy];
     }
+}
 
+void Fft3D::transform_x(cplx* data, bool inv) const {
+  const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
   // Axis x: stride n2*n3.
+  std::vector<cplx>& buf = scratch_;
   const std::size_t sx = static_cast<std::size_t>(n2) * n3;
   for (int iy = 0; iy < n2; ++iy)
     for (int iz = 0; iz < n3; ++iz) {
@@ -55,6 +61,23 @@ void Fft3D::transform(cplx* data, bool inv) const {
         fx_.forward(buf.data());
       for (int ix = 0; ix < n1; ++ix) base[ix * sx] = buf[ix];
     }
+}
+
+void Fft3D::transform(cplx* data, bool inv) const {
+  // Forward applies z, y, x; inverse undoes them in reverse (x, y, z).
+  // The mirrored order is what lets the slab-distributed transform
+  // (fft/dist_fft3d.h) stay bit-identical to this dense path with a
+  // single pencil transpose per direction: the x axis — the one that
+  // crosses shard boundaries — always sits on the transposed side.
+  if (inv) {
+    transform_x(data, true);
+    transform_y(data, true);
+    transform_z(data, true);
+  } else {
+    transform_z(data, false);
+    transform_y(data, false);
+    transform_x(data, false);
+  }
 }
 
 namespace {

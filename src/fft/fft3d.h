@@ -6,6 +6,14 @@
 // Data layout: row-major with z fastest, i.e. index(ix,iy,iz) =
 // (ix*n2 + iy)*n3 + iz, matching Grid3D.
 //
+// Axis order: forward transforms apply z, then y, then x; the inverse
+// applies x, then y, then z. Per-axis line transforms commute exactly in
+// real arithmetic but not in floating point, so the order is part of the
+// bit-level contract: the slab-distributed DistFft3D (fft/dist_fft3d.h)
+// reproduces this dense transform bit for bit by running z and y locally
+// per x-slab and crossing the single pencil transpose for the x axis, in
+// both directions.
+//
 // Thread safety: transforms reuse internal scratch (no allocation per
 // call), so concurrent transform() calls on one instance race. Use one
 // instance per thread — the per-thread plan cache (fft/plan_cache.h)
@@ -49,6 +57,9 @@ class Fft3D {
 
  private:
   void transform(cplx* data, bool inv) const;
+  void transform_x(cplx* data, bool inv) const;
+  void transform_y(cplx* data, bool inv) const;
+  void transform_z(cplx* data, bool inv) const;
 
   Vec3i shape_;
   Fft1D fx_, fy_, fz_;

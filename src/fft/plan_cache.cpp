@@ -29,6 +29,13 @@ const Fft3D& fft_plan(Vec3i shape) {
   return *slot;
 }
 
+const Fft1D& fft1d_plan(int n) {
+  thread_local std::unordered_map<int, std::unique_ptr<Fft1D>> plans;
+  auto& slot = plans[n];
+  if (!slot) slot = std::make_unique<Fft1D>(n);
+  return *slot;
+}
+
 void fft_forward_many(Vec3i shape, cplx* stack, int count, int n_workers) {
   fft_plan(shape).forward_many(stack, count, n_workers);
 }

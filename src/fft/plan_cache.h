@@ -20,6 +20,12 @@ namespace ls3df {
 // The reference stays valid for the life of the calling thread.
 const Fft3D& fft_plan(Vec3i shape);
 
+// This thread's cached 1D plan for length `n`. The distributed transform
+// (fft/dist_fft3d.h) runs its per-slab line transforms through these, so
+// each shard task picks up warm per-axis plans on whatever pool thread
+// executes it — the 1D analogue of the Fft3D cache above.
+const Fft1D& fft1d_plan(int n);
+
 // Many-transform sweep over a contiguous stack of `count` same-shape
 // grids through the cached plans: the calling thread's plan drives the
 // sweep and each worker lane transforms via its own thread-local plan

@@ -8,7 +8,10 @@
 #include <stdexcept>
 
 #include "dft/eigensolver.h"
+#include "fft/dist_fft3d.h"
 #include "fft/fft.h"
+#include "grid/sharded_field.h"
+#include "parallel/shard_comm.h"
 #include "parallel/thread_pool.h"
 #include "poisson/ewald.h"
 #include "poisson/poisson.h"
@@ -16,6 +19,29 @@
 #include "xc/lda.h"
 
 namespace ls3df {
+
+// Sharded-grid state: the ShardComm the global layers run on, the
+// distributed FFT, and persistent sharded fields (ionic potential, the
+// patched density, and the Hartree/xc scratch of GENPOT). Everything is
+// sized at construction; after the first transpose warms the mailboxes,
+// no sharded phase allocates.
+struct Ls3dfSolver::ShardState {
+  ShardComm comm;
+  DistFft3D fft;
+  ShardedFieldR vion;
+  mutable ShardedFieldR rho;       // latest patched (then normalized) density
+  mutable ShardedFieldR vh, vxc;   // GENPOT assembly scratch
+  mutable ShardedFieldR v_scratch; // public-hook genpot target
+
+  ShardState(Vec3i grid, int n_shards, int n_workers)
+      : comm(n_shards, n_workers),
+        fft(grid, comm),
+        vion(grid, n_shards),
+        rho(grid, n_shards),
+        vh(grid, n_shards),
+        vxc(grid, n_shards),
+        v_scratch(grid, n_shards) {}
+};
 
 struct Ls3dfSolver::FragmentContext {
   Fragment frag;
@@ -199,6 +225,13 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
 
   measured_seconds_.assign(contexts_.size(), -1.0);
 
+  if (opt_.n_shards > 0) {
+    const int n = std::min(opt_.n_shards, global_grid_.x);
+    shards_ = std::make_unique<ShardState>(global_grid_, n,
+                                           std::max(1, opt_.n_workers));
+    shards_->vion.from_dense(vion_);
+  }
+
   // Size classes for the batched PEtot_F path: fragments whose solves
   // share (grid shape, basis size, band count) can run in lockstep.
   // Batch composition depends only on the decomposition, so batches and
@@ -232,7 +265,7 @@ void Ls3dfSolver::gen_vf(const FieldR& v_global) {
                });
 }
 
-void Ls3dfSolver::finish_fragment(int f) {
+void Ls3dfSolver::finish_fragment(int f, int n_workers) {
   FragmentContext& ctx = *contexts_[f];
   // Each fragment is filled to local neutrality; with smearing,
   // degenerate shells are occupied fractionally. (A shared global
@@ -242,7 +275,7 @@ void Ls3dfSolver::finish_fragment(int f) {
   if (opt_.fragment_smearing > 0.0 && !ctx.eigenvalues.empty())
     ctx.occ = smeared_occupations(ctx.eigenvalues, ctx.electrons,
                                   opt_.fragment_smearing);
-  ctx.h->density_into(ctx.psi, ctx.occ, ctx.rho);
+  ctx.h->density_into(ctx.psi, ctx.occ, ctx.rho, n_workers);
 }
 
 void Ls3dfSolver::solve_fragment(int f, EigenWorkspace& ws) {
@@ -400,9 +433,12 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
         for (int k = 0; k < k_members; ++k)
           contexts_[batch.members[k]]->eigenvalues =
               std::move(rs[k].eigenvalues);
-        parallel_for(k_members, inner, [&](int k, int /*worker*/) {
-          finish_fragment(batch.members[k]);
-        });
+        // Densities member by member, each member's band stack swept by
+        // one many-transform pass over this batch's inner lanes (the
+        // lanes go to the FFTs, not the member loop — bit-identical
+        // either way).
+        for (int k = 0; k < k_members; ++k)
+          finish_fragment(batch.members[k], inner);
       } else {
         // Band-by-band has no lockstep driver; members still share the
         // batch's schedulable unit and per-member arenas.
@@ -437,6 +473,10 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
 }
 
 FieldR Ls3dfSolver::gen_dens() const {
+  if (shards_) {
+    gen_dens_sharded();
+    return shards_->rho.to_dense();
+  }
   FieldR rho(global_grid_);
   const int p = opt_.points_per_cell;
   // Slab-parallel patching: each task owns a contiguous range of global
@@ -462,8 +502,74 @@ FieldR Ls3dfSolver::gen_dens() const {
   return rho;
 }
 
+void Ls3dfSolver::gen_dens_sharded() const {
+  ShardState& s = *shards_;
+  const int p = opt_.points_per_cell;
+  // Owner-computes patching: each shard scans the fragment list and
+  // accumulates every window restricted to its slab, in fragment order —
+  // the same per-point arithmetic as the dense slab split, so the
+  // patched density is bit-identical for any shard and worker count. No
+  // global staging buffer exists; fragments land directly in owning
+  // shards. (Under MPI this phase becomes the reduce_scatter seam of
+  // parallel/shard_comm.h.)
+  s.comm.each_rank([&](int r) {
+    s.rho.slab(r).fill(0.0);
+    for (const auto& ctx : contexts_) {
+      const Vec3i region{ctx->frag.size.x * p, ctx->frag.size.y * p,
+                         ctx->frag.size.z * p};
+      s.rho.accumulate_window_shard(
+          r,
+          {ctx->frag.corner.x * p, ctx->frag.corner.y * p,
+           ctx->frag.corner.z * p},
+          ctx->rho, ctx->buffer, region,
+          static_cast<double>(ctx->frag.sign));
+    }
+  });
+}
+
+void Ls3dfSolver::genpot_sharded(const ShardedFieldR& rho,
+                                 ShardedFieldR& v_out) const {
+  ShardState& s = *shards_;
+  // Other users of the shared transform (Kerker mixing) accumulate
+  // transpose time between genpot calls; drop it so the sample below is
+  // exactly this call's all-to-all cost.
+  s.fft.take_transpose_seconds();
+  sharded_effective_potential(s.vion, rho, structure_.lattice(), s.fft,
+                              s.vh, s.vxc, v_out);
+  // Surface the all-to-all cost next to the compute phases: one
+  // GENPOT.transpose sample per genpot call (forward + inverse packs).
+  profile_.add("GENPOT.transpose", s.fft.take_transpose_seconds());
+}
+
 FieldR Ls3dfSolver::genpot(const FieldR& rho) const {
+  if (shards_) {
+    ShardState& s = *shards_;
+    s.rho.from_dense(rho);
+    genpot_sharded(s.rho, s.v_scratch);
+    return s.v_scratch.to_dense();
+  }
   return effective_potential(vion_, rho, structure_.lattice());
+}
+
+void Ls3dfSolver::gen_vf_sharded(const ShardedFieldR& v) {
+  // Fragment boxes straddle shard boundaries, so the restriction gathers
+  // rows from every slab it overlaps (the halo seam); reads only, so the
+  // fragment fan-out runs concurrently against the shared slabs.
+  parallel_for(static_cast<int>(contexts_.size()), opt_.n_workers,
+               [&](int f, int /*worker*/) {
+                 FragmentContext& ctx = *contexts_[f];
+                 v.extract_into(ctx.global_offset, ctx.vf);
+                 ctx.vf += ctx.wall;
+                 ctx.h->set_local_potential(ctx.vf);
+               });
+}
+
+int Ls3dfSolver::active_shards() const {
+  return shards_ ? shards_->comm.n_ranks() : 0;
+}
+
+long Ls3dfSolver::shard_allocations() const {
+  return shards_ ? shards_->comm.allocations() : 0;
 }
 
 double Ls3dfSolver::patched_kinetic_energy() const {
@@ -560,6 +666,10 @@ double Ls3dfSolver::fragment_electrons(int f) const {
 }
 
 Ls3dfResult Ls3dfSolver::solve() {
+  return shards_ ? solve_sharded() : solve_dense();
+}
+
+Ls3dfResult Ls3dfSolver::solve_dense() {
   const Lattice& lat = structure_.lattice();
   const double point_vol =
       lat.volume() / static_cast<double>(vion_.size());
@@ -585,8 +695,9 @@ Ls3dfResult Ls3dfSolver::solve() {
       ScopedPhase sp(profile_, "Gen_dens");
       rho = gen_dens();
       // Normalize the patched charge to the exact electron count (the
-      // patching cancellation leaves a small residual).
-      const double total = rho.sum() * point_vol;
+      // patching cancellation leaves a small residual). Plane-blocked
+      // sum: the deterministic reduction shared with the sharded path.
+      const double total = plane_sum(rho) * point_vol;
       result.charge_patch_error = std::abs(total - n_electrons);
       if (total > 0) rho *= n_electrons / total;
     }
@@ -595,7 +706,7 @@ Ls3dfResult Ls3dfSolver::solve() {
       ScopedPhase sp(profile_, "GENPOT");
       v_out = genpot(rho);
     }
-    const double l1 = l1_distance(v_out, v_in, point_vol);
+    const double l1 = plane_l1(v_out, v_in) * point_vol;
     result.conv_history.push_back(l1);
     result.rho = std::move(rho);
     if (l1 < opt_.l1_tol) {
@@ -607,22 +718,92 @@ Ls3dfResult Ls3dfSolver::solve() {
   }
   if (!result.converged) result.v_eff = v_in;
 
-  if (opt_.compute_energy) {
-    EnergyBreakdown e;
-    e.kinetic = patched_kinetic_energy();
-    e.nonlocal = patched_nonlocal_energy();
-    double eloc = 0;
-    for (std::size_t i = 0; i < result.rho.size(); ++i)
-      eloc += vion_[i] * result.rho[i];
-    e.local = eloc * point_vol;
-    e.hartree = solve_poisson(result.rho, lat).energy;
-    e.xc = lda_xc_field(result.rho, point_vol).energy;
-    e.ewald = ewald_energy(structure_);
-    e.total = e.kinetic + e.nonlocal + e.local + e.hartree + e.xc + e.ewald;
-    result.energy = e;
-  }
+  if (opt_.compute_energy) compute_patched_energy(result);
   result.profile = profile_;
   return result;
+}
+
+// The sharded driver: the same loop with every global field living as
+// x-slabs — no step of the pipeline materializes the full grid; the
+// dense result fields are gathered once, after the loop. Bit-identical
+// to solve_dense() for any shard and worker count: the FFT matches by
+// construction (fft/dist_fft3d.h), pointwise layers trivially, and all
+// scalar reductions are plane-blocked in both drivers.
+Ls3dfResult Ls3dfSolver::solve_sharded() {
+  ShardState& s = *shards_;
+  const int n = s.comm.n_ranks();
+  const Lattice& lat = structure_.lattice();
+  const double point_vol =
+      lat.volume() / static_cast<double>(vion_.size());
+  const double n_electrons = structure_.num_electrons();
+
+  Ls3dfResult result;
+  {
+    // One-time setup (outside the pipeline): the initial guess is built
+    // densely, then scattered; an MPI port would build it slab-locally.
+    FieldR rho0 = build_initial_density(structure_, global_grid_);
+    s.rho.from_dense(rho0);
+  }
+  ShardedFieldR v_in(global_grid_, n), v_out(global_grid_, n);
+  genpot_sharded(s.rho, v_in);
+  ShardedPotentialMixer mixer(opt_.mixer, opt_.mix_alpha, lat, s.fft);
+
+  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    {
+      ScopedPhase sp(profile_, "Gen_VF");
+      gen_vf_sharded(v_in);
+    }
+    {
+      ScopedPhase sp(profile_, "PEtot_F");
+      petot_f();
+    }
+    {
+      ScopedPhase sp(profile_, "Gen_dens");
+      gen_dens_sharded();
+      const double total = plane_sum(s.rho, s.comm) * point_vol;
+      result.charge_patch_error = std::abs(total - n_electrons);
+      if (total > 0) {
+        const double scale = n_electrons / total;
+        s.comm.each_rank([&](int r) { s.rho.slab(r) *= scale; });
+      }
+    }
+    {
+      ScopedPhase sp(profile_, "GENPOT");
+      genpot_sharded(s.rho, v_out);
+    }
+    const double l1 = plane_l1(v_out, v_in, s.comm) * point_vol;
+    result.conv_history.push_back(l1);
+    if (l1 < opt_.l1_tol) {
+      result.converged = true;
+      break;
+    }
+    v_in = mixer.mix(v_in, v_out);
+  }
+  result.v_eff = v_in.to_dense();
+  if (result.iterations > 0) result.rho = s.rho.to_dense();
+
+  if (opt_.compute_energy) compute_patched_energy(result);
+  result.profile = profile_;
+  return result;
+}
+
+void Ls3dfSolver::compute_patched_energy(Ls3dfResult& result) const {
+  const Lattice& lat = structure_.lattice();
+  const double point_vol =
+      lat.volume() / static_cast<double>(vion_.size());
+  EnergyBreakdown e;
+  e.kinetic = patched_kinetic_energy();
+  e.nonlocal = patched_nonlocal_energy();
+  double eloc = 0;
+  for (std::size_t i = 0; i < result.rho.size(); ++i)
+    eloc += vion_[i] * result.rho[i];
+  e.local = eloc * point_vol;
+  e.hartree = solve_poisson(result.rho, lat).energy;
+  e.xc = lda_xc_field(result.rho, point_vol).energy;
+  e.ewald = ewald_energy(structure_);
+  e.total = e.kinetic + e.nonlocal + e.local + e.hartree + e.xc + e.ewald;
+  result.energy = e;
 }
 
 }  // namespace ls3df

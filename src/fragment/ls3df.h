@@ -26,6 +26,19 @@
 // persistent BatchWorkspace, so the steady state (after the first outer
 // iteration) allocates no fragment workspace memory at all, and results
 // are bit-identical for any batch width and worker count.
+//
+// With Ls3dfOptions::n_shards > 0 the *global* grid is sharded too: the
+// density, potentials and mixer state live as x-slabs on a ShardComm
+// (grid/sharded_field.h), Gen_dens accumulates fragment windows directly
+// into owning shards, and GENPOT becomes a distributed-transpose
+// pipeline (DistFft3D + per-shard Poisson/xc + shard-local mixing) in
+// which no step materializes the full grid — the single-node analogue of
+// the paper's multi-group machine layout, and the MPI seam for it. The
+// sharded solve() is bit-identical to the dense path for any shard and
+// worker count; n_shards = 0 keeps the legacy dense pipeline for A/B
+// comparison. Both paths use the plane-blocked reductions of
+// grid/sharded_field.h for the charge normalization, the L1 convergence
+// metric and the Pulay dots, which is what makes the equality exact.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +90,11 @@ struct Ls3dfOptions {
   // serves all members (bit-identical to per-fragment solves). 0 disables
   // batching and restores the per-fragment LPT dispatch.
   int batch_width = 4;
+  // x-slab shards for the global grid (density, potentials, mixing,
+  // GENPOT FFT). 0 = legacy dense path (full grid on one node); > 0 is
+  // clamped to the global x extent. Results are bit-identical either
+  // way.
+  int n_shards = 0;
   bool compute_energy = true;
 };
 
@@ -88,7 +106,9 @@ struct Ls3dfResult {
   int iterations = 0;
   bool converged = false;
   double charge_patch_error = 0;     // |int rho_patched - N_e| before rescale
-  PhaseProfiler profile;             // Gen_VF / PEtot_F / Gen_dens / GENPOT
+  // Gen_VF / PEtot_F / Gen_dens / GENPOT, plus the GENPOT.transpose
+  // sub-phase (the all-to-all cost) on the sharded path.
+  PhaseProfiler profile;
 };
 
 class Ls3dfSolver {
@@ -106,12 +126,22 @@ class Ls3dfSolver {
   Ls3dfResult solve();
 
   // Individual phases, exposed for tests and benchmarks. gen_vf must be
-  // called before petot_f; petot_f before gen_dens.
+  // called before petot_f; petot_f before gen_dens. With n_shards > 0
+  // gen_dens and genpot run the sharded pipeline internally and gather
+  // the result densely (the dense return is the hook's contract; the
+  // solve() loop itself never gathers).
   void gen_vf(const FieldR& v_global);
   void petot_f();
   FieldR gen_dens() const;
   // V_out = V_ion + V_H[rho] + V_xc[rho] on the global grid.
   FieldR genpot(const FieldR& rho) const;
+
+  // Sharded-path introspection. active_shards() is the clamped shard
+  // count (0 on the dense path); shard_allocations() counts capacity
+  // growths of the shard exchange buffers (ShardComm mailboxes +
+  // reduction tables) — flat after the first exchange, probed in tests.
+  int active_shards() const;
+  long shard_allocations() const;
 
   // Patched quantum-mechanical energies (kinetic + nonlocal), valid after
   // petot_f().
@@ -155,15 +185,29 @@ class Ls3dfSolver {
 
  private:
   struct FragmentContext;
+  struct ShardState;
 
   void solve_fragment(int f, EigenWorkspace& ws);
   // Occupations + density of a solved fragment (shared tail of the
-  // per-fragment and batched paths).
-  void finish_fragment(int f);
+  // per-fragment and batched paths). n_workers drives the density FFT
+  // sweep (the batched dispatch passes its inner lanes).
+  void finish_fragment(int f, int n_workers = 1);
   void petot_f_per_fragment(int n_groups);
   void petot_f_batched(int n_groups);
   std::vector<double> analytic_costs() const;
   void record_measured(int f, double seconds);
+
+  // The two solve() drivers; identical results, bit for bit.
+  Ls3dfResult solve_dense();
+  Ls3dfResult solve_sharded();
+  // Sharded phase bodies (n_shards > 0). gen_dens_sharded patches into
+  // the internal sharded density; genpot_sharded assembles V_out on
+  // slabs and records the GENPOT.transpose sub-phase.
+  void gen_vf_sharded(const ShardedFieldR& v);
+  void gen_dens_sharded() const;
+  void genpot_sharded(const ShardedFieldR& rho, ShardedFieldR& v_out) const;
+  // Patched-energy epilogue shared by both drivers (uses result.rho).
+  void compute_patched_energy(Ls3dfResult& result) const;
 
   Structure structure_;
   Ls3dfOptions opt_;
@@ -186,6 +230,10 @@ class Ls3dfSolver {
   std::vector<double> measured_seconds_;
   GroupAssignment assignment_;
   std::vector<int> executed_group_of_;
+  // Sharded-grid state (null on the dense path): ShardComm + DistFft3D +
+  // persistent sharded fields. Scratch inside is reused across phases and
+  // iterations; only the first exchange grows buffers.
+  std::unique_ptr<ShardState> shards_;
   mutable PhaseProfiler profile_;
 };
 

@@ -1,0 +1,105 @@
+#include "grid/sharded_field.h"
+
+namespace ls3df {
+
+namespace {
+
+// Partial for one x plane of `n` contiguous values, flat order.
+inline double plane_partial_sum(const double* p, std::size_t n) {
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+inline double plane_partial_dot(const double* a, const double* b,
+                                std::size_t n) {
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+inline double plane_partial_l1(const double* a, const double* b,
+                               std::size_t n) {
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+// Sum the per-plane partials in plane order — the shard-count-invariant
+// second stage shared by the dense and sharded overloads.
+inline double combine(const std::vector<double>& partials) {
+  double acc = 0;
+  for (double p : partials) acc += p;
+  return acc;
+}
+
+template <typename PlaneFn>
+double dense_planes(Vec3i shape, const PlaneFn& partial) {
+  const std::size_t plane = static_cast<std::size_t>(shape.y) * shape.z;
+  std::vector<double> partials(shape.x);
+  for (int ix = 0; ix < shape.x; ++ix)
+    partials[ix] = partial(static_cast<std::size_t>(ix) * plane, plane);
+  return combine(partials);
+}
+
+template <typename PlaneFn>
+double sharded_planes(const ShardedFieldR& f, ShardComm& comm,
+                      const PlaneFn& partial) {
+  const Vec3i shape = f.global_shape();
+  const std::size_t plane = static_cast<std::size_t>(shape.y) * shape.z;
+  std::vector<int> counts(comm.n_ranks());
+  for (int r = 0; r < comm.n_ranks(); ++r) counts[r] = f.x1(r) - f.x0(r);
+  const std::vector<double>& table =
+      comm.all_gather(counts, [&](int r, double* block) {
+        for (int lx = 0; lx < counts[r]; ++lx)
+          block[lx] =
+              partial(r, static_cast<std::size_t>(lx) * plane, plane);
+      });
+  return combine(table);
+}
+
+}  // namespace
+
+double plane_sum(const FieldR& f) {
+  return dense_planes(f.shape(), [&](std::size_t off, std::size_t n) {
+    return plane_partial_sum(f.data() + off, n);
+  });
+}
+
+double plane_dot(const FieldR& a, const FieldR& b) {
+  assert(a.shape() == b.shape());
+  return dense_planes(a.shape(), [&](std::size_t off, std::size_t n) {
+    return plane_partial_dot(a.data() + off, b.data() + off, n);
+  });
+}
+
+double plane_l1(const FieldR& a, const FieldR& b) {
+  assert(a.shape() == b.shape());
+  return dense_planes(a.shape(), [&](std::size_t off, std::size_t n) {
+    return plane_partial_l1(a.data() + off, b.data() + off, n);
+  });
+}
+
+double plane_sum(const ShardedFieldR& f, ShardComm& comm) {
+  return sharded_planes(f, comm, [&](int r, std::size_t off, std::size_t n) {
+    return plane_partial_sum(f.slab(r).data() + off, n);
+  });
+}
+
+double plane_dot(const ShardedFieldR& a, const ShardedFieldR& b,
+                 ShardComm& comm) {
+  assert(a.global_shape() == b.global_shape());
+  return sharded_planes(a, comm, [&](int r, std::size_t off, std::size_t n) {
+    return plane_partial_dot(a.slab(r).data() + off, b.slab(r).data() + off,
+                             n);
+  });
+}
+
+double plane_l1(const ShardedFieldR& a, const ShardedFieldR& b,
+                ShardComm& comm) {
+  assert(a.global_shape() == b.global_shape());
+  return sharded_planes(a, comm, [&](int r, std::size_t off, std::size_t n) {
+    return plane_partial_l1(a.slab(r).data() + off, b.slab(r).data() + off,
+                            n);
+  });
+}
+
+}  // namespace ls3df

@@ -1,0 +1,165 @@
+// Distributed scalar field: the global periodic grid sharded into x-slabs.
+//
+// == Architecture ==
+//
+// Rank r of a ShardComm owns global x planes [x0(r), x1(r)) with
+//   x0(r) = floor(nx * r / N)
+// — exactly the slab partition Gen_dens has always used, so fragment
+// densities accumulate straight into owning shards. Each slab is an
+// ordinary Field3D of shape (x1-x0, ny, nz) with the same z-fastest
+// layout as the dense grid: global point (gx, iy, iz) lives in slab
+// owner_of(gx) at local (gx - x0, iy, iz). No method here ever
+// materializes the full grid except the explicit to_dense()/from_dense()
+// converters used at setup and result-gather time.
+//
+// Dataflow through one sharded GENPOT step (fragment/ls3df.cpp):
+//   Gen_dens   each rank scans the fragment list and accumulates every
+//              window restricted to its slab (accumulate_window_shard) —
+//              owner-computes; under MPI this is the reduce_scatter seam
+//              of parallel/shard_comm.h.
+//   FFT        DistFft3D (fft/dist_fft3d.h) transforms x-slabs to
+//              y-pencils through one all_to_all transpose.
+//   Gen_VF     extract_into gathers a fragment box from the slabs that
+//              overlap it — the halo/gather seam; reads only, so fragment
+//              tasks run concurrently against the same sharded field.
+//
+// Reductions: global sums over the dense grid are flat running sums,
+// which no slab decomposition can reproduce bitwise. The canonical
+// deterministic reduction is therefore *plane-blocked*: one partial per
+// global x plane (each plane lives wholly inside one shard), partials
+// combined in plane order. plane_sum/plane_dot/plane_l1 below compute it
+// for dense fields, and the sharded overloads reproduce the identical
+// bits via a ShardComm all_gather of the per-plane partials — for any
+// shard count, including the dense path itself.
+#pragma once
+
+#include <cassert>
+
+#include "grid/field3d.h"
+#include "parallel/shard_comm.h"
+
+namespace ls3df {
+
+template <typename T>
+class ShardedField3D {
+ public:
+  ShardedField3D() = default;
+  ShardedField3D(Vec3i global_shape, int n_shards)
+      : global_(global_shape), n_shards_(n_shards) {
+    assert(n_shards >= 1 && n_shards <= global_shape.x);
+    slabs_.reserve(n_shards);
+    for (int r = 0; r < n_shards; ++r)
+      slabs_.emplace_back(Vec3i{x1(r) - x0(r), global_.y, global_.z});
+  }
+
+  const Vec3i& global_shape() const { return global_; }
+  int n_shards() const { return n_shards_; }
+
+  // Slab extents: rank r owns global x planes [x0(r), x1(r)).
+  int x0(int r) const { return shard_begin(global_.x, n_shards_, r); }
+  int x1(int r) const { return shard_begin(global_.x, n_shards_, r + 1); }
+  static int shard_begin(int n, int n_shards, int r) {
+    return static_cast<int>(static_cast<long>(n) * r / n_shards);
+  }
+  int owner_of(int gx) const {
+    // Inverse of shard_begin's linear split; verify against the rounding.
+    int r = static_cast<int>((static_cast<long>(gx) * n_shards_) / global_.x);
+    while (r > 0 && gx < x0(r)) --r;
+    while (r + 1 < n_shards_ && gx >= x1(r)) ++r;
+    return r;
+  }
+
+  Field3D<T>& slab(int r) { return slabs_[r]; }
+  const Field3D<T>& slab(int r) const { return slabs_[r]; }
+
+  // --- dense <-> sharded (setup / result gather only) -----------------
+  void from_dense(const Field3D<T>& dense) {
+    assert(dense.shape() == global_);
+    const std::size_t plane =
+        static_cast<std::size_t>(global_.y) * global_.z;
+    for (int r = 0; r < n_shards_; ++r) {
+      const T* src = dense.data() + static_cast<std::size_t>(x0(r)) * plane;
+      std::copy(src, src + slabs_[r].size(), slabs_[r].data());
+    }
+  }
+  Field3D<T> to_dense() const {
+    Field3D<T> dense(global_);
+    const std::size_t plane =
+        static_cast<std::size_t>(global_.y) * global_.z;
+    for (int r = 0; r < n_shards_; ++r)
+      std::copy(slabs_[r].data(), slabs_[r].data() + slabs_[r].size(),
+                dense.data() + static_cast<std::size_t>(x0(r)) * plane);
+    return dense;
+  }
+
+  // --- Gen_VF primitive: periodic sub-box gather across shards --------
+  // Identical values to Field3D::extract_into on the dense field; reads
+  // only, so concurrent fragment extractions are safe.
+  void extract_into(Vec3i offset, Field3D<T>& out) const {
+    const Vec3i sub = out.shape();
+    for (int ix = 0; ix < sub.x; ++ix) {
+      const int gx = pmod(offset.x + ix, global_.x);
+      const Field3D<T>& s = slabs_[owner_of(gx)];
+      const int lx = gx - x0(owner_of(gx));
+      for (int iy = 0; iy < sub.y; ++iy) {
+        const int gy = pmod(offset.y + iy, global_.y);
+        for (int iz = 0; iz < sub.z; ++iz) {
+          const int gz = pmod(offset.z + iz, global_.z);
+          out(ix, iy, iz) = s(lx, gy, gz);
+        }
+      }
+    }
+  }
+
+  // --- Gen_dens primitive: signed window accumulation into one shard --
+  // The sharded twin of Field3D::accumulate_window_slab with
+  // [x_begin, x_end) = this shard's slab: same loop order, same per-point
+  // arithmetic, so the patched slab is bit-identical to the dense path's
+  // plane range for any shard count. Call from rank r only.
+  void accumulate_window_shard(int r, Vec3i offset, const Field3D<T>& sub,
+                               Vec3i sub_offset, Vec3i region, T weight) {
+    assert(sub_offset.x >= 0 && sub_offset.x + region.x <= sub.shape().x);
+    assert(sub_offset.y >= 0 && sub_offset.y + region.y <= sub.shape().y);
+    assert(sub_offset.z >= 0 && sub_offset.z + region.z <= sub.shape().z);
+    Field3D<T>& s = slabs_[r];
+    const int xb = x0(r), xe = x1(r);
+    for (int ix = 0; ix < region.x; ++ix) {
+      const int gx = pmod(offset.x + ix, global_.x);
+      if (gx < xb || gx >= xe) continue;
+      for (int iy = 0; iy < region.y; ++iy) {
+        const int gy = pmod(offset.y + iy, global_.y);
+        for (int iz = 0; iz < region.z; ++iz) {
+          const int gz = pmod(offset.z + iz, global_.z);
+          s(gx - xb, gy, gz) +=
+              weight * sub(sub_offset.x + ix, sub_offset.y + iy,
+                           sub_offset.z + iz);
+        }
+      }
+    }
+  }
+
+ private:
+  Vec3i global_{0, 0, 0};
+  int n_shards_ = 0;
+  std::vector<Field3D<T>> slabs_;
+};
+
+using ShardedFieldR = ShardedField3D<double>;
+using ShardedFieldC = ShardedField3D<std::complex<double>>;
+
+// --- plane-blocked deterministic reductions ---------------------------
+// One partial per global x plane, accumulated in flat order within the
+// plane, then summed in plane order. The dense and sharded overloads
+// produce bit-identical results for any shard count.
+double plane_sum(const FieldR& f);
+double plane_dot(const FieldR& a, const FieldR& b);
+// Sum_i |a_i - b_i| (multiply by the point volume for the SCF metric).
+double plane_l1(const FieldR& a, const FieldR& b);
+
+double plane_sum(const ShardedFieldR& f, ShardComm& comm);
+double plane_dot(const ShardedFieldR& a, const ShardedFieldR& b,
+                 ShardComm& comm);
+double plane_l1(const ShardedFieldR& a, const ShardedFieldR& b,
+                ShardComm& comm);
+
+}  // namespace ls3df

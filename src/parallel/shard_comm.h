@@ -1,0 +1,131 @@
+// In-process shard communicator: the MPI-ready seam for the paper's
+// processor-group machine layout.
+//
+// == Architecture ==
+//
+// A ShardComm models N logical ranks living on the shared ThreadPool.
+// Rank r owns the r-th x-slab of every distributed object (see
+// grid/sharded_field.h for the partition); no rank ever materializes the
+// full global grid. Execution is SPMD and *phased*: the orchestrating
+// thread calls each_rank(fn), which fans fn(rank) over the pool and
+// returns only when every rank finished — the return IS the phase
+// barrier. Rank bodies never block on each other, so the model is
+// deadlock-free for any worker count (ranks simply share lanes when
+// n_workers < n_ranks), and results are bit-identical for any worker
+// count because each rank touches only rank-owned data.
+//
+// Collectives are built from phases exactly the way their MPI
+// counterparts would be split into post/complete:
+//
+//   all_to_all      pack(src) fills the (src -> dst) mailboxes, barrier,
+//                   unpack(dst) reads them. In process the "exchange" is
+//                   zero-copy (recv_box(s,d) aliases send_box(s,d)); under
+//                   MPI the same two callbacks wrap MPI_Alltoallv. This is
+//                   the pencil transpose of DistFft3D (fft/dist_fft3d.h).
+//
+//   all_gather      every rank deposits its block of a shared table,
+//                   barrier, then the whole table is readable everywhere.
+//                   Used for the x-plane partial sums that make global
+//                   reductions shard-count invariant (sharded_plane_sum).
+//
+//   reduce_scatter  item i's per-rank contributions are summed in rank
+//                   order and delivered to the segment owner. Provided
+//                   (and unit-tested) as part of the MPI seam; the
+//                   in-process Gen_dens phase does not need it — slab
+//                   owners read every fragment directly (owner-computes)
+//                   — but an MPI port, where fragment groups cannot see
+//                   remote slabs, would patch densities through it.
+//
+// All mailboxes and tables are grow-only and persist across calls;
+// allocations() counts capacity-growth events so steady-state probes can
+// assert that the exchange buffers stop allocating after warm-up.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ls3df {
+
+class ShardComm {
+ public:
+  // n_ranks logical ranks; phases fan out over min(n_workers, n_ranks)
+  // lanes of the shared pool.
+  ShardComm(int n_ranks, int n_workers);
+
+  ShardComm(const ShardComm&) = delete;
+  ShardComm& operator=(const ShardComm&) = delete;
+
+  int n_ranks() const { return n_ranks_; }
+  int n_workers() const { return n_workers_; }
+
+  // One SPMD phase: run fn(rank) for every rank in parallel on the shared
+  // pool; returns when all ranks finished (the phase barrier). Rank
+  // bodies must not block on other ranks.
+  void each_rank(const std::function<void(int rank)>& fn) const;
+
+  // --- all_to_all -----------------------------------------------------
+  // Phase 1 runs pack(src) for every rank: each source sizes and fills
+  // send_box(src, dst) for the destinations it talks to. Phase 2 runs
+  // unpack(dst): each destination reads recv_box(src, dst). Boxes not
+  // re-sized in the current pack keep their previous size, so senders
+  // should size every box they own each round.
+  void all_to_all(const std::function<void(int src)>& pack,
+                  const std::function<void(int dst)>& unpack);
+
+  // Mailbox for the (src -> dst) block, sized to n elements (grow-only
+  // capacity). Call only from rank `src` during a pack phase.
+  std::complex<double>* send_box(int src, int dst, std::size_t n);
+  // The matching receive side; valid during the unpack phase.
+  const std::complex<double>* recv_box(int src, int dst) const;
+  std::size_t box_size(int src, int dst) const;
+
+  // --- all_gather -----------------------------------------------------
+  // Each rank fills its counts[rank] slots of a shared table (rank 0's
+  // block first). After the call the whole table is readable by every
+  // rank and by the orchestrator. The reference stays valid until the
+  // next all_gather.
+  const std::vector<double>& all_gather(
+      const std::vector<int>& counts,
+      const std::function<void(int rank, double* block)>& fill);
+
+  // --- reduce_scatter -------------------------------------------------
+  // contribute(rank) returns rank's length-n contribution (valid through
+  // the call). Item i's value is the sum of contributions in rank order;
+  // owner o receives its segment [seg_begin[o], seg_begin[o+1]) via
+  // consume(o, values) where values points at the segment start.
+  void reduce_scatter(
+      std::size_t n, const std::vector<std::size_t>& seg_begin,
+      const std::function<const double*(int rank)>& contribute,
+      const std::function<void(int rank, const double* seg)>& consume);
+
+  // Capacity-growth events across mailboxes and tables (steady-state
+  // allocation probe).
+  long allocations() const;
+  // Total elements currently held in the (src -> dst) mailboxes of
+  // destination `dst` — the per-rank exchange footprint.
+  std::size_t rank_box_elements(int dst) const;
+
+ private:
+  // Per-box growth counters are written only by the box's source rank
+  // during a pack phase, so the count needs no synchronization.
+  struct Box {
+    std::vector<std::complex<double>> data;
+    std::size_t used = 0;
+    long growths = 0;
+  };
+  Box& box(int src, int dst) { return boxes_[src * n_ranks_ + dst]; }
+  const Box& box(int src, int dst) const {
+    return boxes_[src * n_ranks_ + dst];
+  }
+
+  int n_ranks_;
+  int n_workers_;
+  std::vector<Box> boxes_;        // n_ranks^2 mailboxes, row = src
+  std::vector<double> table_;     // all_gather target
+  std::vector<double> reduce_;    // reduce_scatter accumulator
+  long allocs_ = 0;
+};
+
+}  // namespace ls3df

@@ -1,0 +1,24 @@
+#include "poisson/sharded_poisson.h"
+
+#include "common/constants.h"
+
+namespace ls3df {
+
+void apply_coulomb_kernel(DistFft3D& fft, const Lattice& lat) {
+  for_each_pencil_g2(fft, lat, [](cplx& v, double g2) {
+    if (g2 < 1e-12) {
+      v = 0.0;
+    } else {
+      v *= units::kFourPi / g2;
+    }
+  });
+}
+
+void sharded_hartree(DistFft3D& fft, const ShardedFieldR& rho,
+                     const Lattice& lat, ShardedFieldR& v_h) {
+  fft.forward(rho);
+  apply_coulomb_kernel(fft, lat);
+  fft.inverse(v_h);
+}
+
+}  // namespace ls3df

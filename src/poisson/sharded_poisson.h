@@ -1,0 +1,26 @@
+// Sharded GENPOT kernel: the global Poisson equation solved per-shard in
+// G-space. The density arrives as x-slabs, DistFft3D moves it to
+// y-pencils through one all-to-all transpose, each rank multiplies its
+// pencils by the Coulomb kernel 4 pi / G^2 (G = 0 zeroed; neutral-cell
+// jellium convention, exactly the dense solve_poisson arithmetic), and
+// the inverse transform returns the Hartree potential as x-slabs. No
+// rank ever holds more than global/N of the grid.
+#pragma once
+
+#include "fft/dist_fft3d.h"
+#include "grid/lattice.h"
+#include "grid/sharded_field.h"
+
+namespace ls3df {
+
+// Multiply the pencils currently held by `fft` (forward-transformed
+// density) by 4 pi / G^2, zeroing G = 0 — bit-identical pointwise to the
+// dense solve_poisson kernel loop.
+void apply_coulomb_kernel(DistFft3D& fft, const Lattice& lat);
+
+// V_H[rho] on x-slabs: forward, kernel, inverse. `v_h` must be shaped
+// like `rho`.
+void sharded_hartree(DistFft3D& fft, const ShardedFieldR& rho,
+                     const Lattice& lat, ShardedFieldR& v_h);
+
+}  // namespace ls3df

@@ -1,5 +1,6 @@
 #include "xc/lda.h"
 
+#include <cassert>
 #include <cmath>
 
 #include "common/constants.h"
@@ -32,6 +33,11 @@ XcPoint lda_xc(double rho) {
          (2.0 * D - C) / 3.0 * rs;
   }
   return {ex + ec, vx + vc};
+}
+
+void lda_vxc_into(const FieldR& rho, FieldR& vxc) {
+  assert(vxc.shape() == rho.shape());
+  for (std::size_t i = 0; i < rho.size(); ++i) vxc[i] = lda_xc(rho[i]).vxc;
 }
 
 XcResult lda_xc_field(const FieldR& rho, double point_volume) {

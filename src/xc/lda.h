@@ -23,4 +23,9 @@ struct XcResult {
 };
 XcResult lda_xc_field(const FieldR& rho, double point_volume);
 
+// Potential only, into a caller-shaped field (no allocation, no energy).
+// LDA is pointwise, so the sharded GENPOT evaluates it slab-locally with
+// this — per point the bits match lda_xc_field on the dense grid.
+void lda_vxc_into(const FieldR& rho, FieldR& vxc);
+
 }  // namespace ls3df

@@ -127,6 +127,38 @@ TEST(Hamiltonian, DensityIntegratesToOccupation) {
   for (std::size_t i = 0; i < rho.size(); ++i) EXPECT_GE(rho[i], 0.0);
 }
 
+TEST(Hamiltonian, BatchedDensitySweepBitIdenticalToPerBand) {
+  // density_into routes all occupied bands through one inverse_many
+  // sweep. Per-band arithmetic and the band-order accumulation are
+  // unchanged, so the result must equal the band-by-band sum exactly
+  // (zero-occupation bands skipped), for any worker count.
+  Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
+  GVectors gv(s.lattice(), {12, 12, 12}, 1.5);
+  Hamiltonian h(s, gv);
+  MatC psi = random_wavefunctions(gv, 5, 4);
+  const std::vector<double> occ{2, 2, 0, 1, 0.5};
+
+  // Reference: one single-band density per occupied band, summed in band
+  // order (each per-band call accumulates scale*|psi|^2 onto zero, so
+  // the ordered sum reproduces the sweep's accumulation exactly).
+  FieldR ref(gv.grid_shape());
+  FieldR band(gv.grid_shape());
+  for (int j = 0; j < 5; ++j) {
+    if (occ[j] == 0.0) continue;
+    MatC col(gv.count(), 1);
+    for (int g = 0; g < gv.count(); ++g) col(g, 0) = psi(g, j);
+    h.density_into(col, {occ[j]}, band);
+    ref += band;
+  }
+
+  for (int workers : {1, 4}) {
+    FieldR rho(gv.grid_shape());
+    h.density_into(psi, occ, rho, workers);
+    for (std::size_t i = 0; i < rho.size(); ++i)
+      ASSERT_EQ(rho[i], ref[i]) << "i=" << i << " workers=" << workers;
+  }
+}
+
 TEST(Hamiltonian, KineticEnergyDensityIntegratesToKineticEnergy) {
   Structure s = build_zincblende(Species::kZn, Species::kTe, 9.0, {1, 1, 1});
   GVectors gv(s.lattice(), {14, 14, 14}, 2.0);

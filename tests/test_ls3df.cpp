@@ -481,6 +481,153 @@ TEST(Ls3df, ThreadedPetotFMatchesSerial) {
   EXPECT_LT(max_diff, 1e-12);
 }
 
+TEST(Ls3df, ShardedSolveBitIdenticalToDenseAcrossShardsAndWorkers) {
+  // The tentpole contract: with the global grid sharded into x-slabs —
+  // Gen_dens patching into owning shards, GENPOT through the distributed
+  // transpose, mixing shard-local — solve() reproduces the dense path
+  // bit for bit, for any shard count and worker count.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.max_iterations = 3;
+  lo.l1_tol = 0.0;  // fixed number of outer iterations
+
+  Ls3dfResult ref;
+  {
+    lo.n_shards = 0;
+    lo.n_workers = 1;
+    Ls3dfSolver solver(s, lo);
+    ref = solver.solve();
+  }
+  for (int shards : {1, 2, 4}) {
+    for (int workers : {1, 4}) {
+      lo.n_shards = shards;
+      lo.n_workers = workers;
+      Ls3dfSolver solver(s, lo);
+      EXPECT_EQ(solver.active_shards(), shards);
+      Ls3dfResult r = solver.solve();
+      ASSERT_EQ(r.iterations, ref.iterations);
+      ASSERT_EQ(r.conv_history.size(), ref.conv_history.size());
+      for (std::size_t i = 0; i < ref.conv_history.size(); ++i)
+        ASSERT_EQ(r.conv_history[i], ref.conv_history[i])
+            << "L1 metric differs at iteration " << i << " for shards="
+            << shards << " workers=" << workers;
+      ASSERT_EQ(r.charge_patch_error, ref.charge_patch_error);
+      ASSERT_EQ(r.rho.size(), ref.rho.size());
+      for (std::size_t i = 0; i < ref.rho.size(); ++i)
+        ASSERT_EQ(r.rho[i], ref.rho[i])
+            << "density differs at point " << i << " for shards=" << shards
+            << " workers=" << workers;
+      for (std::size_t i = 0; i < ref.v_eff.size(); ++i)
+        ASSERT_EQ(r.v_eff[i], ref.v_eff[i])
+            << "potential differs at point " << i << " for shards="
+            << shards << " workers=" << workers;
+      ASSERT_EQ(r.energy.total, ref.energy.total);
+    }
+  }
+}
+
+TEST(Ls3df, ShardedPhasesBitIdenticalToDense) {
+  // Phase-level contract through the public hooks: gen_dens and genpot
+  // run the sharded pipeline internally when n_shards > 0 and must
+  // reproduce the dense phases bit for bit.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+
+  lo.n_shards = 0;
+  Ls3dfSolver dense(s, lo);
+  const FieldR rho0 = build_initial_density(s, dense.global_grid());
+  const FieldR v_dense = dense.genpot(rho0);
+  dense.gen_vf(v_dense);
+  dense.petot_f();
+  const FieldR rho_dense = dense.gen_dens();
+
+  for (int shards : {1, 2, 4}) {
+    for (int workers : {1, 4}) {
+      lo.n_shards = shards;
+      lo.n_workers = workers;
+      Ls3dfSolver sharded(s, lo);
+      const FieldR v_sharded = sharded.genpot(rho0);
+      ASSERT_EQ(v_dense.size(), v_sharded.size());
+      for (std::size_t i = 0; i < v_dense.size(); ++i)
+        ASSERT_EQ(v_sharded[i], v_dense[i])
+            << "genpot differs at " << i << " shards=" << shards
+            << " workers=" << workers;
+
+      sharded.gen_vf(v_sharded);
+      sharded.petot_f();
+      const FieldR rho_sharded = sharded.gen_dens();
+      ASSERT_EQ(rho_dense.size(), rho_sharded.size());
+      for (std::size_t i = 0; i < rho_dense.size(); ++i)
+        ASSERT_EQ(rho_sharded[i], rho_dense[i])
+            << "gen_dens differs at " << i << " shards=" << shards
+            << " workers=" << workers;
+    }
+  }
+}
+
+TEST(Ls3df, ShardedProfileHasTransposeSubPhase) {
+  // Satellite contract: the all-to-all cost is visible next to the
+  // compute phases — one GENPOT.transpose sample per genpot call (the
+  // initial-guess genpot plus one per outer iteration).
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.n_shards = 2;
+  lo.max_iterations = 2;
+  lo.l1_tol = 0.0;
+  Ls3dfSolver solver(s, lo);
+  Ls3dfResult r = solver.solve();
+  EXPECT_EQ(r.profile.count("GENPOT.transpose"), r.iterations + 1);
+  EXPECT_GT(r.profile.total("GENPOT.transpose"), 0.0);
+  EXPECT_EQ(r.profile.count("GENPOT"), r.iterations);
+  // The sub-phase nests inside GENPOT + the initial genpot, so its time
+  // cannot exceed what the enclosing phases measured by more than noise.
+  for (const char* phase : {"Gen_VF", "PEtot_F", "Gen_dens", "GENPOT"})
+    EXPECT_EQ(r.profile.count(phase), r.iterations) << phase;
+
+  // Kerker mixing runs its own transposes through the shared distributed
+  // FFT between genpot calls; those must not be attributed to the
+  // GENPOT.transpose samples (genpot drains stale transpose time first).
+  lo.mixer = MixerType::kKerker;
+  Ls3dfSolver ksolver(s, lo);
+  Ls3dfResult kr = ksolver.solve();
+  EXPECT_EQ(kr.profile.count("GENPOT.transpose"), kr.iterations + 1);
+  EXPECT_GT(kr.profile.total("GENPOT.transpose"), 0.0);
+}
+
+TEST(Ls3df, ShardExchangeBuffersSteadyStateAllocatesNothing) {
+  // The shard exchange buffers (all-to-all mailboxes + reduction tables)
+  // may only grow while the first GENPOT warms them; afterwards every
+  // sharded phase — and whole solve() calls — reuse warm buffers.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.n_shards = 3;
+  lo.n_workers = 2;
+  lo.max_iterations = 2;
+  lo.l1_tol = 0.0;
+  Ls3dfSolver solver(s, lo);
+  EXPECT_EQ(solver.shard_allocations(), 0);
+
+  // First solve() warms everything: transpose mailboxes on the first
+  // GENPOT, the plane-partials table on the first reduction.
+  Ls3dfResult r1 = solver.solve();
+  ASSERT_EQ(r1.iterations, 2);
+  const long warm = solver.shard_allocations();
+  EXPECT_GT(warm, 0);
+
+  // Every further sharded phase — and whole solve() calls — must reuse
+  // the warm buffers.
+  const FieldR rho0 = build_initial_density(s, solver.global_grid());
+  FieldR v = solver.genpot(rho0);
+  solver.gen_vf(v);
+  solver.petot_f();
+  FieldR rho = solver.gen_dens();
+  v = solver.genpot(rho);
+  Ls3dfResult r2 = solver.solve();
+  ASSERT_EQ(r2.iterations, 2);
+  EXPECT_EQ(solver.shard_allocations(), warm)
+      << "shard exchange buffers grew after the first solve";
+}
+
 TEST(Ls3df, FragmentSmearingKeepsChargeExact) {
   Structure s = h2_chain(3);
   Ls3dfOptions lo = chain_options();

@@ -1,0 +1,340 @@
+// Sharded-grid infrastructure tests: the ShardComm collectives, the
+// ShardedField3D slab partition and its Gen_VF / Gen_dens primitives,
+// the plane-blocked deterministic reductions, the distributed FFT's
+// bit-identity against the dense transform, the sharded GENPOT layers
+// (Poisson + xc + mixing), and the per-rank memory / steady-state
+// allocation contracts of the exchange buffers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "dft/mixing.h"
+#include "dft/scf.h"
+#include "fft/dist_fft3d.h"
+#include "fft/plan_cache.h"
+#include "grid/gvectors.h"
+#include "grid/lattice.h"
+#include "grid/sharded_field.h"
+#include "parallel/shard_comm.h"
+#include "poisson/sharded_poisson.h"
+
+namespace ls3df {
+namespace {
+
+FieldR random_field(Vec3i shape, std::uint64_t seed) {
+  Rng rng(seed);
+  FieldR f(shape);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = rng.uniform(-1, 1);
+  return f;
+}
+
+FieldR random_density(Vec3i shape, std::uint64_t seed) {
+  Rng rng(seed);
+  FieldR f(shape);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = rng.uniform(0.0, 0.4);
+  return f;
+}
+
+TEST(ShardComm, EachRankVisitsEveryRankOnce) {
+  for (int workers : {1, 3, 8}) {
+    ShardComm comm(5, workers);
+    std::vector<int> hits(5, 0);
+    comm.each_rank([&](int r) { ++hits[r]; });
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(hits[r], 1) << r;
+  }
+}
+
+TEST(ShardComm, AllToAllDeliversEveryBlock) {
+  const int n = 4;
+  ShardComm comm(n, 2);
+  // Block (src -> dst) carries src * 10 + dst, repeated src + 1 times.
+  std::vector<std::vector<double>> got(n);
+  comm.all_to_all(
+      [&](int src) {
+        for (int dst = 0; dst < n; ++dst) {
+          cplx* box = comm.send_box(src, dst, src + 1);
+          for (int k = 0; k <= src; ++k) box[k] = cplx(src * 10 + dst, k);
+        }
+      },
+      [&](int dst) {
+        for (int src = 0; src < n; ++src) {
+          EXPECT_EQ(comm.box_size(src, dst), static_cast<std::size_t>(src + 1));
+          const cplx* box = comm.recv_box(src, dst);
+          for (int k = 0; k <= src; ++k) {
+            got[dst].push_back(box[k].real());
+            EXPECT_EQ(box[k], cplx(src * 10 + dst, k));
+          }
+        }
+      });
+  for (int dst = 0; dst < n; ++dst)
+    EXPECT_EQ(got[dst].size(), static_cast<std::size_t>(1 + 2 + 3 + 4));
+}
+
+TEST(ShardComm, AllGatherTableIsRankOrdered) {
+  ShardComm comm(3, 2);
+  const std::vector<int> counts{2, 1, 3};
+  const std::vector<double>& table =
+      comm.all_gather(counts, [&](int r, double* block) {
+        for (int k = 0; k < counts[r]; ++k) block[k] = 100.0 * r + k;
+      });
+  const std::vector<double> want{0, 1, 100, 200, 201, 202};
+  ASSERT_EQ(table.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(table[i], want[i]);
+}
+
+TEST(ShardComm, ReduceScatterSumsInRankOrder) {
+  const int n_ranks = 3;
+  const std::size_t n = 7;
+  ShardComm comm(n_ranks, 2);
+  std::vector<std::vector<double>> contrib(n_ranks,
+                                           std::vector<double>(n));
+  Rng rng(7);
+  for (auto& c : contrib)
+    for (double& v : c) v = rng.uniform(-1, 1);
+  const std::vector<std::size_t> seg{0, 3, 5, 7};
+  std::vector<double> got(n, 0.0);
+  comm.reduce_scatter(
+      n, seg, [&](int r) { return contrib[r].data(); },
+      [&](int owner, const double* vals) {
+        for (std::size_t i = seg[owner]; i < seg[owner + 1]; ++i)
+          got[i] = vals[i - seg[owner]];
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    double want = 0;
+    for (int r = 0; r < n_ranks; ++r) want += contrib[r][i];
+    EXPECT_EQ(got[i], want) << i;  // rank-order sum, exactly
+  }
+}
+
+TEST(ShardedField, DenseRoundTripAndPartition) {
+  const Vec3i shape{10, 4, 5};
+  const FieldR dense = random_field(shape, 11);
+  for (int n : {1, 2, 3, 4, 10}) {
+    ShardedFieldR f(shape, n);
+    // Slabs tile [0, nx) in order, and each is within one plane of even.
+    EXPECT_EQ(f.x0(0), 0);
+    EXPECT_EQ(f.x1(n - 1), shape.x);
+    for (int r = 0; r + 1 < n; ++r) EXPECT_EQ(f.x1(r), f.x0(r + 1));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_LE(f.x1(r) - f.x0(r), (shape.x + n - 1) / n);
+      for (int gx = f.x0(r); gx < f.x1(r); ++gx)
+        EXPECT_EQ(f.owner_of(gx), r) << gx;
+    }
+    f.from_dense(dense);
+    const FieldR back = f.to_dense();
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      ASSERT_EQ(back[i], dense[i]);
+  }
+}
+
+TEST(ShardedField, ExtractMatchesDenseBitwise) {
+  const Vec3i shape{9, 6, 4};
+  const FieldR dense = random_field(shape, 21);
+  ShardedFieldR f(shape, 3);
+  f.from_dense(dense);
+  // Periodic wrap on every side, including negative offsets.
+  for (Vec3i offset : {Vec3i{-2, 3, 1}, Vec3i{7, -1, -3}, Vec3i{0, 0, 0}}) {
+    const Vec3i sub{6, 5, 6};
+    FieldR a(sub), b(sub);
+    dense.extract_into(offset, a);
+    f.extract_into(offset, b);
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ShardedField, AccumulateWindowMatchesDenseBitwise) {
+  const Vec3i shape{8, 5, 6};
+  const FieldR sub1 = random_field({6, 4, 5}, 31);
+  const FieldR sub2 = random_field({7, 5, 6}, 32);
+  for (int n : {1, 2, 4}) {
+    FieldR dense(shape);
+    ShardedFieldR sharded(shape, n);
+    // Two overlapping signed windows with periodic wrap — the Gen_dens
+    // pattern. Apply in the same (fragment) order on both sides.
+    const auto apply = [&](const FieldR& sub, Vec3i off, Vec3i so, Vec3i reg,
+                           double w) {
+      dense.accumulate_window(off, sub, so, reg, w);
+      for (int r = 0; r < n; ++r)
+        sharded.accumulate_window_shard(r, off, sub, so, reg, w);
+    };
+    apply(sub1, {6, 2, 4}, {1, 0, 1}, {5, 3, 4}, 1.0);
+    apply(sub2, {-3, 1, -2}, {0, 1, 0}, {7, 4, 5}, -1.0);
+    const FieldR back = sharded.to_dense();
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      ASSERT_EQ(back[i], dense[i]);
+  }
+}
+
+TEST(PlaneReductions, ShardedMatchesDenseBitwise) {
+  const Vec3i shape{12, 5, 4};
+  const FieldR a = random_field(shape, 41);
+  const FieldR b = random_field(shape, 42);
+  const double sum_d = plane_sum(a);
+  const double dot_d = plane_dot(a, b);
+  const double l1_d = plane_l1(a, b);
+  for (int n : {1, 2, 3, 4}) {
+    for (int workers : {1, 4}) {
+      ShardComm comm(n, workers);
+      ShardedFieldR sa(shape, n), sb(shape, n);
+      sa.from_dense(a);
+      sb.from_dense(b);
+      EXPECT_EQ(plane_sum(sa, comm), sum_d) << n << "x" << workers;
+      EXPECT_EQ(plane_dot(sa, sb, comm), dot_d) << n << "x" << workers;
+      EXPECT_EQ(plane_l1(sa, sb, comm), l1_d) << n << "x" << workers;
+    }
+  }
+}
+
+TEST(DistFft3D, ForwardAndInverseBitIdenticalToDense) {
+  // The tentpole FFT contract: local z/y transforms + one pencil
+  // transpose + x lines reproduce the dense Fft3D bit for bit, in both
+  // directions, for any shard and worker count.
+  const Vec3i shape{12, 8, 6};
+  const FieldR real_in = random_field(shape, 51);
+
+  // Dense reference: forward G-space grid, then the inverse round trip.
+  FieldC dense(shape);
+  for (std::size_t i = 0; i < real_in.size(); ++i)
+    dense[i] = cplx(real_in[i], 0.0);
+  const Fft3D& plan = fft_plan(shape);
+  plan.forward(dense.raw());
+  FieldC dense_back = dense;
+  plan.inverse(dense_back.raw());
+
+  for (int n : {1, 2, 4}) {
+    for (int workers : {1, 4}) {
+      ShardComm comm(n, workers);
+      DistFft3D fft(shape, comm);
+      ShardedFieldR in(shape, n);
+      in.from_dense(real_in);
+      fft.forward(in);
+      // Pencils hold the dense G-space values exactly.
+      for (int r = 0; r < n; ++r) {
+        const cplx* p = fft.pencil(r);
+        for (int iy = fft.y0(r); iy < fft.y1(r); ++iy)
+          for (int iz = 0; iz < shape.z; ++iz)
+            for (int ix = 0; ix < shape.x; ++ix)
+              ASSERT_EQ(*p++, dense(ix, iy, iz))
+                  << "G(" << ix << "," << iy << "," << iz << ") shards=" << n
+                  << " workers=" << workers;
+      }
+      // Inverse returns the dense inverse's real parts exactly.
+      ShardedFieldR out(shape, n);
+      fft.inverse(out);
+      const FieldR got = out.to_dense();
+      for (int ix = 0; ix < shape.x; ++ix)
+        for (int iy = 0; iy < shape.y; ++iy)
+          for (int iz = 0; iz < shape.z; ++iz)
+            ASSERT_EQ(got(ix, iy, iz), dense_back(ix, iy, iz).real());
+      // And the round trip recovers the input to solver precision.
+      for (std::size_t i = 0; i < real_in.size(); ++i)
+        ASSERT_LT(std::abs(got[i] - real_in[i]), 1e-12);
+    }
+  }
+}
+
+TEST(DistFft3D, PerRankFootprintStaysSlabSized) {
+  // The memory contract: every per-rank buffer (slab, pencil, exchange
+  // mailboxes) holds ~global/N values — never the full grid.
+  const Vec3i shape{16, 12, 10};
+  const std::size_t global =
+      static_cast<std::size_t>(shape.x) * shape.y * shape.z;
+  for (int n : {2, 4}) {
+    ShardComm comm(n, 2);
+    DistFft3D fft(shape, comm);
+    ShardedFieldR in(shape, n);
+    in.from_dense(random_field(shape, 61));
+    fft.forward(in);
+    const std::size_t ceil_slab = global / n + global % n;
+    for (int r = 0; r < n; ++r) {
+      EXPECT_LE(fft.pencil_size(r),
+                static_cast<std::size_t>((shape.y / n + 1)) * shape.z *
+                    shape.x);
+      EXPECT_LE(fft.pencil_size(r), ceil_slab + global / n);
+      // All mailboxes destined for rank r together carry one slab's worth.
+      EXPECT_LE(comm.rank_box_elements(r), ceil_slab);
+    }
+  }
+}
+
+TEST(DistFft3D, ExchangeBuffersAllocateOnlyOnFirstTranspose) {
+  const Vec3i shape{12, 8, 6};
+  ShardComm comm(3, 2);
+  DistFft3D fft(shape, comm);
+  ShardedFieldR in(shape, 3), out(shape, 3);
+  in.from_dense(random_field(shape, 71));
+  fft.forward(in);
+  fft.inverse(out);
+  const long warm = comm.allocations();
+  EXPECT_GT(warm, 0);
+  for (int rep = 0; rep < 3; ++rep) {
+    fft.forward(in);
+    fft.inverse(out);
+  }
+  EXPECT_EQ(comm.allocations(), warm)
+      << "shard exchange buffers grew after warm-up";
+}
+
+TEST(ShardedPoisson, EffectivePotentialBitIdenticalToDense) {
+  const Vec3i shape{10, 8, 6};
+  const Lattice lat({7.0, 6.0, 5.0});
+  const FieldR vion = random_field(shape, 81);
+  const FieldR rho = random_density(shape, 82);
+  const FieldR dense = effective_potential(vion, rho, lat);
+  for (int n : {1, 2, 4}) {
+    for (int workers : {1, 4}) {
+      ShardComm comm(n, workers);
+      DistFft3D fft(shape, comm);
+      ShardedFieldR svion(shape, n), srho(shape, n), vh(shape, n),
+          vxc(shape, n), vout(shape, n);
+      svion.from_dense(vion);
+      srho.from_dense(rho);
+      sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);
+      const FieldR got = vout.to_dense();
+      for (std::size_t i = 0; i < dense.size(); ++i)
+        ASSERT_EQ(got[i], dense[i])
+            << "i=" << i << " shards=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ShardedMixer, AllSchemesBitIdenticalToDense) {
+  const Vec3i shape{10, 6, 4};
+  const Lattice lat({6.0, 5.0, 4.0});
+  for (MixerType type :
+       {MixerType::kLinear, MixerType::kKerker, MixerType::kPulay}) {
+    // Dense reference trajectory over several iterations (enough history
+    // for a real DIIS solve).
+    PotentialMixer dense_mixer(type, 0.6, lat, shape);
+    std::vector<FieldR> dense_next;
+    FieldR v_in = random_field(shape, 91);
+    for (int it = 0; it < 4; ++it) {
+      const FieldR v_out = random_field(shape, 92 + it);
+      v_in = dense_mixer.mix(v_in, v_out);
+      dense_next.push_back(v_in);
+    }
+    for (int n : {1, 2, 4}) {
+      ShardComm comm(n, 2);
+      DistFft3D fft(shape, comm);
+      ShardedPotentialMixer mixer(type, 0.6, lat, fft);
+      ShardedFieldR sv(shape, n);
+      sv.from_dense(random_field(shape, 91));
+      for (int it = 0; it < 4; ++it) {
+        ShardedFieldR svo(shape, n);
+        svo.from_dense(random_field(shape, 92 + it));
+        sv = mixer.mix(sv, svo);
+        const FieldR got = sv.to_dense();
+        for (std::size_t i = 0; i < got.size(); ++i)
+          ASSERT_EQ(got[i], dense_next[it][i])
+              << "type=" << static_cast<int>(type) << " it=" << it
+              << " shards=" << n;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ls3df
