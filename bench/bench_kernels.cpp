@@ -478,6 +478,78 @@ std::vector<JsonEntry> kernel_summary() {
     out.push_back({"genpot_sharded_bit_identical_to_dense",
                    identical ? 1.0 : 0.0, 0});
   }
+  {
+    // Transport probes: the 40^3 transpose-shaped alltoallv through each
+    // backend (one full grid volume of complex values per exchange), the
+    // proc-backed GENPOT, and the cross-transport bit-identity flag CI
+    // asserts. On this container the proc exchange pays one shm copy +
+    // two process wakeups per phase; on multi-core nodes the rank
+    // workers run concurrently.
+    const Vec3i shape{40, 40, 40};
+    const Lattice lat({12.0, 12.0, 12.0});
+    Rng rng(9);
+    FieldR vion(shape), rho(shape);
+    for (std::size_t i = 0; i < vion.size(); ++i) {
+      vion[i] = rng.uniform(-1, 1);
+      rho[i] = rng.uniform(0.0, 0.2);
+    }
+    const int shards = 4;
+    const int workers = std::min(4, default_workers());
+    const std::size_t lane =
+        static_cast<std::size_t>(shape.x) * shape.y * shape.z /
+        (shards * shards);
+    const TransportKind kinds[] = {TransportKind::kInProc,
+                                   TransportKind::kProc};
+    FieldR v_by_kind[2];
+    for (int k = 0; k < 2; ++k) {
+      ShardComm comm(shards, workers, kinds[k]);
+      const auto exchange = [&]() {
+        comm.all_to_all(
+            [&](int src) {
+              for (int dst = 0; dst < shards; ++dst) {
+                cplx* box = comm.send_box(src, dst, lane);
+                for (std::size_t i = 0; i < lane; ++i)
+                  box[i] = cplx(src + 1.0, dst + 1.0);
+              }
+            },
+            [&](int dst) {
+              double acc = 0;
+              for (int src = 0; src < shards; ++src) {
+                const cplx* box = comm.recv_box(src, dst);
+                acc += box[0].real() + box[lane - 1].imag();
+              }
+              benchmark::DoNotOptimize(acc);
+            });
+      };
+      exchange();  // warm the lanes
+      const double ms = time_best_ms(5, exchange);
+      out.push_back({std::string("alltoallv_") +
+                         transport_name(kinds[k]) + "_40",
+                     ms, 0});
+
+      DistFft3D fft(shape, comm);
+      ShardedFieldR svion(shape, shards), srho(shape, shards),
+          vh(shape, shards), vxc(shape, shards), vout(shape, shards);
+      svion.from_dense(vion);
+      srho.from_dense(rho);
+      // One pass feeds the bit-identity comparison on both backends;
+      // only the proc backend is (re)timed — inproc GENPOT is already
+      // the genpot_sharded_40_s4 entry above.
+      sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);
+      if (kinds[k] == TransportKind::kProc) {
+        const double g_ms = time_best_ms(3, [&]() {
+          sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);
+        });
+        out.push_back({"genpot_proc_40_s4", g_ms, 0});
+      }
+      v_by_kind[k] = vout.to_dense();
+    }
+    bool identical = v_by_kind[0].size() == v_by_kind[1].size();
+    for (std::size_t i = 0; identical && i < v_by_kind[0].size(); ++i)
+      identical = v_by_kind[0][i] == v_by_kind[1][i];
+    out.push_back({"genpot_proc_bit_identical_to_inproc",
+                   identical ? 1.0 : 0.0, 0});
+  }
 
   // PEtot_F probes. Looped per-fragment dispatch at 1 and 4 workers (the
   // cross-PR trajectory entries), then the batched path at width 4: the

@@ -31,8 +31,14 @@
 // at construction and never reallocated; the all_to_all mailboxes grow
 // only on the first exchange (probed via ShardComm::allocations()). Per
 // rank the footprint is ~3x global/N complex values — no step touches
-// the full grid. Under MPI the two pack/unpack phases wrap
-// MPI_Alltoallv; nothing else changes.
+// the full grid.
+//
+// The transpose's data movement is whatever Transport backs the
+// ShardComm (transport/transport.h): zero-copy mailboxes in process,
+// shared-memory copies by the per-rank worker processes under the proc
+// transport, MPI_Alltoallv under MPI — the pack/unpack bodies here are
+// identical in all three, and the transform stays bit-identical to the
+// dense Fft3D for the in-process backends.
 #pragma once
 
 #include "fft/fft.h"
@@ -71,6 +77,9 @@ class DistFft3D {
   // from the orchestrator).
   cplx* pencil(int r) { return pencil_[r].data(); }
   std::size_t pencil_size(int r) const { return pencil_[r].size(); }
+  // Per-rank scratch extents (complex elements) for footprint probes.
+  std::size_t slab_size(int r) const { return slab_[r].size(); }
+  std::size_t scratch_size(int r) const { return scratch_[r].size(); }
 
   // Wall seconds spent in the transpose (pack + unpack) phases since the
   // last call — the GENPOT.transpose sub-phase feed.

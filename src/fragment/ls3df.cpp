@@ -20,11 +20,28 @@
 
 namespace ls3df {
 
-// Sharded-grid state: the ShardComm the global layers run on, the
-// distributed FFT, and persistent sharded fields (ionic potential, the
-// patched density, and the Hartree/xc scratch of GENPOT). Everything is
-// sized at construction; after the first transpose warms the mailboxes,
-// no sharded phase allocates.
+// Sharded-grid state: the ShardComm (over the selected transport) the
+// global layers run on, the distributed FFT, and persistent sharded
+// fields (ionic potential, the patched density, the Hartree/xc scratch
+// of GENPOT, and the solve loop's V_in/V_out). Everything is sized at
+// construction; after the first transpose warms the exchange lanes, no
+// sharded phase allocates — and every piece is slab-sized, which is what
+// shard_rank_footprint() accounts for.
+// Shared-memory demand of the proc transport for one global grid: each
+// transpose direction posts ~one grid volume of complex values on the
+// send side and the same on the (distinct) recv side; 6x plus slack
+// covers both directions, the gather/reduce tables and extent
+// alignment. The reservation is virtual (lazily committed), so
+// over-reserving is free — what matters is that a kProc solve can never
+// exhaust the arena mid-pipeline.
+static std::size_t transport_arena_bytes(Vec3i grid) {
+  const std::size_t vol =
+      static_cast<std::size_t>(grid.x) * grid.y * grid.z;
+  return std::max(std::size_t{512} << 20,
+                  6 * sizeof(std::complex<double>) * vol +
+                      (std::size_t{16} << 20));
+}
+
 struct Ls3dfSolver::ShardState {
   ShardComm comm;
   DistFft3D fft;
@@ -32,15 +49,20 @@ struct Ls3dfSolver::ShardState {
   mutable ShardedFieldR rho;       // latest patched (then normalized) density
   mutable ShardedFieldR vh, vxc;   // GENPOT assembly scratch
   mutable ShardedFieldR v_scratch; // public-hook genpot target
+  ShardedFieldR v_in, v_out;       // solve loop potentials
 
-  ShardState(Vec3i grid, int n_shards, int n_workers)
-      : comm(n_shards, n_workers),
+  ShardState(Vec3i grid, int n_shards, int n_workers, TransportKind kind)
+      : comm(n_shards, n_workers,
+             make_transport(kind, n_shards, n_workers,
+                            transport_arena_bytes(grid))),
         fft(grid, comm),
         vion(grid, n_shards),
         rho(grid, n_shards),
         vh(grid, n_shards),
         vxc(grid, n_shards),
-        v_scratch(grid, n_shards) {}
+        v_scratch(grid, n_shards),
+        v_in(grid, n_shards),
+        v_out(grid, n_shards) {}
 };
 
 struct Ls3dfSolver::FragmentContext {
@@ -226,9 +248,12 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
   measured_seconds_.assign(contexts_.size(), -1.0);
 
   if (opt_.n_shards > 0) {
-    const int n = std::min(opt_.n_shards, global_grid_.x);
-    shards_ = std::make_unique<ShardState>(global_grid_, n,
-                                           std::max(1, opt_.n_workers));
+    // Clamp to the grid's x extent and to the backend's rank ceiling
+    // (the proc transport's fixed worker table).
+    const int n = std::min(std::min(opt_.n_shards, global_grid_.x),
+                           transport_max_ranks(opt_.transport));
+    shards_ = std::make_unique<ShardState>(
+        global_grid_, n, std::max(1, opt_.n_workers), opt_.transport);
     shards_->vion.from_dense(vion_);
   }
 
@@ -572,6 +597,27 @@ long Ls3dfSolver::shard_allocations() const {
   return shards_ ? shards_->comm.allocations() : 0;
 }
 
+const char* Ls3dfSolver::shard_transport() const {
+  return shards_ ? shards_->comm.transport().name() : "none";
+}
+
+std::size_t Ls3dfSolver::shard_rank_footprint(int r) const {
+  if (!shards_) return 0;
+  const ShardState& s = *shards_;
+  // Double-equivalents held by rank r across the persistent sharded
+  // state: real field slabs, the FFT's complex slab/pencil/line scratch,
+  // and the transport lanes destined for r. Every term is proportional
+  // to global/N — the sharded pipeline's memory contract.
+  std::size_t doubles = 0;
+  const ShardedFieldR* fields[] = {&s.vion, &s.rho,  &s.vh,   &s.vxc,
+                                   &s.v_scratch, &s.v_in, &s.v_out};
+  for (const ShardedFieldR* f : fields) doubles += f->slab(r).size();
+  doubles += 2 * (s.fft.slab_size(r) + s.fft.pencil_size(r) +
+                  s.fft.scratch_size(r));
+  doubles += 2 * s.comm.rank_box_elements(r);
+  return doubles;
+}
+
 double Ls3dfSolver::patched_kinetic_energy() const {
   const int p = opt_.points_per_cell;
   const double point_vol = structure_.lattice().volume() /
@@ -731,20 +777,20 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
 // scalar reductions are plane-blocked in both drivers.
 Ls3dfResult Ls3dfSolver::solve_sharded() {
   ShardState& s = *shards_;
-  const int n = s.comm.n_ranks();
   const Lattice& lat = structure_.lattice();
   const double point_vol =
       lat.volume() / static_cast<double>(vion_.size());
   const double n_electrons = structure_.num_electrons();
 
   Ls3dfResult result;
-  {
-    // One-time setup (outside the pipeline): the initial guess is built
-    // densely, then scattered; an MPI port would build it slab-locally.
-    FieldR rho0 = build_initial_density(structure_, global_grid_);
-    s.rho.from_dense(rho0);
-  }
-  ShardedFieldR v_in(global_grid_, n), v_out(global_grid_, n);
+  // The initial guess is built slab-locally (G-space pencils through the
+  // distributed inverse FFT, pseudo/pseudopotential.h) — with it, no
+  // step of the sharded pipeline materializes the dense grid: from_dense
+  // appears only at the user-density and result boundaries of the public
+  // API, and shard_rank_footprint() probes the ~global/N contract.
+  build_initial_density_sharded(structure_, s.fft, s.comm, s.rho);
+  ShardedFieldR& v_in = s.v_in;
+  ShardedFieldR& v_out = s.v_out;
   genpot_sharded(s.rho, v_in);
   ShardedPotentialMixer mixer(opt_.mixer, opt_.mix_alpha, lat, s.fft);
 

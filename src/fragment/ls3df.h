@@ -53,6 +53,7 @@
 #include "dft/scf.h"
 #include "fragment/decomposition.h"
 #include "parallel/scheduler.h"
+#include "transport/transport.h"
 
 namespace ls3df {
 
@@ -92,9 +93,17 @@ struct Ls3dfOptions {
   int batch_width = 4;
   // x-slab shards for the global grid (density, potentials, mixing,
   // GENPOT FFT). 0 = legacy dense path (full grid on one node); > 0 is
-  // clamped to the global x extent. Results are bit-identical either
+  // clamped to the global x extent and to the selected transport's rank
+  // ceiling (transport_max_ranks). Results are bit-identical either
   // way.
   int n_shards = 0;
+  // Exchange backend for the sharded collectives (transport/transport.h):
+  // kInProc (default) keeps today's zero-copy logical ranks; kProc runs
+  // one forked worker process per shard over POSIX shared memory (true
+  // multi-process LS3DF on one node, bit-identical to kInProc); kMpi
+  // requires LS3DF_WITH_MPI and an SPMD launch. Ignored when n_shards
+  // is 0.
+  TransportKind transport = TransportKind::kInProc;
   bool compute_energy = true;
 };
 
@@ -138,10 +147,18 @@ class Ls3dfSolver {
 
   // Sharded-path introspection. active_shards() is the clamped shard
   // count (0 on the dense path); shard_allocations() counts capacity
-  // growths of the shard exchange buffers (ShardComm mailboxes +
-  // reduction tables) — flat after the first exchange, probed in tests.
+  // growths of the shard exchange buffers (transport lanes + reduction
+  // tables, uniform per backend) — flat after the first exchange, probed
+  // in tests. shard_transport() names the active exchange backend
+  // ("none" on the dense path). shard_rank_footprint(r) is rank r's
+  // persistent sharded-state size in double-equivalents (field slabs +
+  // FFT slab/pencil scratch + exchange lanes): every term is
+  // slab-proportional, so the probe asserting it scales as ~1/N is the
+  // "no rank holds the full grid" contract.
   int active_shards() const;
   long shard_allocations() const;
+  const char* shard_transport() const;
+  std::size_t shard_rank_footprint(int r) const;
 
   // Patched quantum-mechanical energies (kinetic + nonlocal), valid after
   // petot_f().

@@ -25,9 +25,9 @@ inline double plane_partial_l1(const double* a, const double* b,
 
 // Sum the per-plane partials in plane order — the shard-count-invariant
 // second stage shared by the dense and sharded overloads.
-inline double combine(const std::vector<double>& partials) {
+inline double combine(const double* partials, std::size_t n) {
   double acc = 0;
-  for (double p : partials) acc += p;
+  for (std::size_t i = 0; i < n; ++i) acc += partials[i];
   return acc;
 }
 
@@ -37,7 +37,7 @@ double dense_planes(Vec3i shape, const PlaneFn& partial) {
   std::vector<double> partials(shape.x);
   for (int ix = 0; ix < shape.x; ++ix)
     partials[ix] = partial(static_cast<std::size_t>(ix) * plane, plane);
-  return combine(partials);
+  return combine(partials.data(), partials.size());
 }
 
 template <typename PlaneFn>
@@ -47,13 +47,13 @@ double sharded_planes(const ShardedFieldR& f, ShardComm& comm,
   const std::size_t plane = static_cast<std::size_t>(shape.y) * shape.z;
   std::vector<int> counts(comm.n_ranks());
   for (int r = 0; r < comm.n_ranks(); ++r) counts[r] = f.x1(r) - f.x0(r);
-  const std::vector<double>& table =
+  const double* table =
       comm.all_gather(counts, [&](int r, double* block) {
         for (int lx = 0; lx < counts[r]; ++lx)
           block[lx] =
               partial(r, static_cast<std::size_t>(lx) * plane, plane);
       });
-  return combine(table);
+  return combine(table, static_cast<std::size_t>(shape.x));
 }
 
 }  // namespace

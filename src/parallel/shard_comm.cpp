@@ -1,53 +1,50 @@
 #include "parallel/shard_comm.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "parallel/thread_pool.h"
 
 namespace ls3df {
 
-ShardComm::ShardComm(int n_ranks, int n_workers)
-    : n_ranks_(n_ranks), n_workers_(n_workers) {
+ShardComm::ShardComm(int n_ranks, int n_workers, TransportKind transport)
+    : ShardComm(n_ranks, n_workers,
+                make_transport(transport, n_ranks, n_workers)) {}
+
+ShardComm::ShardComm(int n_ranks, int n_workers,
+                     std::unique_ptr<Transport> transport)
+    : n_ranks_(n_ranks),
+      n_workers_(n_workers),
+      transport_(std::move(transport)) {
   assert(n_ranks >= 1);
-  boxes_.resize(static_cast<std::size_t>(n_ranks_) * n_ranks_);
+  assert(transport_ && transport_->n_ranks() == n_ranks_);
 }
 
+ShardComm::~ShardComm() = default;
+
 void ShardComm::each_rank(const std::function<void(int)>& fn) const {
+  if (transport_->spmd()) {
+    fn(transport_->self_rank());
+    return;
+  }
   parallel_for(n_ranks_, n_workers_, [&](int r, int /*worker*/) { fn(r); });
 }
 
 void ShardComm::all_to_all(const std::function<void(int)>& pack,
                            const std::function<void(int)>& unpack) {
-  each_rank(pack);    // senders fill their mailboxes
-  each_rank(unpack);  // phase barrier above: receivers may now read
+  each_rank(pack);           // senders fill their lanes
+  transport_->alltoallv();   // the exchange (zero-copy in process)
+  each_rank(unpack);         // receivers read their lanes
 }
 
-std::complex<double>* ShardComm::send_box(int src, int dst, std::size_t n) {
-  Box& b = box(src, dst);
-  if (n > b.data.capacity()) ++b.growths;
-  b.data.resize(n);
-  b.used = n;
-  return b.data.data();
-}
-
-const std::complex<double>* ShardComm::recv_box(int src, int dst) const {
-  return box(src, dst).data.data();
-}
-
-std::size_t ShardComm::box_size(int src, int dst) const {
-  return box(src, dst).used;
-}
-
-const std::vector<double>& ShardComm::all_gather(
+const double* ShardComm::all_gather(
     const std::vector<int>& counts,
     const std::function<void(int rank, double* block)>& fill) {
   assert(static_cast<int>(counts.size()) == n_ranks_);
-  std::vector<std::size_t> begin(n_ranks_ + 1, 0);
-  for (int r = 0; r < n_ranks_; ++r) begin[r + 1] = begin[r] + counts[r];
-  if (begin[n_ranks_] > table_.capacity()) ++allocs_;
-  table_.resize(begin[n_ranks_]);
-  each_rank([&](int r) { fill(r, table_.data() + begin[r]); });
-  return table_;
+  transport_->gather_layout(counts);
+  each_rank([&](int r) { fill(r, transport_->gather_block(r)); });
+  transport_->allgatherv();
+  return transport_->gather_table();
 }
 
 void ShardComm::reduce_scatter(
@@ -56,34 +53,14 @@ void ShardComm::reduce_scatter(
     const std::function<void(int rank, const double* seg)>& consume) {
   assert(static_cast<int>(seg_begin.size()) == n_ranks_ + 1);
   assert(seg_begin.front() == 0 && seg_begin.back() == n);
-  if (n > reduce_.capacity()) ++allocs_;
-  reduce_.resize(n);
-  // Contributions are gathered on the orchestrator so rank tasks see a
-  // stable pointer table (MPI: the send buffers of MPI_Reduce_scatter).
-  std::vector<const double*> src(n_ranks_);
-  for (int r = 0; r < n_ranks_; ++r) src[r] = contribute(r);
-  each_rank([&](int owner) {
-    // Owner-computes: sum the owned segment in rank order — the fixed
-    // order keeps the reduction bit-identical for any worker count.
-    for (std::size_t i = seg_begin[owner]; i < seg_begin[owner + 1]; ++i) {
-      double acc = 0;
-      for (int r = 0; r < n_ranks_; ++r) acc += src[r][i];
-      reduce_[i] = acc;
-    }
-    consume(owner, reduce_.data() + seg_begin[owner]);
+  transport_->reduce_layout(n, seg_begin);
+  each_rank([&](int r) {
+    const double* c = contribute(r);
+    std::copy(c, c + n, transport_->reduce_block(r));
   });
-}
-
-long ShardComm::allocations() const {
-  long total = allocs_;
-  for (const Box& b : boxes_) total += b.growths;
-  return total;
-}
-
-std::size_t ShardComm::rank_box_elements(int dst) const {
-  std::size_t total = 0;
-  for (int src = 0; src < n_ranks_; ++src) total += box(src, dst).used;
-  return total;
+  transport_->reduce_scatter();
+  each_rank(
+      [&](int owner) { consume(owner, transport_->reduce_segment(owner)); });
 }
 
 }  // namespace ls3df

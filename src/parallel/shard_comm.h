@@ -1,131 +1,151 @@
-// In-process shard communicator: the MPI-ready seam for the paper's
-// processor-group machine layout.
+// Shard communicator: the paper's processor-group machine layout as a
+// phased SPMD model over a pluggable transport.
 //
 // == Architecture ==
 //
-// A ShardComm models N logical ranks living on the shared ThreadPool.
-// Rank r owns the r-th x-slab of every distributed object (see
-// grid/sharded_field.h for the partition); no rank ever materializes the
-// full global grid. Execution is SPMD and *phased*: the orchestrating
-// thread calls each_rank(fn), which fans fn(rank) over the pool and
-// returns only when every rank finished — the return IS the phase
-// barrier. Rank bodies never block on each other, so the model is
-// deadlock-free for any worker count (ranks simply share lanes when
-// n_workers < n_ranks), and results are bit-identical for any worker
-// count because each rank touches only rank-owned data.
+// A ShardComm models N logical ranks. Rank r owns the r-th x-slab of
+// every distributed object (see grid/sharded_field.h for the partition);
+// no rank ever materializes the full global grid. Execution is SPMD and
+// *phased*: the orchestrating thread calls each_rank(fn), which fans
+// fn(rank) over the shared ThreadPool and returns only when every rank
+// finished — the return IS the phase barrier. Rank bodies never block on
+// each other, so the model is deadlock-free for any worker count (ranks
+// simply share lanes when n_workers < n_ranks), and results are
+// bit-identical for any worker count because each rank touches only
+// rank-owned data.
 //
-// Collectives are built from phases exactly the way their MPI
-// counterparts would be split into post/complete:
+// Data movement is delegated to a Transport (transport/transport.h):
+// every collective splits into post -> exchange -> read, exactly the way
+// its MPI counterpart splits into send-buffer fill, collective call and
+// recv-buffer read:
 //
-//   all_to_all      pack(src) fills the (src -> dst) mailboxes, barrier,
-//                   unpack(dst) reads them. In process the "exchange" is
-//                   zero-copy (recv_box(s,d) aliases send_box(s,d)); under
-//                   MPI the same two callbacks wrap MPI_Alltoallv. This is
+//   all_to_all      pack(src) fills the (src -> dst) lanes, the
+//                   transport exchanges them, unpack(dst) reads. This is
 //                   the pencil transpose of DistFft3D (fft/dist_fft3d.h).
+//                   MPI twin: MPI_Alltoallv.
 //
-//   all_gather      every rank deposits its block of a shared table,
-//                   barrier, then the whole table is readable everywhere.
+//   all_gather      every rank deposits its block, the transport
+//                   assembles the rank-ordered table readable everywhere.
 //                   Used for the x-plane partial sums that make global
 //                   reductions shard-count invariant (sharded_plane_sum).
+//                   MPI twin: MPI_Allgatherv.
 //
 //   reduce_scatter  item i's per-rank contributions are summed in rank
-//                   order and delivered to the segment owner. Provided
-//                   (and unit-tested) as part of the MPI seam; the
+//                   order and delivered to the segment owner. The
 //                   in-process Gen_dens phase does not need it — slab
 //                   owners read every fragment directly (owner-computes)
 //                   — but an MPI port, where fragment groups cannot see
-//                   remote slabs, would patch densities through it.
+//                   remote slabs, patches densities through it.
+//                   MPI twin: MPI_Reduce_scatter.
 //
-// All mailboxes and tables are grow-only and persist across calls;
-// allocations() counts capacity-growth events so steady-state probes can
-// assert that the exchange buffers stop allocating after warm-up.
+// Backends: in-process logical ranks (zero-copy, the default), forked
+// worker processes over POSIX shared memory (true multi-process LS3DF on
+// one node), and MPI under LS3DF_WITH_MPI. The in-process backends are
+// bit-identical to each other and to the dense path. Under an SPMD
+// transport (MPI) each process owns one rank, and each_rank runs the
+// body only for the local rank.
+//
+// All exchange buffers are transport-owned, grow-only, and persist
+// across calls; allocations() counts capacity-growth events uniformly
+// across backends so steady-state probes can assert that the exchange
+// stops allocating after warm-up.
 #pragma once
 
 #include <complex>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
+
+#include "transport/transport.h"
 
 namespace ls3df {
 
 class ShardComm {
  public:
   // n_ranks logical ranks; phases fan out over min(n_workers, n_ranks)
-  // lanes of the shared pool.
-  ShardComm(int n_ranks, int n_workers);
+  // lanes of the shared pool. The transport kind selects the exchange
+  // backend (Ls3dfOptions::transport at the solver level).
+  ShardComm(int n_ranks, int n_workers,
+            TransportKind transport = TransportKind::kInProc);
+  // Adopt a caller-built transport (tests, custom MPI communicators).
+  ShardComm(int n_ranks, int n_workers,
+            std::unique_ptr<Transport> transport);
+  ~ShardComm();
 
   ShardComm(const ShardComm&) = delete;
   ShardComm& operator=(const ShardComm&) = delete;
 
   int n_ranks() const { return n_ranks_; }
   int n_workers() const { return n_workers_; }
+  Transport& transport() const { return *transport_; }
+  TransportKind transport_kind() const { return transport_->kind(); }
 
   // One SPMD phase: run fn(rank) for every rank in parallel on the shared
   // pool; returns when all ranks finished (the phase barrier). Rank
-  // bodies must not block on other ranks.
+  // bodies must not block on other ranks. Under an SPMD transport the
+  // body runs only for the local rank.
   void each_rank(const std::function<void(int rank)>& fn) const;
 
   // --- all_to_all -----------------------------------------------------
   // Phase 1 runs pack(src) for every rank: each source sizes and fills
-  // send_box(src, dst) for the destinations it talks to. Phase 2 runs
-  // unpack(dst): each destination reads recv_box(src, dst). Boxes not
-  // re-sized in the current pack keep their previous size, so senders
-  // should size every box they own each round.
+  // send_box(src, dst) for the destinations it talks to. The transport
+  // exchanges the lanes. Phase 2 runs unpack(dst): each destination
+  // reads recv_box(src, dst). Boxes not re-sized in the current pack
+  // keep their previous size, so senders should size every box they own
+  // each round.
   void all_to_all(const std::function<void(int src)>& pack,
                   const std::function<void(int dst)>& unpack);
 
-  // Mailbox for the (src -> dst) block, sized to n elements (grow-only
+  // Lane for the (src -> dst) block, sized to n elements (grow-only
   // capacity). Call only from rank `src` during a pack phase.
-  std::complex<double>* send_box(int src, int dst, std::size_t n);
+  std::complex<double>* send_box(int src, int dst, std::size_t n) {
+    return transport_->send_box(src, dst, n);
+  }
   // The matching receive side; valid during the unpack phase.
-  const std::complex<double>* recv_box(int src, int dst) const;
-  std::size_t box_size(int src, int dst) const;
+  const std::complex<double>* recv_box(int src, int dst) const {
+    return transport_->recv_box(src, dst);
+  }
+  std::size_t box_size(int src, int dst) const {
+    return transport_->box_size(src, dst);
+  }
 
   // --- all_gather -----------------------------------------------------
   // Each rank fills its counts[rank] slots of a shared table (rank 0's
-  // block first). After the call the whole table is readable by every
-  // rank and by the orchestrator. The reference stays valid until the
-  // next all_gather.
-  const std::vector<double>& all_gather(
+  // block first). Returns the assembled rank-ordered table of
+  // sum(counts) doubles; the pointer stays valid until the next
+  // all_gather on this communicator.
+  const double* all_gather(
       const std::vector<int>& counts,
       const std::function<void(int rank, double* block)>& fill);
 
   // --- reduce_scatter -------------------------------------------------
   // contribute(rank) returns rank's length-n contribution (valid through
-  // the call). Item i's value is the sum of contributions in rank order;
-  // owner o receives its segment [seg_begin[o], seg_begin[o+1]) via
-  // consume(o, values) where values points at the segment start.
+  // the call; invoked from rank's phase lane). Item i's value is the sum
+  // of contributions in rank order; owner o receives its segment
+  // [seg_begin[o], seg_begin[o+1]) via consume(o, values) where values
+  // points at the segment start.
   void reduce_scatter(
       std::size_t n, const std::vector<std::size_t>& seg_begin,
       const std::function<const double*(int rank)>& contribute,
       const std::function<void(int rank, const double* seg)>& consume);
 
-  // Capacity-growth events across mailboxes and tables (steady-state
-  // allocation probe).
-  long allocations() const;
-  // Total elements currently held in the (src -> dst) mailboxes of
-  // destination `dst` — the per-rank exchange footprint.
-  std::size_t rank_box_elements(int dst) const;
+  // Transport-level fence with no payload.
+  void barrier() { transport_->barrier(); }
 
- private:
-  // Per-box growth counters are written only by the box's source rank
-  // during a pack phase, so the count needs no synchronization.
-  struct Box {
-    std::vector<std::complex<double>> data;
-    std::size_t used = 0;
-    long growths = 0;
-  };
-  Box& box(int src, int dst) { return boxes_[src * n_ranks_ + dst]; }
-  const Box& box(int src, int dst) const {
-    return boxes_[src * n_ranks_ + dst];
+  // Capacity-growth events across the transport's exchange buffers
+  // (steady-state allocation probe; uniform semantics per backend).
+  long allocations() const { return transport_->allocations(); }
+  // Total elements currently posted in the (src -> dst) lanes of
+  // destination `dst` — the per-rank exchange footprint.
+  std::size_t rank_box_elements(int dst) const {
+    return transport_->rank_box_elements(dst);
   }
 
+ private:
   int n_ranks_;
   int n_workers_;
-  std::vector<Box> boxes_;        // n_ranks^2 mailboxes, row = src
-  std::vector<double> table_;     // all_gather target
-  std::vector<double> reduce_;    // reduce_scatter accumulator
-  long allocs_ = 0;
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace ls3df

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "fft/dist_fft3d.h"
 #include "fft/plan_cache.h"
+#include "grid/sharded_field.h"
 #include "linalg/blas.h"
 
 namespace ls3df {
@@ -97,6 +99,29 @@ FieldR build_local_potential(const Structure& s, Vec3i shape) {
   return v;
 }
 
+namespace {
+
+// One Fourier coefficient of the Gaussian valence-charge superposition —
+// the shared per-G arithmetic of the dense and sharded builders (their
+// bit-identity rests on this being the single implementation).
+inline cd initial_density_g(const Structure& s, double gx, double gy,
+                            double gz, double inv_vol) {
+  const double q2 = gx * gx + gy * gy + gz * gz;
+  cd acc(0, 0);
+  for (const auto& atom : s.atoms()) {
+    const PseudoParams& p = pseudo_params(atom.species);
+    // Gaussian of width ~ rloc carrying the valence charge.
+    const double w = p.rloc;
+    const double amp = p.zval * std::exp(-q2 * w * w / 4.0);
+    const double phase = -(gx * atom.position.x + gy * atom.position.y +
+                           gz * atom.position.z);
+    acc += amp * cd(std::cos(phase), std::sin(phase));
+  }
+  return acc * inv_vol;
+}
+
+}  // namespace
+
 FieldR build_initial_density(const Structure& s, Vec3i shape) {
   const Lattice& lat = s.lattice();
   const Vec3d b = lat.reciprocal();
@@ -108,18 +133,7 @@ FieldR build_initial_density(const Structure& s, Vec3i shape) {
       const double gy = GVectors::freq(i2, shape.y) * b.y;
       for (int i3 = 0; i3 < shape.z; ++i3) {
         const double gz = GVectors::freq(i3, shape.z) * b.z;
-        const double q2 = gx * gx + gy * gy + gz * gz;
-        cd acc(0, 0);
-        for (const auto& atom : s.atoms()) {
-          const PseudoParams& p = pseudo_params(atom.species);
-          // Gaussian of width ~ rloc carrying the valence charge.
-          const double w = p.rloc;
-          const double amp = p.zval * std::exp(-q2 * w * w / 4.0);
-          const double phase = -(gx * atom.position.x + gy * atom.position.y +
-                                 gz * atom.position.z);
-          acc += amp * cd(std::cos(phase), std::sin(phase));
-        }
-        rg(i1, i2, i3) = acc * inv_vol;
+        rg(i1, i2, i3) = initial_density_g(s, gx, gy, gz, inv_vol);
       }
     }
   }
@@ -130,11 +144,51 @@ FieldR build_initial_density(const Structure& s, Vec3i shape) {
   for (std::size_t i = 0; i < rho.size(); ++i)
     rho[i] = std::max(0.0, rg[i].real() * n);
   // Renormalize exactly to the electron count (Gaussian overlap and the
-  // max(0,.) clamp can shift the integral slightly).
+  // max(0,.) clamp can shift the integral slightly). Plane-blocked sum:
+  // the deterministic reduction shared with the sharded builder.
   const double point_vol = lat.volume() / static_cast<double>(rho.size());
-  const double total = rho.sum() * point_vol;
+  const double total = plane_sum(rho) * point_vol;
   if (total > 0) rho *= s.num_electrons() / total;
   return rho;
+}
+
+void build_initial_density_sharded(const Structure& s, DistFft3D& fft,
+                                   ShardComm& comm, ShardedFieldR& out) {
+  const Vec3i shape = fft.shape();
+  assert(out.global_shape() == shape && out.n_shards() == comm.n_ranks());
+  const Lattice& lat = s.lattice();
+  const Vec3d b = lat.reciprocal();
+  const double inv_vol = 1.0 / lat.volume();
+  // Fill each rank's G-space pencil block directly — the dense builder's
+  // coefficients in the pencil layout; no rank touches the dense grid.
+  comm.each_rank([&](int r) {
+    cplx* p = fft.pencil(r);
+    for (int iy = fft.y0(r); iy < fft.y1(r); ++iy) {
+      const double gy = GVectors::freq(iy, shape.y) * b.y;
+      for (int iz = 0; iz < shape.z; ++iz) {
+        const double gz = GVectors::freq(iz, shape.z) * b.z;
+        for (int ix = 0; ix < shape.x; ++ix, ++p)
+          *p = initial_density_g(s, GVectors::freq(ix, shape.x) * b.x, gy,
+                                 gz, inv_vol);
+      }
+    }
+  });
+  // The distributed inverse is bit-identical to the dense Fft3D inverse
+  // (fft/dist_fft3d.h), so the slabs hold the dense builder's values.
+  fft.inverse(out);
+  const double n = static_cast<double>(static_cast<std::size_t>(shape.x) *
+                                       shape.y * shape.z);
+  comm.each_rank([&](int r) {
+    FieldR& slab = out.slab(r);
+    for (std::size_t i = 0; i < slab.size(); ++i)
+      slab[i] = std::max(0.0, slab[i] * n);
+  });
+  const double point_vol = lat.volume() / n;
+  const double total = plane_sum(out, comm) * point_vol;
+  if (total > 0) {
+    const double scale = s.num_electrons() / total;
+    comm.each_rank([&](int r) { out.slab(r) *= scale; });
+  }
 }
 
 NonlocalKB::NonlocalKB(const Structure& s, const GVectors& basis)

@@ -57,8 +57,24 @@ double vloc_q(const PseudoParams& p, double q2);
 FieldR build_local_potential(const Structure& s, Vec3i shape);
 
 // Gaussian valence-charge superposition: a smooth, correctly normalized
-// initial guess for the electron density (integrates to num_electrons()).
+// initial guess for the electron density (integrates to num_electrons();
+// the normalization uses the plane-blocked sum of grid/sharded_field.h so
+// the sharded builder below reproduces the same bits).
 FieldR build_initial_density(const Structure& s, Vec3i shape);
+
+class DistFft3D;
+class ShardComm;
+template <typename T>
+class ShardedField3D;
+
+// The sharded twin, built slab-locally: each rank fills its G-space
+// pencil block with the same per-G coefficients, the distributed inverse
+// transform lands the guess on `out`'s x-slabs, and the normalization is
+// the plane-blocked sum — bit-identical per point to build_initial_density
+// for any shard count, with no step materializing the dense grid.
+void build_initial_density_sharded(const Structure& s, DistFft3D& fft,
+                                   ShardComm& comm,
+                                   ShardedField3D<double>& out);
 
 // Separable Kleinman-Bylander nonlocal operator in a plane-wave basis:
 //   V_NL = sum_p |beta_p> D_p <beta_p|,

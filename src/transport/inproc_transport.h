@@ -1,0 +1,69 @@
+// The default transport: N logical ranks in one process, zero-copy.
+//
+// This is the pre-transport ShardComm exchange verbatim, behind the
+// Transport interface: the (src -> dst) mailboxes are ordinary vectors,
+// recv_box aliases send_box so alltoallv() is a no-op barrier, the
+// allgatherv table is filled in place, and the reduce_scatter sum runs
+// owner-parallel on the shared pool in rank order. Bit-identical (and
+// allocation-identical on the alltoallv/allgatherv paths) to the code it
+// replaces.
+#pragma once
+
+#include "transport/transport.h"
+
+namespace ls3df {
+
+class InProcTransport : public Transport {
+ public:
+  InProcTransport(int n_ranks, int n_workers);
+
+  TransportKind kind() const override { return TransportKind::kInProc; }
+  int n_ranks() const override { return n_ranks_; }
+
+  std::complex<double>* send_box(int src, int dst, std::size_t n) override;
+  void alltoallv() override {}  // zero-copy: recv aliases send
+  const std::complex<double>* recv_box(int src, int dst) const override;
+  std::size_t box_size(int src, int dst) const override;
+
+  void gather_layout(const std::vector<int>& counts) override;
+  double* gather_block(int rank) override;
+  void allgatherv() override {}  // filled in place
+  const double* gather_table() const override { return table_.data(); }
+
+  void reduce_layout(std::size_t n,
+                     const std::vector<std::size_t>& seg_begin) override;
+  double* reduce_block(int rank) override;
+  void reduce_scatter() override;
+  const double* reduce_segment(int owner) const override;
+
+  void barrier() override {}
+
+  long allocations() const override;
+  std::size_t rank_box_elements(int dst) const override;
+
+ private:
+  // Per-box growth counters are written only by the box's source rank
+  // during a pack phase, so the count needs no synchronization.
+  struct Box {
+    std::vector<std::complex<double>> data;
+    std::size_t used = 0;
+    long growths = 0;
+  };
+  Box& box(int src, int dst) { return boxes_[src * n_ranks_ + dst]; }
+  const Box& box(int src, int dst) const {
+    return boxes_[src * n_ranks_ + dst];
+  }
+
+  int n_ranks_;
+  int n_workers_;
+  std::vector<Box> boxes_;            // n_ranks^2 mailboxes, row = src
+  std::vector<double> table_;         // allgatherv target
+  std::vector<std::size_t> begin_;    // gather block offsets
+  std::vector<double> contrib_;       // reduce_scatter posts, row = rank
+  std::vector<double> reduce_;        // reduce_scatter result
+  std::vector<std::size_t> seg_;      // reduce segment bounds
+  std::size_t reduce_n_ = 0;
+  long allocs_ = 0;
+};
+
+}  // namespace ls3df

@@ -1,0 +1,348 @@
+#include "transport/proc_transport.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace ls3df {
+
+// Lane descriptor in shared memory: offset is bytes from the segment
+// base, capacity/used are elements. Written by the parent (the lane's
+// posting thread) before the command publish; read by workers after the
+// acquire on seq — the release/acquire pair on seq orders everything.
+struct ShmLane {
+  std::uint64_t offset = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t used = 0;
+};
+
+namespace {
+
+enum Cmd : std::uint32_t {
+  kCmdNone = 0,
+  kCmdAllToAll,
+  kCmdGather,
+  kCmdReduce,
+  kCmdBarrier,
+  kCmdExit,
+};
+
+// Short spin, then sleep: correct on oversubscribed single-core nodes
+// (the common CI box), cheap on idle workers.
+inline void backoff(int& spins) {
+  if (++spins < 256) return;
+  timespec ts{0, spins < 2048 ? 20'000 : 200'000};
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+struct ProcShmHeader {
+  alignas(64) std::atomic<std::uint64_t> seq;
+  std::uint32_t cmd;
+  std::uint32_t n_ranks;
+  // Gather block begins / reduce segment bounds (elements), n_ranks + 1.
+  std::uint64_t begin[ProcTransport::kMaxRanks + 1];
+  std::uint64_t table_off;   // gather table region (doubles)
+  std::uint64_t result_off;  // reduce result region (doubles)
+  ShmLane send[ProcTransport::kMaxRanks * ProcTransport::kMaxRanks];
+  ShmLane recv[ProcTransport::kMaxRanks * ProcTransport::kMaxRanks];
+  ShmLane gsrc[ProcTransport::kMaxRanks];
+  ShmLane rsrc[ProcTransport::kMaxRanks];
+  alignas(64) std::atomic<std::uint64_t> done[ProcTransport::kMaxRanks];
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "the cross-process phase protocol needs lock-free u64");
+
+namespace {
+
+// Worker body: forked before any command, runs rank r's share of each
+// exchange, never returns. Touches only the shm segment and makes no
+// heap allocation — fork()-safe even with the parent's pool threads
+// live, because no lock of the parent can be held in this child.
+[[noreturn]] void worker_main(ProcShmHeader* h, unsigned char* base,
+                              int rank) {
+  const int n = static_cast<int>(h->n_ranks);
+  std::uint64_t last = 0;
+  for (;;) {
+    int spins = 0;
+    while (h->seq.load(std::memory_order_acquire) == last) backoff(spins);
+    last = h->seq.load(std::memory_order_acquire);
+    switch (h->cmd) {
+      case kCmdAllToAll:
+        // Receive side of rank `rank`: copy every (src -> rank) lane.
+        for (int src = 0; src < n; ++src) {
+          const ShmLane& s = h->send[src * ProcTransport::kMaxRanks + rank];
+          const ShmLane& d = h->recv[src * ProcTransport::kMaxRanks + rank];
+          std::memcpy(base + d.offset, base + s.offset,
+                      s.used * sizeof(std::complex<double>));
+        }
+        break;
+      case kCmdGather: {
+        const ShmLane& s = h->gsrc[rank];
+        double* table = reinterpret_cast<double*>(base + h->table_off);
+        std::memcpy(table + h->begin[rank], base + s.offset,
+                    s.used * sizeof(double));
+        break;
+      }
+      case kCmdReduce: {
+        double* result = reinterpret_cast<double*>(base + h->result_off);
+        for (std::uint64_t i = h->begin[rank]; i < h->begin[rank + 1];
+             ++i) {
+          double acc = 0;
+          for (int src = 0; src < n; ++src) {
+            const double* c = reinterpret_cast<const double*>(
+                base + h->rsrc[src].offset);
+            acc += c[i];
+          }
+          result[i] = acc;
+        }
+        break;
+      }
+      case kCmdBarrier:
+        break;
+      case kCmdExit:
+        h->done[rank].store(last, std::memory_order_release);
+        _exit(0);
+      default:
+        break;
+    }
+    h->done[rank].store(last, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+ProcTransport::ProcTransport(int n_ranks, std::size_t arena_bytes)
+    : n_ranks_(n_ranks) {
+  if (n_ranks < 1 || n_ranks > kMaxRanks)
+    throw std::invalid_argument("ProcTransport: n_ranks out of range");
+  const std::size_t header = (sizeof(ProcShmHeader) + 63) & ~std::size_t{63};
+  map_bytes_ = header + arena_bytes;
+  // Anonymous shared mapping: inherited by the forked workers, no name
+  // to leak, pages committed lazily (MAP_NORESERVE keeps the large
+  // virtual reservation free).
+  void* mem = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED)
+    throw std::runtime_error(std::string("ProcTransport: mmap failed: ") +
+                             std::strerror(errno));
+  base_ = static_cast<unsigned char*>(mem);
+  hdr_ = new (mem) ProcShmHeader{};
+  hdr_->n_ranks = static_cast<std::uint32_t>(n_ranks_);
+  arena_used_.store(header, std::memory_order_relaxed);
+  arena_bytes_ = map_bytes_;
+
+  send_growths_.assign(static_cast<std::size_t>(kMaxRanks) * kMaxRanks, 0);
+  recv_growths_.assign(static_cast<std::size_t>(kMaxRanks) * kMaxRanks, 0);
+  gsrc_growths_.assign(kMaxRanks, 0);
+  rsrc_growths_.assign(kMaxRanks, 0);
+
+  for (int r = 0; r < n_ranks_; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      const std::string err = std::strerror(errno);
+      for (int k = 0; k < r; ++k) kill(pids_[k], SIGKILL);
+      for (int k = 0; k < r; ++k) waitpid(pids_[k], nullptr, 0);
+      munmap(base_, map_bytes_);
+      throw std::runtime_error("ProcTransport: fork failed: " + err);
+    }
+    if (pid == 0) worker_main(hdr_, base_, r);  // never returns
+    pids_[r] = pid;
+  }
+}
+
+ProcTransport::~ProcTransport() {
+  if (failed_.empty() && hdr_) {
+    // Graceful teardown first: publish kCmdExit and give each worker a
+    // bounded window to _exit(0) on its own.
+    hdr_->cmd = kCmdExit;
+    hdr_->seq.store(hdr_->seq.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+    for (int r = 0; r < n_ranks_; ++r) {
+      for (int spin = 0; pids_[r] > 0 && spin < 5000; ++spin) {
+        if (waitpid(pids_[r], nullptr, WNOHANG) == pids_[r]) {
+          pids_[r] = -1;
+          break;
+        }
+        timespec ts{0, 200'000};
+        nanosleep(&ts, nullptr);
+      }
+    }
+  }
+  // Fallback (and the post-crash path): workers hold no resources
+  // beyond the shared mapping, so kill + reap is always safe.
+  for (int r = 0; r < n_ranks_; ++r) {
+    if (pids_[r] <= 0) continue;
+    kill(pids_[r], SIGKILL);
+    waitpid(pids_[r], nullptr, 0);
+  }
+  if (base_) munmap(base_, map_bytes_);
+}
+
+void ProcTransport::grow_lane(ShmLane& lane, std::size_t elems,
+                              std::size_t elem_bytes, long& growths) {
+  if (elems > lane.capacity) {
+    const std::size_t bytes = (elems * elem_bytes + 63) & ~std::size_t{63};
+    const std::uint64_t off =
+        arena_used_.fetch_add(bytes, std::memory_order_relaxed);
+    if (off + bytes > arena_bytes_)
+      throw std::runtime_error(
+          "ProcTransport: shared-memory arena exhausted (raise arena_bytes)");
+    lane.offset = off;
+    lane.capacity = elems;
+    ++growths;
+  }
+  lane.used = elems;
+}
+
+void ProcTransport::check_alive() {
+  for (int r = 0; r < n_ranks_; ++r) {
+    if (pids_[r] <= 0) continue;
+    int status = 0;
+    if (waitpid(pids_[r], &status, WNOHANG) == pids_[r]) {
+      pids_[r] = -1;
+      failed_ = "ProcTransport: worker for rank " + std::to_string(r) +
+                (WIFSIGNALED(status)
+                     ? " was killed by signal " +
+                           std::to_string(WTERMSIG(status))
+                     : " exited with status " +
+                           std::to_string(WEXITSTATUS(status))) +
+                " — shard exchange cannot continue";
+      throw std::runtime_error(failed_);
+    }
+  }
+}
+
+void ProcTransport::run_command(std::uint32_t cmd) {
+  if (!failed_.empty()) throw std::runtime_error(failed_);
+  hdr_->cmd = cmd;
+  const std::uint64_t s =
+      hdr_->seq.load(std::memory_order_relaxed) + 1;
+  hdr_->seq.store(s, std::memory_order_release);
+  for (int r = 0; r < n_ranks_; ++r) {
+    int spins = 0;
+    while (hdr_->done[r].load(std::memory_order_acquire) != s) {
+      backoff(spins);
+      if ((spins & 1023) == 0) check_alive();
+    }
+  }
+}
+
+std::complex<double>* ProcTransport::send_box(int src, int dst,
+                                              std::size_t n) {
+  ShmLane& lane = hdr_->send[src * kMaxRanks + dst];
+  grow_lane(lane, n, sizeof(std::complex<double>),
+            send_growths_[static_cast<std::size_t>(src) * kMaxRanks + dst]);
+  return reinterpret_cast<std::complex<double>*>(base_ + lane.offset);
+}
+
+void ProcTransport::alltoallv() {
+  // Size every recv lane to its sender's post (the parent is the only
+  // layout writer; publish order is guaranteed by run_command's release).
+  for (int src = 0; src < n_ranks_; ++src)
+    for (int dst = 0; dst < n_ranks_; ++dst) {
+      const ShmLane& s = hdr_->send[src * kMaxRanks + dst];
+      grow_lane(hdr_->recv[src * kMaxRanks + dst], s.used,
+                sizeof(std::complex<double>),
+                recv_growths_[static_cast<std::size_t>(src) * kMaxRanks +
+                              dst]);
+    }
+  run_command(kCmdAllToAll);
+}
+
+const std::complex<double>* ProcTransport::recv_box(int src,
+                                                    int dst) const {
+  return reinterpret_cast<const std::complex<double>*>(
+      base_ + hdr_->recv[src * kMaxRanks + dst].offset);
+}
+
+std::size_t ProcTransport::box_size(int src, int dst) const {
+  return hdr_->send[src * kMaxRanks + dst].used;
+}
+
+void ProcTransport::gather_layout(const std::vector<int>& counts) {
+  assert(static_cast<int>(counts.size()) == n_ranks_);
+  hdr_->begin[0] = 0;
+  for (int r = 0; r < n_ranks_; ++r) {
+    hdr_->begin[r + 1] =
+        hdr_->begin[r] + static_cast<std::uint64_t>(counts[r]);
+    grow_lane(hdr_->gsrc[r], static_cast<std::size_t>(counts[r]),
+              sizeof(double), gsrc_growths_[r]);
+  }
+  ShmLane table{hdr_->table_off, table_cap_, 0};
+  grow_lane(table, hdr_->begin[n_ranks_], sizeof(double), region_growths_);
+  hdr_->table_off = table.offset;
+  table_cap_ = table.capacity;
+}
+
+double* ProcTransport::gather_block(int rank) {
+  return reinterpret_cast<double*>(base_ + hdr_->gsrc[rank].offset);
+}
+
+void ProcTransport::allgatherv() { run_command(kCmdGather); }
+
+const double* ProcTransport::gather_table() const {
+  return reinterpret_cast<const double*>(base_ + hdr_->table_off);
+}
+
+void ProcTransport::reduce_layout(
+    std::size_t n, const std::vector<std::size_t>& seg_begin) {
+  assert(static_cast<int>(seg_begin.size()) == n_ranks_ + 1);
+  assert(seg_begin.front() == 0 && seg_begin.back() == n);
+  for (int r = 0; r <= n_ranks_; ++r) hdr_->begin[r] = seg_begin[r];
+  for (int r = 0; r < n_ranks_; ++r)
+    grow_lane(hdr_->rsrc[r], n, sizeof(double), rsrc_growths_[r]);
+  ShmLane result{hdr_->result_off, result_cap_, 0};
+  grow_lane(result, n, sizeof(double), region_growths_);
+  hdr_->result_off = result.offset;
+  result_cap_ = result.capacity;
+}
+
+double* ProcTransport::reduce_block(int rank) {
+  return reinterpret_cast<double*>(base_ + hdr_->rsrc[rank].offset);
+}
+
+void ProcTransport::reduce_scatter() { run_command(kCmdReduce); }
+
+const double* ProcTransport::reduce_segment(int owner) const {
+  return reinterpret_cast<const double*>(base_ + hdr_->result_off) +
+         hdr_->begin[owner];
+}
+
+void ProcTransport::barrier() { run_command(kCmdBarrier); }
+
+long ProcTransport::allocations() const {
+  long total = region_growths_;
+  for (long g : send_growths_) total += g;
+  for (long g : recv_growths_) total += g;
+  for (long g : gsrc_growths_) total += g;
+  for (long g : rsrc_growths_) total += g;
+  return total;
+}
+
+std::size_t ProcTransport::rank_box_elements(int dst) const {
+  // This backend stores send and recv extents separately (the copy is
+  // the exchange), so both count toward the true per-rank footprint;
+  // the in-process backend aliases them and counts once.
+  std::size_t total = 0;
+  for (int src = 0; src < n_ranks_; ++src)
+    total += hdr_->send[src * kMaxRanks + dst].used +
+             hdr_->recv[src * kMaxRanks + dst].used;
+  return total;
+}
+
+void ProcTransport::kill_worker_for_test(int rank) {
+  if (pids_[rank] > 0) kill(pids_[rank], SIGKILL);
+}
+
+}  // namespace ls3df

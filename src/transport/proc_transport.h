@@ -1,0 +1,112 @@
+// Process-backed transport: each rank is a forked worker process, the
+// exchange buffers live in one anonymous POSIX shared-memory segment,
+// and phases are coordinated by the lock-free seq/done protocol of
+// transport/transport.h. True multi-process LS3DF on one node with no
+// external dependencies — and the dress rehearsal for the MPI backend,
+// whose collectives it mirrors call for call.
+//
+// Layout of the segment (see proc_transport.cpp for the structs):
+//
+//   [ ShmHeader | bump arena ........................................ ]
+//     header: seq + cmd word, done[r] counters, per-lane offset tables
+//             (alltoallv send/recv, gather blocks, reduce blocks) and
+//             the gather/reduce layout params.
+//     arena:  grow-only extents handed out by the parent; a lane regrow
+//             re-points its offset (old extent is abandoned — grow-only)
+//             and counts one allocation event. The segment is mapped
+//             MAP_NORESERVE-large up front; pages commit lazily on
+//             first touch, so the virtual reservation is not footprint.
+//
+// Division of labour per command (worker r executes rank r's share):
+//   alltoallv        copy every (src -> r) send lane into its recv lane
+//   allgatherv       copy r's block into the table at begin[r]
+//   reduce_scatter   sum items [seg_begin[r], seg_begin[r+1]) over ranks
+//                    in rank order into the result region
+//   barrier          nothing (the round trip is the fence)
+//
+// Rank *compute* (FFT lines, slab kernels) still runs on the parent's
+// thread pool: ShardComm's phase model is unchanged, only the exchange
+// crosses process boundaries. Workers die with the transport; if one
+// dies early (crash, OOM-kill), the parent's completion wait detects it
+// via waitpid(WNOHANG) and throws instead of hanging.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "transport/transport.h"
+
+namespace ls3df {
+
+struct ProcShmHeader;  // defined in proc_transport.cpp
+
+class ProcTransport : public Transport {
+ public:
+  static constexpr int kMaxRanks = 32;
+  static constexpr std::size_t kDefaultArenaBytes = std::size_t{512} << 20;
+
+  // Forks n_ranks workers over a fresh segment. arena_bytes is virtual
+  // (lazily committed); exhausting it throws a clean error, so callers
+  // that know their exchange volume should size it via make_transport.
+  explicit ProcTransport(int n_ranks,
+                         std::size_t arena_bytes = kDefaultArenaBytes);
+  ~ProcTransport() override;
+
+  TransportKind kind() const override { return TransportKind::kProc; }
+  int n_ranks() const override { return n_ranks_; }
+
+  std::complex<double>* send_box(int src, int dst, std::size_t n) override;
+  void alltoallv() override;
+  const std::complex<double>* recv_box(int src, int dst) const override;
+  std::size_t box_size(int src, int dst) const override;
+
+  void gather_layout(const std::vector<int>& counts) override;
+  double* gather_block(int rank) override;
+  void allgatherv() override;
+  const double* gather_table() const override;
+
+  void reduce_layout(std::size_t n,
+                     const std::vector<std::size_t>& seg_begin) override;
+  double* reduce_block(int rank) override;
+  void reduce_scatter() override;
+  const double* reduce_segment(int owner) const override;
+
+  void barrier() override;
+
+  long allocations() const override;
+  std::size_t rank_box_elements(int dst) const override;
+
+  // Crash-detection hooks (tests): the worker process behind a rank.
+  pid_t worker_pid(int rank) const { return pids_[rank]; }
+  void kill_worker_for_test(int rank);
+
+ private:
+  // Grow-only extent allocation from the shm bump arena; one allocation
+  // event per capacity growth (the uniform accounting of transport.h).
+  void grow_lane(struct ShmLane& lane, std::size_t elems,
+                 std::size_t elem_bytes, long& growths);
+  // One protocol round: publish cmd, wait for every worker, watching for
+  // dead children. Throws (and latches the failure) on a dead worker.
+  void run_command(std::uint32_t cmd);
+  void check_alive();
+
+  int n_ranks_;
+  std::size_t map_bytes_ = 0;
+  ProcShmHeader* hdr_ = nullptr;
+  unsigned char* base_ = nullptr;        // segment base (arena offsets)
+  std::atomic<std::uint64_t> arena_used_{0};
+  std::size_t arena_bytes_ = 0;
+  pid_t pids_[kMaxRanks] = {};
+  std::uint64_t table_cap_ = 0;   // parent-side capacities of the two
+  std::uint64_t result_cap_ = 0;  // single-region exchange targets
+  std::string failed_;                   // latched fatal error, if any
+  // Growth counters (parent-side; each entry has a single writer).
+  std::vector<long> send_growths_, recv_growths_;
+  std::vector<long> gsrc_growths_, rsrc_growths_;
+  long region_growths_ = 0;              // gather table + reduce result
+};
+
+}  // namespace ls3df

@@ -1,0 +1,159 @@
+// Pluggable shard transport: the data plane under ShardComm's collectives.
+//
+// == Architecture ==
+//
+// ShardComm (parallel/shard_comm.h) phases rank *compute*; a Transport
+// owns rank *data movement*: the grow-only exchange buffers and the
+// exchange itself. Every collective splits into the same three steps —
+// post into transport-owned buffers, exchange, read — so one interface
+// serves three very different backends:
+//
+//   InProcTransport   N logical ranks in one process (the default).
+//                     recv_box aliases send_box, so alltoallv() is a
+//                     no-op and the exchange is zero-copy — bit- and
+//                     allocation-identical to the pre-transport ShardComm.
+//
+//   ProcTransport     N forked worker processes over one anonymous POSIX
+//                     shared-memory segment (mmap MAP_SHARED): true
+//                     multi-process LS3DF on one node, no external deps.
+//                     Rank r's share of every exchange (its incoming
+//                     alltoallv lanes, its allgatherv table block, its
+//                     reduce_scatter segment sum) is executed by worker
+//                     process r. See the phase protocol below.
+//
+//   MpiTransport      (LS3DF_WITH_MPI only) one MPI process per rank,
+//                     collectives mapped 1:1 onto MPI. spmd() is true:
+//                     phased drivers run rank bodies for self_rank()
+//                     only. See the mapping table below.
+//
+// == ProcTransport phase protocol (lock-free) ==
+//
+// The shm segment holds a header (command word, per-lane offset tables,
+// layout params) and a grow-only bump arena for the exchange buffers.
+// One command round:
+//
+//   parent   writes params + lane tables (plain stores), then
+//            seq.store(s+1, release)                      — "post"
+//   worker r spins on seq.load(acquire) != last; executes its share
+//            (memcpy / rank-ordered segment sums on the arena); then
+//            done[r].store(s+1, release)                  — "complete"
+//   parent   spins until all done[r] == s+1, polling waitpid(WNOHANG)
+//            so a dead worker raises a clean error instead of a hang.
+//
+// No locks, no futexes: one release store publishes each direction, and
+// spin loops back off to nanosleep so idle workers cost ~nothing on
+// oversubscribed nodes. Buffers are grow-only bump-arena extents; a
+// regrow re-points the lane's offset and counts one allocation event
+// (the same capacity-growth semantics every backend reports through
+// allocations(), so steady-state probes are backend-uniform).
+//
+// == MPI mapping (MpiTransport) ==
+//
+//   send_box/alltoallv/recv_box   MPI_Alltoall (lane sizes) +
+//                                 MPI_Alltoallv (payload)
+//   gather_*/allgatherv           MPI_Allgatherv
+//   reduce_*/reduce_scatter       MPI_Reduce_scatter (note: MPI_SUM
+//                                 reduction order is implementation-
+//                                 defined, so cross-backend bit-identity
+//                                 is only guaranteed for the in-process
+//                                 backends; a strictly rank-ordered MPI
+//                                 reduction would use point-to-point)
+//   barrier                       MPI_Barrier
+//
+// Under MPI each process owns exactly one rank (spmd() == true), so
+// send_box/gather_block/reduce_block accept only self_rank() as the
+// posting rank and recv_box/reduce_segment only self_rank() as the
+// reader; ShardComm runs phase bodies for the local rank only.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ls3df {
+
+enum class TransportKind { kInProc, kProc, kMpi };
+
+const char* transport_name(TransportKind kind);
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  virtual TransportKind kind() const = 0;
+  const char* name() const { return transport_name(kind()); }
+  virtual int n_ranks() const = 0;
+
+  // True when each process owns exactly one rank (MPI): phased drivers
+  // must run rank bodies only for self_rank(), and per-rank buffer
+  // methods accept only the local rank.
+  virtual bool spmd() const { return false; }
+  virtual int self_rank() const { return 0; }
+
+  // --- alltoallv -------------------------------------------------------
+  // Rank src posts n complex values for dst (grow-only capacity; lanes
+  // not re-posted keep their previous size). alltoallv() completes the
+  // exchange; afterwards recv_box(src, dst) holds what src posted.
+  virtual std::complex<double>* send_box(int src, int dst,
+                                         std::size_t n) = 0;
+  virtual void alltoallv() = 0;
+  virtual const std::complex<double>* recv_box(int src, int dst) const = 0;
+  virtual std::size_t box_size(int src, int dst) const = 0;
+
+  // --- allgatherv ------------------------------------------------------
+  // gather_layout fixes this round's per-rank block sizes; each rank
+  // writes its counts[rank] doubles through gather_block(rank);
+  // allgatherv() assembles the rank-ordered table.
+  virtual void gather_layout(const std::vector<int>& counts) = 0;
+  virtual double* gather_block(int rank) = 0;
+  virtual void allgatherv() = 0;
+  // The assembled sum(counts)-long table (callers know the layout from
+  // the counts they passed).
+  virtual const double* gather_table() const = 0;
+
+  // --- reduce_scatter --------------------------------------------------
+  // reduce_layout fixes the item count and the owner segmentation; each
+  // rank posts its length-n contribution through reduce_block(rank);
+  // reduce_scatter() sums item i over ranks *in rank order* (the
+  // deterministic order; see the MPI note above) and delivers segment
+  // [seg_begin[o], seg_begin[o+1]) to owner o via reduce_segment(o).
+  virtual void reduce_layout(std::size_t n,
+                             const std::vector<std::size_t>& seg_begin) = 0;
+  virtual double* reduce_block(int rank) = 0;
+  virtual void reduce_scatter() = 0;
+  virtual const double* reduce_segment(int owner) const = 0;
+
+  // Phase fence with no payload.
+  virtual void barrier() = 0;
+
+  // Capacity-growth events across every exchange buffer this transport
+  // owns (alltoallv lanes, gather table + blocks, reduce blocks +
+  // result). All backends count the same way — one event per lane or
+  // region whose requested size first exceeds its capacity — so
+  // steady-state allocation probes are backend-uniform.
+  virtual long allocations() const = 0;
+  // Elements currently held in exchange storage for destination `dst` —
+  // the per-rank exchange footprint. Backends with distinct send and
+  // recv storage (proc, MPI) count both; the zero-copy in-process
+  // backend aliases them and counts once.
+  virtual std::size_t rank_box_elements(int dst) const = 0;
+};
+
+// Upper bound on n_ranks for the given backend (the proc backend's
+// fixed worker table); shard counts are clamped against it by the
+// solver.
+int transport_max_ranks(TransportKind kind);
+
+// Factory for ShardComm. n_workers drives the in-process backend's
+// parallel reduction; kMpi throws unless built with LS3DF_WITH_MPI.
+// shm_arena_bytes sizes the proc backend's shared-memory reservation
+// (0 = its default); callers that know the exchange volume — the solver
+// knows the grid — should pass a bound so large problems cannot exhaust
+// the arena mid-solve (the reservation is virtual and lazily committed,
+// so over-reserving costs nothing).
+std::unique_ptr<Transport> make_transport(TransportKind kind, int n_ranks,
+                                          int n_workers,
+                                          std::size_t shm_arena_bytes = 0);
+
+}  // namespace ls3df

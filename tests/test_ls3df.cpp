@@ -498,31 +498,87 @@ TEST(Ls3df, ShardedSolveBitIdenticalToDenseAcrossShardsAndWorkers) {
     Ls3dfSolver solver(s, lo);
     ref = solver.solve();
   }
-  for (int shards : {1, 2, 4}) {
-    for (int workers : {1, 4}) {
-      lo.n_shards = shards;
-      lo.n_workers = workers;
-      Ls3dfSolver solver(s, lo);
-      EXPECT_EQ(solver.active_shards(), shards);
-      Ls3dfResult r = solver.solve();
-      ASSERT_EQ(r.iterations, ref.iterations);
-      ASSERT_EQ(r.conv_history.size(), ref.conv_history.size());
-      for (std::size_t i = 0; i < ref.conv_history.size(); ++i)
-        ASSERT_EQ(r.conv_history[i], ref.conv_history[i])
-            << "L1 metric differs at iteration " << i << " for shards="
-            << shards << " workers=" << workers;
-      ASSERT_EQ(r.charge_patch_error, ref.charge_patch_error);
-      ASSERT_EQ(r.rho.size(), ref.rho.size());
-      for (std::size_t i = 0; i < ref.rho.size(); ++i)
-        ASSERT_EQ(r.rho[i], ref.rho[i])
-            << "density differs at point " << i << " for shards=" << shards
-            << " workers=" << workers;
-      for (std::size_t i = 0; i < ref.v_eff.size(); ++i)
-        ASSERT_EQ(r.v_eff[i], ref.v_eff[i])
-            << "potential differs at point " << i << " for shards="
-            << shards << " workers=" << workers;
-      ASSERT_EQ(r.energy.total, ref.energy.total);
+  // Transport × shards × workers: the proc backend (one forked worker
+  // process per shard over shared memory) must reproduce the same bits
+  // as the in-process mailboxes — and both must match the dense path.
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    for (int shards : {1, 2, 4}) {
+      for (int workers :
+           kind == TransportKind::kInProc ? std::vector<int>{1, 4}
+                                          : std::vector<int>{2}) {
+        lo.transport = kind;
+        lo.n_shards = shards;
+        lo.n_workers = workers;
+        Ls3dfSolver solver(s, lo);
+        EXPECT_EQ(solver.active_shards(), shards);
+        EXPECT_STREQ(solver.shard_transport(), transport_name(kind));
+        Ls3dfResult r = solver.solve();
+        ASSERT_EQ(r.iterations, ref.iterations);
+        ASSERT_EQ(r.conv_history.size(), ref.conv_history.size());
+        for (std::size_t i = 0; i < ref.conv_history.size(); ++i)
+          ASSERT_EQ(r.conv_history[i], ref.conv_history[i])
+              << "L1 metric differs at iteration " << i << " for shards="
+              << shards << " workers=" << workers << " "
+              << transport_name(kind);
+        ASSERT_EQ(r.charge_patch_error, ref.charge_patch_error);
+        ASSERT_EQ(r.rho.size(), ref.rho.size());
+        for (std::size_t i = 0; i < ref.rho.size(); ++i)
+          ASSERT_EQ(r.rho[i], ref.rho[i])
+              << "density differs at point " << i << " for shards="
+              << shards << " workers=" << workers << " "
+              << transport_name(kind);
+        for (std::size_t i = 0; i < ref.v_eff.size(); ++i)
+          ASSERT_EQ(r.v_eff[i], ref.v_eff[i])
+              << "potential differs at point " << i << " for shards="
+              << shards << " workers=" << workers << " "
+              << transport_name(kind);
+        ASSERT_EQ(r.energy.total, ref.energy.total);
+      }
     }
+  }
+}
+
+TEST(Ls3df, NoRankMaterializesTheDenseGridOnTheShardedPath) {
+  // The footprint contract behind the slab-local setup: every piece of
+  // persistent sharded state (field slabs, FFT slab/pencil scratch,
+  // exchange lanes) is proportional to global/N, so doubling the shard
+  // count roughly halves the per-rank footprint and no rank ever holds a
+  // dense-grid-sized allocation.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.max_iterations = 1;
+  lo.l1_tol = 0.0;
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    std::vector<std::size_t> peak(5, 0);
+    lo.transport = kind;
+    for (int shards : {2, 4}) {
+      lo.n_shards = shards;
+      Ls3dfSolver solver(s, lo);
+      Ls3dfResult r = solver.solve();  // warms every exchange lane
+      ASSERT_EQ(r.iterations, 1);
+      const Vec3i g = solver.global_grid();
+      const std::size_t slab_ceil =
+          static_cast<std::size_t>((g.x + shards - 1) / shards) * g.y * g.z;
+      for (int rank = 0; rank < shards; ++rank) {
+        const std::size_t fp = solver.shard_rank_footprint(rank);
+        ASSERT_GT(fp, 0u);
+        // ~7 real slabs + ~3 complex FFT buffers + exchange lanes (the
+        // proc backend stores send and recv extents separately, so its
+        // exchange term doubles): well under 24 slab-equivalents, and
+        // in particular each constituent array is slab-sized, never
+        // global-sized.
+        EXPECT_LE(fp, 24 * slab_ceil)
+            << "shards=" << shards << " rank=" << rank << " "
+            << transport_name(kind);
+        peak[shards] = std::max(peak[shards], fp);
+      }
+    }
+    // Scaling: 4 shards must hold roughly half of 2 shards' per-rank
+    // state (the constant exchange/scratch tail keeps it from exactly
+    // half).
+    EXPECT_LT(peak[4], peak[2] * 3 / 4)
+        << "per-rank footprint does not scale down with the shard count on "
+        << transport_name(kind);
   }
 }
 
@@ -598,34 +654,40 @@ TEST(Ls3df, ShardExchangeBuffersSteadyStateAllocatesNothing) {
   // The shard exchange buffers (all-to-all mailboxes + reduction tables)
   // may only grow while the first GENPOT warms them; afterwards every
   // sharded phase — and whole solve() calls — reuse warm buffers.
-  Structure s = h2_chain(3);
-  Ls3dfOptions lo = chain_options();
-  lo.n_shards = 3;
-  lo.n_workers = 2;
-  lo.max_iterations = 2;
-  lo.l1_tol = 0.0;
-  Ls3dfSolver solver(s, lo);
-  EXPECT_EQ(solver.shard_allocations(), 0);
+  // Both in-process backends share the contract: the proc transport's
+  // shared-memory extents are grow-only exactly like the mailboxes.
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    Structure s = h2_chain(3);
+    Ls3dfOptions lo = chain_options();
+    lo.transport = kind;
+    lo.n_shards = 3;
+    lo.n_workers = 2;
+    lo.max_iterations = 2;
+    lo.l1_tol = 0.0;
+    Ls3dfSolver solver(s, lo);
+    EXPECT_EQ(solver.shard_allocations(), 0) << transport_name(kind);
 
-  // First solve() warms everything: transpose mailboxes on the first
-  // GENPOT, the plane-partials table on the first reduction.
-  Ls3dfResult r1 = solver.solve();
-  ASSERT_EQ(r1.iterations, 2);
-  const long warm = solver.shard_allocations();
-  EXPECT_GT(warm, 0);
+    // First solve() warms everything: transpose mailboxes on the first
+    // GENPOT, the plane-partials table on the first reduction.
+    Ls3dfResult r1 = solver.solve();
+    ASSERT_EQ(r1.iterations, 2);
+    const long warm = solver.shard_allocations();
+    EXPECT_GT(warm, 0) << transport_name(kind);
 
-  // Every further sharded phase — and whole solve() calls — must reuse
-  // the warm buffers.
-  const FieldR rho0 = build_initial_density(s, solver.global_grid());
-  FieldR v = solver.genpot(rho0);
-  solver.gen_vf(v);
-  solver.petot_f();
-  FieldR rho = solver.gen_dens();
-  v = solver.genpot(rho);
-  Ls3dfResult r2 = solver.solve();
-  ASSERT_EQ(r2.iterations, 2);
-  EXPECT_EQ(solver.shard_allocations(), warm)
-      << "shard exchange buffers grew after the first solve";
+    // Every further sharded phase — and whole solve() calls — must reuse
+    // the warm buffers.
+    const FieldR rho0 = build_initial_density(s, solver.global_grid());
+    FieldR v = solver.genpot(rho0);
+    solver.gen_vf(v);
+    solver.petot_f();
+    FieldR rho = solver.gen_dens();
+    v = solver.genpot(rho);
+    Ls3dfResult r2 = solver.solve();
+    ASSERT_EQ(r2.iterations, 2);
+    EXPECT_EQ(solver.shard_allocations(), warm)
+        << "shard exchange buffers grew after the first solve on "
+        << transport_name(kind);
+  }
 }
 
 TEST(Ls3df, FragmentSmearingKeepsChargeExact) {

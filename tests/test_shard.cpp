@@ -48,8 +48,9 @@ TEST(ShardComm, EachRankVisitsEveryRankOnce) {
 }
 
 TEST(ShardComm, AllToAllDeliversEveryBlock) {
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
   const int n = 4;
-  ShardComm comm(n, 2);
+  ShardComm comm(n, 2, kind);
   // Block (src -> dst) carries src * 10 + dst, repeated src + 1 times.
   std::vector<std::vector<double>> got(n);
   comm.all_to_all(
@@ -70,25 +71,30 @@ TEST(ShardComm, AllToAllDeliversEveryBlock) {
         }
       });
   for (int dst = 0; dst < n; ++dst)
-    EXPECT_EQ(got[dst].size(), static_cast<std::size_t>(1 + 2 + 3 + 4));
+    EXPECT_EQ(got[dst].size(), static_cast<std::size_t>(1 + 2 + 3 + 4))
+        << transport_name(kind);
+  }
 }
 
 TEST(ShardComm, AllGatherTableIsRankOrdered) {
-  ShardComm comm(3, 2);
-  const std::vector<int> counts{2, 1, 3};
-  const std::vector<double>& table =
-      comm.all_gather(counts, [&](int r, double* block) {
-        for (int k = 0; k < counts[r]; ++k) block[k] = 100.0 * r + k;
-      });
-  const std::vector<double> want{0, 1, 100, 200, 201, 202};
-  ASSERT_EQ(table.size(), want.size());
-  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(table[i], want[i]);
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    ShardComm comm(3, 2, kind);
+    const std::vector<int> counts{2, 1, 3};
+    const double* table =
+        comm.all_gather(counts, [&](int r, double* block) {
+          for (int k = 0; k < counts[r]; ++k) block[k] = 100.0 * r + k;
+        });
+    const std::vector<double> want{0, 1, 100, 200, 201, 202};
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(table[i], want[i]) << transport_name(kind);
+  }
 }
 
 TEST(ShardComm, ReduceScatterSumsInRankOrder) {
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
   const int n_ranks = 3;
   const std::size_t n = 7;
-  ShardComm comm(n_ranks, 2);
+  ShardComm comm(n_ranks, 2, kind);
   std::vector<std::vector<double>> contrib(n_ranks,
                                            std::vector<double>(n));
   Rng rng(7);
@@ -105,7 +111,9 @@ TEST(ShardComm, ReduceScatterSumsInRankOrder) {
   for (std::size_t i = 0; i < n; ++i) {
     double want = 0;
     for (int r = 0; r < n_ranks; ++r) want += contrib[r][i];
-    EXPECT_EQ(got[i], want) << i;  // rank-order sum, exactly
+    // Rank-order sum, exactly — on every backend.
+    EXPECT_EQ(got[i], want) << i << " " << transport_name(kind);
+  }
   }
 }
 
@@ -204,34 +212,40 @@ TEST(DistFft3D, ForwardAndInverseBitIdenticalToDense) {
   FieldC dense_back = dense;
   plan.inverse(dense_back.raw());
 
-  for (int n : {1, 2, 4}) {
-    for (int workers : {1, 4}) {
-      ShardComm comm(n, workers);
-      DistFft3D fft(shape, comm);
-      ShardedFieldR in(shape, n);
-      in.from_dense(real_in);
-      fft.forward(in);
-      // Pencils hold the dense G-space values exactly.
-      for (int r = 0; r < n; ++r) {
-        const cplx* p = fft.pencil(r);
-        for (int iy = fft.y0(r); iy < fft.y1(r); ++iy)
-          for (int iz = 0; iz < shape.z; ++iz)
-            for (int ix = 0; ix < shape.x; ++ix)
-              ASSERT_EQ(*p++, dense(ix, iy, iz))
-                  << "G(" << ix << "," << iy << "," << iz << ") shards=" << n
-                  << " workers=" << workers;
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    for (int n : {1, 2, 4}) {
+      for (int workers : {1, 4}) {
+        ShardComm comm(n, workers, kind);
+        DistFft3D fft(shape, comm);
+        ShardedFieldR in(shape, n);
+        in.from_dense(real_in);
+        fft.forward(in);
+        // Pencils hold the dense G-space values exactly — on every
+        // transport: the proc backend's shared-memory copies must move
+        // the same bits the zero-copy mailboxes alias.
+        for (int r = 0; r < n; ++r) {
+          const cplx* p = fft.pencil(r);
+          for (int iy = fft.y0(r); iy < fft.y1(r); ++iy)
+            for (int iz = 0; iz < shape.z; ++iz)
+              for (int ix = 0; ix < shape.x; ++ix)
+                ASSERT_EQ(*p++, dense(ix, iy, iz))
+                    << "G(" << ix << "," << iy << "," << iz
+                    << ") shards=" << n << " workers=" << workers << " "
+                    << transport_name(kind);
+        }
+        // Inverse returns the dense inverse's real parts exactly.
+        ShardedFieldR out(shape, n);
+        fft.inverse(out);
+        const FieldR got = out.to_dense();
+        for (int ix = 0; ix < shape.x; ++ix)
+          for (int iy = 0; iy < shape.y; ++iy)
+            for (int iz = 0; iz < shape.z; ++iz)
+              ASSERT_EQ(got(ix, iy, iz), dense_back(ix, iy, iz).real())
+                  << transport_name(kind);
+        // And the round trip recovers the input to solver precision.
+        for (std::size_t i = 0; i < real_in.size(); ++i)
+          ASSERT_LT(std::abs(got[i] - real_in[i]), 1e-12);
       }
-      // Inverse returns the dense inverse's real parts exactly.
-      ShardedFieldR out(shape, n);
-      fft.inverse(out);
-      const FieldR got = out.to_dense();
-      for (int ix = 0; ix < shape.x; ++ix)
-        for (int iy = 0; iy < shape.y; ++iy)
-          for (int iz = 0; iz < shape.z; ++iz)
-            ASSERT_EQ(got(ix, iy, iz), dense_back(ix, iy, iz).real());
-      // And the round trip recovers the input to solver precision.
-      for (std::size_t i = 0; i < real_in.size(); ++i)
-        ASSERT_LT(std::abs(got[i] - real_in[i]), 1e-12);
     }
   }
 }
@@ -261,21 +275,27 @@ TEST(DistFft3D, PerRankFootprintStaysSlabSized) {
 }
 
 TEST(DistFft3D, ExchangeBuffersAllocateOnlyOnFirstTranspose) {
+  // Steady-state allocation contract on both in-process backends: the
+  // proc transport's shared-memory extents are grow-only too, and its
+  // allocations() counts the same capacity-growth events.
   const Vec3i shape{12, 8, 6};
-  ShardComm comm(3, 2);
-  DistFft3D fft(shape, comm);
-  ShardedFieldR in(shape, 3), out(shape, 3);
-  in.from_dense(random_field(shape, 71));
-  fft.forward(in);
-  fft.inverse(out);
-  const long warm = comm.allocations();
-  EXPECT_GT(warm, 0);
-  for (int rep = 0; rep < 3; ++rep) {
+  for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
+    ShardComm comm(3, 2, kind);
+    DistFft3D fft(shape, comm);
+    ShardedFieldR in(shape, 3), out(shape, 3);
+    in.from_dense(random_field(shape, 71));
     fft.forward(in);
     fft.inverse(out);
+    const long warm = comm.allocations();
+    EXPECT_GT(warm, 0) << transport_name(kind);
+    for (int rep = 0; rep < 3; ++rep) {
+      fft.forward(in);
+      fft.inverse(out);
+    }
+    EXPECT_EQ(comm.allocations(), warm)
+        << "shard exchange buffers grew after warm-up on "
+        << transport_name(kind);
   }
-  EXPECT_EQ(comm.allocations(), warm)
-      << "shard exchange buffers grew after warm-up";
 }
 
 TEST(ShardedPoisson, EffectivePotentialBitIdenticalToDense) {
