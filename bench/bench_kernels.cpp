@@ -16,7 +16,10 @@
 // solves on >= 4 cores, >= 1.0x on one, always with bit-identical
 // densities), and the sharded-grid probes: the distributed-transpose FFT
 // round trip (with the transpose's share of the wall time) and sharded
-// vs dense GENPOT with the bit-identity flag CI asserts.
+// vs dense GENPOT with the bit-identity flag CI asserts, and the
+// barrier-free iteration probes: phased vs overlapped solve() on a
+// skewed division, the measured overlap fraction, and the
+// overlap-vs-phased bit-identity flag (both asserted in CI).
 #include <benchmark/benchmark.h>
 
 #include <complex>
@@ -549,6 +552,56 @@ std::vector<JsonEntry> kernel_summary() {
       identical = v_by_kind[0][i] == v_by_kind[1][i];
     out.push_back({"genpot_proc_bit_identical_to_inproc",
                    identical ? 1.0 : 0.0, 0});
+  }
+
+  {
+    // Barrier-free vs phased full iterations on the skewed 1x1x4
+    // division (two size classes with ~2x cost skew — the LPT tail the
+    // chains overlap). Both drivers run the same deterministic work, so
+    // the patched densities must agree bit for bit (CI asserts the
+    // flag). The overlap fraction is reported twice: at the multi-worker
+    // lane count (real concurrency on multi-core hosts) and on a single
+    // lane, where the depth-first chain schedule interleaves phase
+    // windows structurally — positive on any core count, asserted > 0
+    // in CI.
+    Structure s = petot_structure();
+    Ls3dfOptions lo = petot_options(std::min(4, default_workers()), 4);
+    lo.max_iterations = 2;
+    lo.l1_tol = 0.0;
+    lo.compute_energy = false;
+
+    lo.overlap = false;
+    Ls3dfSolver phased(s, lo);
+    Timer tp;
+    const Ls3dfResult rp = phased.solve();
+    const double phased_ms = tp.seconds() * 1e3 / rp.iterations;
+
+    lo.overlap = true;
+    Ls3dfSolver overlapped(s, lo);
+    Timer to;
+    const Ls3dfResult ro = overlapped.solve();
+    const double overlap_ms = to.seconds() * 1e3 / ro.iterations;
+
+    lo.n_workers = 1;
+    Ls3dfSolver overlapped_w1(s, lo);
+    const Ls3dfResult r1 = overlapped_w1.solve();
+
+    bool identical = rp.rho.size() == ro.rho.size() &&
+                     rp.conv_history.size() == ro.conv_history.size() &&
+                     r1.rho.size() == rp.rho.size();
+    for (std::size_t i = 0; identical && i < rp.conv_history.size(); ++i)
+      identical = rp.conv_history[i] == ro.conv_history[i] &&
+                  rp.conv_history[i] == r1.conv_history[i];
+    for (std::size_t i = 0; identical && i < rp.rho.size(); ++i)
+      identical = rp.rho[i] == ro.rho[i] && rp.rho[i] == r1.rho[i];
+
+    out.push_back({"ls3df_iter_phased_1x1x4", phased_ms, 0});
+    out.push_back({"ls3df_iter_overlap_1x1x4", overlap_ms, 0});
+    out.push_back({"ls3df_overlap_fraction_1x1x4", ro.overlap_fraction, 0});
+    out.push_back(
+        {"ls3df_overlap_fraction_w1_1x1x4", r1.overlap_fraction, 0});
+    out.push_back(
+        {"overlap_bit_identical_to_phased", identical ? 1.0 : 0.0, 0});
   }
 
   // PEtot_F probes. Looped per-fragment dispatch at 1 and 4 workers (the

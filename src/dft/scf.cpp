@@ -58,20 +58,27 @@ FieldR effective_potential(const FieldR& vion, const FieldR& rho,
   return v;
 }
 
-void sharded_effective_potential(const ShardedFieldR& vion,
-                                 const ShardedFieldR& rho, const Lattice& lat,
-                                 DistFft3D& fft, ShardedFieldR& vh,
-                                 ShardedFieldR& vxc, ShardedFieldR& v_out) {
-  sharded_hartree(fft, rho, lat, vh);
+void sharded_assemble_potential(const ShardedFieldR& vion,
+                                const ShardedFieldR& rho,
+                                const ShardedFieldR& vh, ShardedFieldR& vxc,
+                                ShardedFieldR& v_out, ShardComm& comm) {
   // Slab-local assembly in the dense accumulation order:
   // (vion + vh) + vxc per point.
-  fft.comm().each_rank([&](int r) {
+  comm.each_rank([&](int r) {
     lda_vxc_into(rho.slab(r), vxc.slab(r));
     FieldR& v = v_out.slab(r);
     v = vion.slab(r);
     v += vh.slab(r);
     v += vxc.slab(r);
   });
+}
+
+void sharded_effective_potential(const ShardedFieldR& vion,
+                                 const ShardedFieldR& rho, const Lattice& lat,
+                                 DistFft3D& fft, ShardedFieldR& vh,
+                                 ShardedFieldR& vxc, ShardedFieldR& v_out) {
+  sharded_hartree(fft, rho, lat, vh);
+  sharded_assemble_potential(vion, rho, vh, vxc, v_out, fft.comm());
 }
 
 ScfResult run_scf(const Structure& s, const ScfOptions& opt) {

@@ -70,6 +70,16 @@ void sharded_effective_potential(const ShardedFieldR& vion,
                                  DistFft3D& fft, ShardedFieldR& vh,
                                  ShardedFieldR& vxc, ShardedFieldR& v_out);
 
+// The xc + assembly stage of the sharded GENPOT alone: per slab,
+// v_out = (vion + v_h) + vxc[rho] in the dense accumulation order.
+// Shared by sharded_effective_potential and the overlapped driver's
+// chained GENPOT nodes (fragment/ls3df.cpp), which run the Hartree
+// stage (poisson/sharded_poisson.h) as a separate graph node.
+void sharded_assemble_potential(const ShardedFieldR& vion,
+                                const ShardedFieldR& rho,
+                                const ShardedFieldR& vh, ShardedFieldR& vxc,
+                                ShardedFieldR& v_out, ShardComm& comm);
+
 ScfResult run_scf(const Structure& s, const ScfOptions& opt);
 
 // As run_scf but reusing an existing Hamiltonian (and its basis) plus an

@@ -6,15 +6,18 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "dft/eigensolver.h"
 #include "fft/dist_fft3d.h"
 #include "fft/fft.h"
 #include "grid/sharded_field.h"
 #include "parallel/shard_comm.h"
+#include "parallel/task_graph.h"
 #include "parallel/thread_pool.h"
 #include "poisson/ewald.h"
 #include "poisson/poisson.h"
+#include "poisson/sharded_poisson.h"
 #include "pseudo/pseudopotential.h"
 #include "xc/lda.h"
 
@@ -387,6 +390,70 @@ void Ls3dfSolver::petot_f_per_fragment(int n_groups) {
   profile_.add("PEtot_F.workers", total_busy);
 }
 
+void Ls3dfSolver::prepare_batch_workspaces() {
+  // One persistent workspace per batch, presized to the batch's solve
+  // extents (including the apply stack at the maximum Ritz-block width)
+  // so the steady state allocates nothing.
+  while (batch_workspaces_.size() < batches_.size())
+    batch_workspaces_.push_back(std::make_unique<BatchWorkspace>());
+  for (std::size_t b = 0; b < batches_.size(); ++b) {
+    BatchWorkspace& bw = *batch_workspaces_[b];
+    std::size_t stack = 0;
+    int i = 0;
+    for (int f : batches_[b].members) {
+      const FragmentContext& ctx = *contexts_[f];
+      const int ng = ctx.h->basis().count();
+      const int vmax = std::min(2 * ctx.n_bands, ng);
+      bw.member(i).reserve(ng, ctx.n_bands, opt_.all_band);
+      if (opt_.all_band) {
+        const Vec3i g = ctx.h->basis().grid_shape();
+        stack += static_cast<std::size_t>(vmax) * g.x * g.y * g.z;
+        bw.apply().proj(i, ctx.h->nonlocal().num_projectors(), vmax);
+      }
+      ++i;
+    }
+    if (stack > 0) bw.apply().grid_stack(stack);
+  }
+}
+
+void Ls3dfSolver::solve_batch(int b, int group, int inner,
+                              const std::vector<double>& analytic) {
+  if (opt_.on_batch_solve) opt_.on_batch_solve(b);
+  const FragmentBatch& batch = batches_[b];
+  BatchWorkspace& bw = *batch_workspaces_[b];
+  const int k_members = static_cast<int>(batch.members.size());
+  Timer bt;
+  for (int f : batch.members) executed_group_of_[f] = group;
+  if (opt_.all_band) {
+    std::vector<FragmentSolve> items;
+    items.reserve(k_members);
+    for (int f : batch.members)
+      items.push_back({contexts_[f]->h.get(), &contexts_[f]->psi});
+    std::vector<EigensolverResult> rs =
+        solve_all_band_batched(items, opt_.eig, bw, inner);
+    for (int k = 0; k < k_members; ++k)
+      contexts_[batch.members[k]]->eigenvalues = std::move(rs[k].eigenvalues);
+    // Densities member by member, each member's band stack swept by
+    // one many-transform pass over this batch's inner lanes (the
+    // lanes go to the FFTs, not the member loop — bit-identical
+    // either way).
+    for (int k = 0; k < k_members; ++k)
+      finish_fragment(batch.members[k], inner);
+  } else {
+    // Band-by-band has no lockstep driver; members still share the
+    // batch's schedulable unit and per-member arenas.
+    for (int k = 0; k < k_members; ++k)
+      solve_fragment(batch.members[k], bw.member(k));
+  }
+  // Apportion the measured batch time over members by analytic
+  // weight (individual lockstep times are not separable).
+  const double dt = bt.seconds();
+  double asum = 0;
+  for (int f : batch.members) asum += analytic[f];
+  for (int f : batch.members)
+    record_measured(f, asum > 0 ? dt * analytic[f] / asum : dt / k_members);
+}
+
 void Ls3dfSolver::petot_f_batched(int n_groups) {
   const int n_frag = static_cast<int>(contexts_.size());
   const int n_batches = static_cast<int>(batches_.size());
@@ -406,29 +473,7 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
   assignment_.efficiency = ba.batches.efficiency;
   executed_group_of_.assign(n_frag, -1);
 
-  // One persistent workspace per batch, presized to the batch's solve
-  // extents (including the apply stack at the maximum Ritz-block width)
-  // so the steady state allocates nothing.
-  while (batch_workspaces_.size() < batches_.size())
-    batch_workspaces_.push_back(std::make_unique<BatchWorkspace>());
-  for (int b = 0; b < n_batches; ++b) {
-    BatchWorkspace& bw = *batch_workspaces_[b];
-    std::size_t stack = 0;
-    int i = 0;
-    for (int f : batches_[b].members) {
-      const FragmentContext& ctx = *contexts_[f];
-      const int ng = ctx.h->basis().count();
-      const int vmax = std::min(2 * ctx.n_bands, ng);
-      bw.member(i).reserve(ng, ctx.n_bands, opt_.all_band);
-      if (opt_.all_band) {
-        const Vec3i g = ctx.h->basis().grid_shape();
-        stack += static_cast<std::size_t>(vmax) * g.x * g.y * g.z;
-        bw.apply().proj(i, ctx.h->nonlocal().num_projectors(), vmax);
-      }
-      ++i;
-    }
-    if (stack > 0) bw.apply().grid_stack(stack);
-  }
+  prepare_batch_workspaces();
 
   std::vector<std::vector<int>> members(n_groups);  // batch ids per group
   for (int b = 0; b < n_batches; ++b)
@@ -442,43 +487,7 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
   std::vector<double> busy(n_groups, 0.0);
   const auto run_group = [&](int g) {
     Timer timer;
-    for (int b : members[g]) {
-      const FragmentBatch& batch = batches_[b];
-      BatchWorkspace& bw = *batch_workspaces_[b];
-      const int k_members = static_cast<int>(batch.members.size());
-      Timer bt;
-      for (int f : batch.members) executed_group_of_[f] = g;
-      if (opt_.all_band) {
-        std::vector<FragmentSolve> items;
-        items.reserve(k_members);
-        for (int f : batch.members)
-          items.push_back({contexts_[f]->h.get(), &contexts_[f]->psi});
-        std::vector<EigensolverResult> rs =
-            solve_all_band_batched(items, opt_.eig, bw, inner);
-        for (int k = 0; k < k_members; ++k)
-          contexts_[batch.members[k]]->eigenvalues =
-              std::move(rs[k].eigenvalues);
-        // Densities member by member, each member's band stack swept by
-        // one many-transform pass over this batch's inner lanes (the
-        // lanes go to the FFTs, not the member loop — bit-identical
-        // either way).
-        for (int k = 0; k < k_members; ++k)
-          finish_fragment(batch.members[k], inner);
-      } else {
-        // Band-by-band has no lockstep driver; members still share the
-        // batch's schedulable unit and per-member arenas.
-        for (int k = 0; k < k_members; ++k)
-          solve_fragment(batch.members[k], bw.member(k));
-      }
-      // Apportion the measured batch time over members by analytic
-      // weight (individual lockstep times are not separable).
-      const double dt = bt.seconds();
-      double asum = 0;
-      for (int f : batch.members) asum += analytic[f];
-      for (int f : batch.members)
-        record_measured(f, asum > 0 ? dt * analytic[f] / asum
-                                    : dt / k_members);
-    }
+    for (int b : members[g]) solve_batch(b, g, inner, analytic);
     busy[g] = timer.seconds();
   };
 
@@ -601,6 +610,34 @@ const char* Ls3dfSolver::shard_transport() const {
   return shards_ ? shards_->comm.transport().name() : "none";
 }
 
+Transport* Ls3dfSolver::shard_transport_object() const {
+  return shards_ ? &shards_->comm.transport() : nullptr;
+}
+
+bool Ls3dfSolver::overlap_active() const {
+  // The chains' schedulable unit is the batch, and the overlapped
+  // drivers touch slabs from arbitrary pool threads — an SPMD transport
+  // (one process per rank) cannot do that, so it keeps the phased loop.
+  if (!opt_.overlap || batches_.empty()) return false;
+  if (shards_ && shards_->comm.transport().spmd()) return false;
+  return true;
+}
+
+bool Ls3dfSolver::fragment_touches_planes(int f, int x_begin,
+                                          int x_end) const {
+  const FragmentContext& ctx = *contexts_[f];
+  const int p = opt_.points_per_cell;
+  const int nx = global_grid_.x;
+  const int ext = ctx.frag.size.x * p;  // interior window extent
+  if (ext >= nx) return true;
+  const int start = ctx.frag.corner.x * p;
+  for (int ix = 0; ix < ext; ++ix) {
+    const int gx = pmod(start + ix, nx);
+    if (gx >= x_begin && gx < x_end) return true;
+  }
+  return false;
+}
+
 std::size_t Ls3dfSolver::shard_rank_footprint(int r) const {
   if (!shards_) return 0;
   const ShardState& s = *shards_;
@@ -712,6 +749,7 @@ double Ls3dfSolver::fragment_electrons(int f) const {
 }
 
 Ls3dfResult Ls3dfSolver::solve() {
+  if (overlap_active()) return solve_overlap();
   return shards_ ? solve_sharded() : solve_dense();
 }
 
@@ -828,6 +866,376 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
   }
   result.v_eff = v_in.to_dense();
   if (result.iterations > 0) result.rho = s.rho.to_dense();
+
+  if (opt_.compute_energy) compute_patched_energy(result);
+  result.profile = profile_;
+  return result;
+}
+
+// The barrier-free driver (see the architecture block in ls3df.h): each
+// outer iteration is one TaskGraph of per-batch restrict -> solve ->
+// ordered-patch-commit chains, followed by the normalization, GENPOT and
+// mixing nodes. Determinism: per destination slab, patch commits form a
+// dependency chain in ascending fragment order, so every grid point
+// accumulates its signed contributions in exactly the phased path's
+// fragment order regardless of solve completion order — which is what
+// makes the overlapped solve bit-identical to solve_dense() /
+// solve_sharded() for any batch width, worker count, shard count and
+// transport. The charge-normalization scalar is the one surviving
+// global sequence point: it needs every slab's plane partials, so the
+// GENPOT transpose pipeline starts only after the last patch commits
+// (the per-rank partial-sum nodes, armed per slab, are what overlaps the
+// solve tail across the GENPOT seam).
+Ls3dfResult Ls3dfSolver::solve_overlap() {
+  const Lattice& lat = structure_.lattice();
+  const double point_vol =
+      lat.volume() / static_cast<double>(vion_.size());
+  const double n_electrons = structure_.num_electrons();
+  const int p = opt_.points_per_cell;
+  const int n_frag = static_cast<int>(contexts_.size());
+  const int n_batches = static_cast<int>(batches_.size());
+  ShardState* sh = shards_.get();
+
+  Ls3dfResult result;
+  result.chain_times.assign(n_batches, {});
+
+  // Backend state, initialized exactly like the phased drivers.
+  FieldR v_in_d, v_out_d, rho_d;
+  std::unique_ptr<PotentialMixer> mixer_d;
+  std::unique_ptr<ShardedPotentialMixer> mixer_s;
+  if (sh) {
+    build_initial_density_sharded(structure_, sh->fft, sh->comm, sh->rho);
+    genpot_sharded(sh->rho, sh->v_in);
+    mixer_s = std::make_unique<ShardedPotentialMixer>(
+        opt_.mixer, opt_.mix_alpha, lat, sh->fft);
+  } else {
+    FieldR rho0 = build_initial_density(structure_, global_grid_);
+    v_in_d = genpot(rho0);
+    mixer_d = std::make_unique<PotentialMixer>(opt_.mixer, opt_.mix_alpha,
+                                               lat, global_grid_);
+  }
+
+  prepare_batch_workspaces();
+  executed_group_of_.assign(n_frag, -1);
+  const std::vector<double> analytic = analytic_costs();
+  const int lanes = std::max(1, opt_.n_workers);
+  const int inner = std::max(
+      1, opt_.n_workers / std::max(1, std::min(n_batches, opt_.n_workers)));
+
+  std::vector<int> batch_of(n_frag, -1);
+  for (int b = 0; b < n_batches; ++b)
+    for (int f : batches_[b].members) batch_of[f] = b;
+
+  // Destination slabs of the ordered commit chains: shard-owned slabs on
+  // the sharded path (rank >= 0), the phased Gen_dens split otherwise.
+  struct Slab {
+    int x0, x1, rank;
+  };
+  std::vector<Slab> slabs;
+  if (sh) {
+    for (int r = 0; r < sh->comm.n_ranks(); ++r)
+      slabs.push_back({sh->rho.x0(r), sh->rho.x1(r), r});
+  } else {
+    const int nx = global_grid_.x;
+    const int ns = std::max(1, std::min(opt_.n_workers, nx));
+    for (int t = 0; t < ns; ++t)
+      slabs.push_back({static_cast<int>(static_cast<long>(nx) * t / ns),
+                       static_cast<int>(static_cast<long>(nx) * (t + 1) / ns),
+                       -1});
+  }
+  const int n_slabs = static_cast<int>(slabs.size());
+
+  // Per-plane charge partials (sharded normalization): rank r's sum node
+  // fills planes [x0(r), x1(r)) the moment its slab is fully patched;
+  // the normalize node combines them in plane order — the plane_sum
+  // arithmetic, split at the slab boundary so the partials overlap the
+  // solve tail.
+  std::vector<double> plane_partials(sh ? global_grid_.x : 0, 0.0);
+
+  enum Phase { kGenVf = 0, kPetot, kGenDens, kGenpot, kMix, kNumPhases };
+  static const char* const kPhaseName[kNumPhases] = {
+      "Gen_VF", "PEtot_F", "Gen_dens", "GENPOT", "Mix"};
+  double overlap_sum = 0;
+  double l1 = 0;
+  bool converged = false;
+
+  // The chain DAG is iteration-invariant (geometry and batch composition
+  // are fixed at construction), so it is built once and re-run every
+  // outer iteration: node bodies read the per-iteration state through
+  // the references they capture, and TaskGraph::run resets only the
+  // scheduling state.
+  TaskGraph g;
+  std::vector<Phase> node_phase;
+  std::vector<int> node_chain;  // chain (batch) id; -1 for global nodes
+  const auto tag = [&](int id, Phase ph, int chain) {
+    assert(id == static_cast<int>(node_phase.size()));
+    (void)id;
+    node_phase.push_back(ph);
+    node_chain.push_back(chain);
+    return id;
+  };
+
+  // restrict -> solve chain heads.
+  std::vector<int> solve_node(n_batches, -1);
+  for (int b = 0; b < n_batches; ++b) {
+    const int rb = tag(g.add([this, b, sh, &v_in_d]() {
+                         for (int f : batches_[b].members) {
+                           FragmentContext& ctx = *contexts_[f];
+                           if (sh)
+                             sh->v_in.extract_into(ctx.global_offset,
+                                                   ctx.vf);
+                           else
+                             v_in_d.extract_into(ctx.global_offset, ctx.vf);
+                           ctx.vf += ctx.wall;
+                           ctx.h->set_local_potential(ctx.vf);
+                         }
+                       }),
+                       kGenVf, b);
+    solve_node[b] =
+        tag(g.add([this, b, inner, &analytic]() {
+              solve_batch(b, b, inner, analytic);
+            },
+                  {rb}),
+            kPetot, b);
+  }
+
+  // Ordered patch commits: per slab, one node per touching fragment,
+  // chained in ascending fragment order (the determinism rule). The
+  // solve edge is per fragment, so a slab whose owed batches finished
+  // early commits while other chains still solve.
+  std::vector<int> chain_tail;  // per-slab last commit (or zero) node
+  for (int si = 0; si < n_slabs; ++si) {
+    const Slab sl = slabs[si];
+    int prev = -1;
+    for (int f = 0; f < n_frag; ++f) {
+      if (!fragment_touches_planes(f, sl.x0, sl.x1)) continue;
+      std::vector<int> deps{solve_node[batch_of[f]]};
+      if (prev >= 0) deps.push_back(prev);
+      const bool zero_first = prev < 0 && sh != nullptr;
+      prev = tag(g.add(
+                     [this, sh, sl, f, p, zero_first, &rho_d]() {
+                       FragmentContext& ctx = *contexts_[f];
+                       const Vec3i corner{ctx.frag.corner.x * p,
+                                          ctx.frag.corner.y * p,
+                                          ctx.frag.corner.z * p};
+                       const Vec3i region{ctx.frag.size.x * p,
+                                          ctx.frag.size.y * p,
+                                          ctx.frag.size.z * p};
+                       const double w =
+                           static_cast<double>(ctx.frag.sign);
+                       if (sh) {
+                         if (zero_first) sh->rho.slab(sl.rank).fill(0.0);
+                         sh->rho.accumulate_window_shard(
+                             sl.rank, corner, ctx.rho, ctx.buffer, region,
+                             w);
+                       } else {
+                         rho_d.accumulate_window_slab(corner, ctx.rho,
+                                                      ctx.buffer, region,
+                                                      w, sl.x0, sl.x1);
+                       }
+                     },
+                     deps),
+                 kGenDens, batch_of[f]);
+    }
+    if (prev < 0 && sh) {
+      // No fragment window touches this slab (cannot happen for a
+      // covering decomposition, but keep the zero): clear it anyway.
+      prev = tag(g.add([sh, sl]() { sh->rho.slab(sl.rank).fill(0.0); }),
+                 kGenDens, -1);
+    }
+    if (prev >= 0) chain_tail.push_back(prev);
+  }
+
+  // Per-rank plane partials, armed as each slab finishes patching.
+  std::vector<int> norm_deps;
+  if (sh) {
+    for (int si = 0; si < n_slabs; ++si) {
+      const Slab sl = slabs[si];
+      norm_deps.push_back(
+          tag(g.add([this, sh, sl, &plane_partials]() {
+                const FieldR& slab = sh->rho.slab(sl.rank);
+                const std::size_t plane =
+                    static_cast<std::size_t>(global_grid_.y) *
+                    global_grid_.z;
+                for (int lx = 0; lx < sl.x1 - sl.x0; ++lx) {
+                  const double* base =
+                      slab.data() + static_cast<std::size_t>(lx) * plane;
+                  double acc = 0;
+                  for (std::size_t i = 0; i < plane; ++i) acc += base[i];
+                  plane_partials[sl.x0 + lx] = acc;
+                }
+              },
+                    {chain_tail[si]}),
+              kGenDens, -1));
+    }
+  } else {
+    norm_deps = chain_tail;
+  }
+
+  // Normalize: the global sequence point (needs every slab's planes).
+  const int norm = tag(
+      g.add(
+          [this, sh, point_vol, n_electrons, &plane_partials, &rho_d,
+           &result]() {
+            double total;
+            if (sh) {
+              double acc = 0;
+              for (int ix = 0; ix < global_grid_.x; ++ix)
+                acc += plane_partials[ix];
+              total = acc * point_vol;
+            } else {
+              total = plane_sum(rho_d) * point_vol;
+            }
+            result.charge_patch_error = std::abs(total - n_electrons);
+            if (total > 0) {
+              const double scale = n_electrons / total;
+              if (sh)
+                sh->comm.each_rank(
+                    [&](int r) { sh->rho.slab(r) *= scale; });
+              else
+                rho_d *= scale;
+            }
+          },
+          norm_deps),
+      kGenDens, -1);
+
+  // GENPOT over ShardComm's phased collectives (forward + Coulomb
+  // kernel + inverse, then the slab-local xc assembly), or the dense
+  // assembly in one node.
+  int genpot_done;
+  if (sh) {
+    const int hart = tag(g.add(
+                             [this, sh, &lat]() {
+                               // Drop transpose time accumulated by the
+                               // mixer since the last genpot so the
+                               // sample below is exactly this call's
+                               // all-to-all cost.
+                               sh->fft.take_transpose_seconds();
+                               sharded_hartree(sh->fft, sh->rho, lat,
+                                               sh->vh);
+                             },
+                             {norm}),
+                         kGenpot, -1);
+    genpot_done = tag(g.add(
+                          [this, sh]() {
+                            sharded_assemble_potential(
+                                sh->vion, sh->rho, sh->vh, sh->vxc,
+                                sh->v_out, sh->comm);
+                            profile_.add("GENPOT.transpose",
+                                         sh->fft.take_transpose_seconds());
+                          },
+                          {hart}),
+                      kGenpot, -1);
+  } else {
+    genpot_done = tag(
+        g.add([this, &v_out_d, &rho_d]() { v_out_d = genpot(rho_d); },
+              {norm}),
+        kGenpot, -1);
+  }
+
+  // Convergence metric + mixer update: the graph's final node.
+  tag(g.add(
+          [this, sh, point_vol, &l1, &converged, &v_in_d, &v_out_d,
+           &mixer_d, &mixer_s, &result]() {
+            l1 = sh ? plane_l1(sh->v_out, sh->v_in, sh->comm) * point_vol
+                    : plane_l1(v_out_d, v_in_d) * point_vol;
+            result.conv_history.push_back(l1);
+            if (l1 < opt_.l1_tol) {
+              converged = true;
+            } else if (sh) {
+              sh->v_in = mixer_s->mix(sh->v_in, sh->v_out);
+            } else {
+              v_in_d = mixer_d->mix(v_in_d, v_out_d);
+            }
+          },
+          {genpot_done}),
+      kMix, -1);
+
+  // Per-node completion timestamps for attribution, reset before each
+  // run (the vector is preallocated once; iterations allocate nothing
+  // graph-side).
+  std::vector<std::pair<double, double>> times(
+      g.size(), std::make_pair(0.0, -1.0));
+  g.set_task_observer([&times](int id, double t0, double t1) {
+    times[id] = std::make_pair(t0, t1);
+  });
+
+  for (int iter = 0; iter < opt_.max_iterations && !converged; ++iter) {
+    result.iterations = iter + 1;
+    Timer iter_timer;
+    if (!sh) rho_d = FieldR(global_grid_);  // fresh (zeroed) patch target
+    std::fill(times.begin(), times.end(), std::make_pair(0.0, -1.0));
+    g.run(shared_pool(), lanes);
+
+    if (!sh) result.rho = std::move(rho_d);
+    if (converged) result.converged = true;
+
+    // Attribution: per-phase busy sums (one profile sample per phase per
+    // iteration), per-chain times, and the measured window overlap.
+    double busy[kNumPhases] = {};
+    double lo[kNumPhases], hi[kNumPhases];
+    bool seen[kNumPhases] = {};
+    for (int id = 0; id < g.size(); ++id) {
+      if (times[id].second < 0) continue;  // not executed (cannot happen)
+      const Phase ph = node_phase[id];
+      const double t0 = times[id].first, t1 = times[id].second;
+      busy[ph] += t1 - t0;
+      if (!seen[ph]) {
+        lo[ph] = t0;
+        hi[ph] = t1;
+        seen[ph] = true;
+      } else {
+        lo[ph] = std::min(lo[ph], t0);
+        hi[ph] = std::max(hi[ph], t1);
+      }
+      const int chain = node_chain[id];
+      if (chain >= 0) {
+        Ls3dfResult::ChainTimes& ct = result.chain_times[chain];
+        if (ph == kGenVf) ct.restrict_s += t1 - t0;
+        if (ph == kPetot) ct.solve_s += t1 - t0;
+        if (ph == kGenDens) ct.patch_s += t1 - t0;
+      }
+    }
+    for (int ph = 0; ph < kNumPhases; ++ph)
+      profile_.add(kPhaseName[ph], busy[ph]);
+    profile_.add("PEtot_F.workers", busy[kPetot]);
+    const double wall = iter_timer.seconds();
+    profile_.add("Iter.wall", wall);
+
+    // Overlap fraction: how much of the phase windows' combined length
+    // exceeds their union, relative to the iteration wall. Phased
+    // execution has disjoint windows (0); interleaved chains score > 0
+    // even on one core.
+    std::vector<std::pair<double, double>> windows;
+    double span_sum = 0;
+    for (int ph = 0; ph < kNumPhases; ++ph)
+      if (seen[ph]) {
+        windows.emplace_back(lo[ph], hi[ph]);
+        span_sum += hi[ph] - lo[ph];
+      }
+    std::sort(windows.begin(), windows.end());
+    double union_len = 0, cur_lo = 0, cur_hi = -1;
+    for (const auto& w : windows) {
+      if (cur_hi < cur_lo || w.first > cur_hi) {
+        if (cur_hi >= cur_lo) union_len += cur_hi - cur_lo;
+        cur_lo = w.first;
+        cur_hi = w.second;
+      } else {
+        cur_hi = std::max(cur_hi, w.second);
+      }
+    }
+    if (cur_hi >= cur_lo) union_len += cur_hi - cur_lo;
+    if (wall > 0) overlap_sum += std::max(0.0, span_sum - union_len) / wall;
+  }
+
+  if (result.iterations > 0)
+    result.overlap_fraction = overlap_sum / result.iterations;
+  if (sh) {
+    result.v_eff = sh->v_in.to_dense();
+    if (result.iterations > 0) result.rho = sh->rho.to_dense();
+  } else {
+    result.v_eff = v_in_d;
+  }
 
   if (opt_.compute_energy) compute_patched_energy(result);
   result.profile = profile_;

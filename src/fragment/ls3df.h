@@ -27,6 +27,44 @@
 // iteration) allocates no fragment workspace memory at all, and results
 // are bit-identical for any batch width and worker count.
 //
+// == Barrier-free iteration (Ls3dfOptions::overlap, default on) ==
+//
+// solve()'s inner iteration is a TaskGraph, not a phase sequence: each
+// fragment batch b becomes a chain
+//
+//   restrict(b) -> solve(b) -> patch(s, f) for every slab s and member f
+//
+// so the Gen_VF restriction of batch B overlaps the eigensolve of batch
+// A, and Gen_dens patching of finished batches overlaps still-running
+// solves — the LPT tail that idled whole phases becomes overlapped work.
+// Determinism is kept by the *ordered-commit rule*: per destination
+// slab, patch commits form a dependency chain in ascending fragment
+// order (fragments whose interior window does not touch the slab are
+// skipped — they contribute nothing there), so every grid point still
+// receives its signed contributions in exactly the dense fragment order,
+// whatever order solves finish in. The result is bit-identical to the
+// phased path (opt.overlap = false, kept for A/B) and to the dense
+// reference for any batch width, worker count and shard count.
+//
+// On the sharded path the graph extends across the GENPOT seam: each
+// rank's per-plane charge partials are graph nodes armed the moment that
+// rank's slab has received all owed patches (overlapping tail solves),
+// and GENPOT itself runs as chained nodes over ShardComm's phased
+// collectives (forward transform + Coulomb kernel + inverse, then the
+// slab-local xc assembly). The one surviving global sequence point is
+// the charge normalization scalar: every slab's partials feed one
+// plane-ordered sum whose scale multiplies the density before the
+// forward transform, so the transpose pipeline cannot start before the
+// last patch commits without changing bits. The L1 metric and the mixer
+// update are the graph's final nodes.
+//
+// Profiling under overlap: phase windows are no longer disjoint, so the
+// four phase keys carry *attributed* per-node busy time (one sample per
+// iteration, summing to the iteration wall on one lane), "Mix" holds the
+// convergence-metric + mixer tail, "Iter.wall" the measured iteration
+// wall, and Ls3dfResult::overlap_fraction / chain_times report the
+// measured phase-window overlap and the per-chain breakdown.
+//
 // With Ls3dfOptions::n_shards > 0 the *global* grid is sharded too: the
 // density, potentials and mixer state live as x-slabs on a ShardComm
 // (grid/sharded_field.h), Gen_dens accumulates fragment windows directly
@@ -42,6 +80,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -105,6 +144,18 @@ struct Ls3dfOptions {
   // is 0.
   TransportKind transport = TransportKind::kInProc;
   bool compute_energy = true;
+  // Barrier-free inner iteration: run each outer SCF iteration as a
+  // TaskGraph of per-batch restrict -> solve -> patch chains with
+  // ordered slab commits (see the architecture block above). Requires
+  // batching (batch_width > 0) and a non-SPMD transport; otherwise the
+  // phased path runs. false keeps the phased loop for A/B — results are
+  // bit-identical either way.
+  bool overlap = true;
+  // Test seam: invoked at the start of every batch solve (phased and
+  // overlapped dispatch) with the batch index. A throw propagates as a
+  // clean latched error from solve(); the failure-propagation suite uses
+  // it to inject eigensolver faults and worker kills. Null in production.
+  std::function<void(int batch)> on_batch_solve;
 };
 
 struct Ls3dfResult {
@@ -116,8 +167,25 @@ struct Ls3dfResult {
   bool converged = false;
   double charge_patch_error = 0;     // |int rho_patched - N_e| before rescale
   // Gen_VF / PEtot_F / Gen_dens / GENPOT, plus the GENPOT.transpose
-  // sub-phase (the all-to-all cost) on the sharded path.
+  // sub-phase (the all-to-all cost) on the sharded path. Under overlap
+  // the four phase keys hold attributed per-node busy time (disjoint
+  // windows no longer exist), plus "Mix" (L1 metric + mixer update) and
+  // "Iter.wall" (measured iteration wall) — on one worker lane the
+  // attributed keys sum to Iter.wall.
   PhaseProfiler profile;
+  // Per-chain attribution (overlap mode; empty when phased): chain b is
+  // batch b's restrict -> solve -> ordered-patch-commit chain, seconds
+  // summed across outer iterations.
+  struct ChainTimes {
+    double restrict_s = 0, solve_s = 0, patch_s = 0;
+  };
+  std::vector<ChainTimes> chain_times;
+  // Measured phase overlap, averaged over iterations: (sum of phase
+  // window lengths - their union) / iteration wall. 0 when phases run
+  // back to back (the phased path); > 0 when chains interleave phase
+  // windows — even on one core, where the win is structural, not wall
+  // time.
+  double overlap_fraction = 0;
 };
 
 class Ls3dfSolver {
@@ -159,6 +227,13 @@ class Ls3dfSolver {
   long shard_allocations() const;
   const char* shard_transport() const;
   std::size_t shard_rank_footprint(int r) const;
+  // The live transport object (null on the dense path). Test seam: the
+  // failure-propagation suite downcasts it to kill a proc worker
+  // mid-solve.
+  Transport* shard_transport_object() const;
+  // Whether solve() will run the barrier-free TaskGraph iteration (the
+  // overlap option gated on batching and a non-SPMD transport).
+  bool overlap_active() const;
 
   // Patched quantum-mechanical energies (kinetic + nonlocal), valid after
   // petot_f().
@@ -211,12 +286,30 @@ class Ls3dfSolver {
   void finish_fragment(int f, int n_workers = 1);
   void petot_f_per_fragment(int n_groups);
   void petot_f_batched(int n_groups);
+  // One batch's lockstep solve + densities + measured-cost bookkeeping:
+  // the body shared by the phased batched dispatch and the overlap
+  // chains' solve nodes. `group` is the executed_group_of marker (the
+  // LPT group when phased, the chain/batch id under overlap); `inner`
+  // drives the batched kernels' internal work grids; `analytic`
+  // apportions the measured batch time over members.
+  void solve_batch(int b, int group, int inner,
+                   const std::vector<double>& analytic);
+  // Presize every batch workspace to its members' solve extents (the
+  // steady state allocates nothing afterwards).
+  void prepare_batch_workspaces();
   std::vector<double> analytic_costs() const;
   void record_measured(int f, double seconds);
+  // Does fragment f's interior window (the Gen_dens commit region) touch
+  // any global x plane in [x_begin, x_end)? Pure geometry — the overlap
+  // chains use it to skip no-op slab commits (and their solve edges).
+  bool fragment_touches_planes(int f, int x_begin, int x_end) const;
 
-  // The two solve() drivers; identical results, bit for bit.
+  // The three solve() drivers; identical results, bit for bit.
   Ls3dfResult solve_dense();
   Ls3dfResult solve_sharded();
+  // The barrier-free driver (dense and sharded): per-batch TaskGraph
+  // chains with ordered slab commits, graph-extended GENPOT on shards.
+  Ls3dfResult solve_overlap();
   // Sharded phase bodies (n_shards > 0). gen_dens_sharded patches into
   // the internal sharded density; genpot_sharded assembles V_out on
   // slabs and records the GENPOT.transpose sub-phase.

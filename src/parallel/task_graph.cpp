@@ -1,10 +1,12 @@
 #include "parallel/task_graph.h"
 
+#include <atomic>
 #include <cassert>
-#include <condition_variable>
-#include <deque>
 #include <exception>
 #include <mutex>
+#include <utility>
+
+#include "common/timer.h"
 
 namespace ls3df {
 
@@ -19,70 +21,124 @@ int TaskGraph::add(std::function<void()> fn, const std::vector<int>& deps) {
   return id;
 }
 
-void TaskGraph::run(ThreadPool& pool) {
+void TaskGraph::set_task_observer(
+    std::function<void(int, double, double)> observer) {
+  observer_ = std::move(observer);
+}
+
+void TaskGraph::run(ThreadPool& pool, int max_lanes) {
   const int n = size();
   if (n == 0) return;
+  const int lanes = max_lanes > 0 ? max_lanes : pool.thread_count() + 1;
 
-  // All scheduling state lives on the runner's stack and is guarded by
-  // one mutex; run_batch returns only after every lane has exited, so the
-  // references captured below never dangle.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<int> ready;
-  std::vector<int> deps_left(n);
-  std::exception_ptr error;
-  bool abandoned = false;
-  int remaining = n;
+  // All scheduling state lives on the runner's stack; tasks posted to
+  // the pool hold references into it. run() returns only once every
+  // posted task has retired (inflight == 0), so nothing dangles — even
+  // on the failure path, where already-posted tasks run their skip
+  // branch before the runner wakes.
+  struct RunState {
+    std::mutex mu;
+    std::vector<int> ready;     // armed, not yet claimed (LIFO stack)
+    std::vector<int> deps_left;
+    int remaining = 0;          // tasks that have not finished their fn
+    int inflight = 0;           // claimed (posted or executing) tasks
+    bool abandoned = false;
+    std::exception_ptr error;
+    std::atomic<bool> finished{false};
+  } st;
+  st.deps_left.resize(n);
+  st.remaining = n;
   for (int i = 0; i < n; ++i) {
-    deps_left[i] = tasks_[i].n_deps;
-    if (deps_left[i] == 0) ready.push_back(i);
+    st.deps_left[i] = tasks_[i].n_deps;
+    if (st.deps_left[i] == 0) st.ready.push_back(i);
   }
+  Timer clock;
 
-  // Each lane pulls ready tasks until the whole graph has drained. A lane
-  // with nothing ready sleeps; it is woken when a finishing task readies
-  // a dependent (or the graph completes). Deadlock-free: with remaining
-  // tasks and an empty ready queue, some lane is executing a task whose
-  // completion will ready a dependent (the graph is acyclic). A throwing
-  // task abandons the graph (its dependents never run) and the first
-  // exception is rethrown from run().
-  auto lane = [&]() {
-    std::unique_lock<std::mutex> lock(mu);
-    for (;;) {
-      cv.wait(lock, [&]() {
-        return abandoned || remaining == 0 || !ready.empty();
-      });
-      if (abandoned || remaining == 0) return;
-      const int id = ready.front();
-      ready.pop_front();
-      lock.unlock();
-      try {
-        tasks_[id].fn();
-      } catch (...) {
-        lock.lock();
-        if (!error) error = std::current_exception();
-        abandoned = true;
-        cv.notify_all();
-        return;
-      }
-      lock.lock();
-      // A task that completed concurrently with a failure must neither
-      // ready its dependents nor touch the (now meaningless) count.
-      if (abandoned) return;
-      --remaining;
-      for (int d : tasks_[id].dependents)
-        if (--deps_left[d] == 0) ready.push_back(d);
-      if (remaining == 0 || !ready.empty()) cv.notify_all();
+  // Claim ready tasks up to the lane cap; returns them for posting
+  // outside the lock. Claiming increments inflight, so "queue empty and
+  // graph unfinished" implies every claimed task is running on some
+  // thread — the invariant that makes help_while's sleep safe.
+  // The ready set is a stack: newly armed successors are claimed before
+  // older roots, so execution runs depth-first down chains. That bounds
+  // the live working set (a chain's intermediates die before the next
+  // chain opens) and keeps pipelines interleaved — phase windows overlap
+  // even when a single lane serializes the whole graph.
+  const auto claim = [&](std::unique_lock<std::mutex>&) {
+    std::vector<int> out;
+    while (!st.abandoned && st.inflight < lanes && !st.ready.empty()) {
+      out.push_back(st.ready.back());
+      st.ready.pop_back();
+      ++st.inflight;
     }
+    return out;
   };
 
-  const int lanes = std::min(n, pool.thread_count() + 1);
-  if (lanes <= 1) {
-    lane();
-  } else {
-    std::vector<std::function<void()>> slots(lanes, lane);
-    pool.run_batch(std::move(slots));
+  std::function<void(int)> exec = [&](int id) {
+    // Once completion is published below, the runner may return and
+    // destroy this closure; nothing may read captures after that point,
+    // so take the pool address into a local up front.
+    ThreadPool* const pool_ptr = &pool;
+    bool skip;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      skip = st.abandoned;
+    }
+    bool ok = false;
+    double t0 = 0, t1 = 0;
+    if (!skip) {
+      t0 = clock.seconds();
+      try {
+        tasks_[id].fn();
+        t1 = clock.seconds();
+        ok = true;
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(st.mu);
+        if (!st.error) st.error = std::current_exception();
+        st.abandoned = true;
+        st.ready.clear();
+      }
+      if (ok && observer_) observer_(id, t0, t1);
+    }
+    std::vector<int> to_post;
+    bool done;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      --st.inflight;
+      if (ok) {
+        --st.remaining;
+        if (!st.abandoned)
+          for (int d : tasks_[id].dependents)
+            if (--st.deps_left[d] == 0) st.ready.push_back(d);
+      }
+      to_post = claim(lock);
+      done = st.remaining == 0 || (st.abandoned && st.inflight == 0);
+      if (done) st.finished.store(true, std::memory_order_release);
+    }
+    // `done` implies to_post is empty (nothing is claimable once the
+    // graph finished), so the closure reads below happen only while the
+    // graph — and therefore this closure — is still alive.
+    for (int next : to_post) pool_ptr->post([&exec, next]() { exec(next); });
+    // Wake the runner after releasing the graph lock (wake() takes the
+    // pool lock; taking it while holding st.mu would invert the order
+    // help_while uses). Locals only: the runner may already be gone.
+    if (done) pool_ptr->wake();
+  };
+
+  std::vector<int> first;
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    first = claim(lock);
   }
-  if (error) std::rethrow_exception(error);
+  // Keep one initial task for the runner itself: help_while executes it
+  // immediately instead of round-tripping through the queue.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    const int next = first[i];
+    pool.post([&exec, next]() { exec(next); });
+  }
+  if (!first.empty()) exec(first[0]);
+  pool.help_while(
+      [&st]() { return st.finished.load(std::memory_order_acquire); });
+  if (st.error) std::rethrow_exception(st.error);
 }
 
 }  // namespace ls3df

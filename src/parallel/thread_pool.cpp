@@ -125,6 +125,40 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   if (batch.error) std::rethrow_exception(batch.error);
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(fn), nullptr);
+  }
+  cv_work_.notify_one();
+  // Batch helpers parked in help_until_done sleep on cv_done_ with a
+  // "queue non-empty" predicate; a posted task can recruit them too.
+  cv_done_.notify_all();
+}
+
+void ThreadPool::help_while(const std::function<bool()>& done) {
+  for (;;) {
+    std::pair<std::function<void()>, Batch*> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&]() { return !queue_.empty() || done(); });
+      if (done()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++executed_;
+    }
+    run_task(item.first, item.second);
+    finish_batch_task(item.second);
+  }
+}
+
+void ThreadPool::wake() {
+  // Lock before notifying so a helper between predicate and sleep cannot
+  // miss the wakeup (same discipline as finish_batch_task).
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_work_.notify_all();
+}
+
 ThreadPool& shared_pool() {
   static ThreadPool pool(default_workers() - 1);
   return pool;

@@ -22,8 +22,10 @@
 //                 tasks on the shared pool. n == 1 or n_workers <= 1 runs
 //                 inline with no queue traffic at all.
 //
-//   TaskGraph     (task_graph.h) dependency-ordered batch execution on a
-//                 ThreadPool, for pipelines whose phases can overlap.
+//   TaskGraph     (task_graph.h) dependency-ordered execution on a
+//                 ThreadPool with dynamic successor arming, built on the
+//                 post / help_while / wake surface below — the engine of
+//                 the barrier-free LS3DF iteration (fragment/ls3df.h).
 //
 // The fragment pipeline (src/fragment/ls3df.cpp) drives all four paper
 // phases through this engine: Gen_VF and Gen_dens fan out per fragment /
@@ -69,6 +71,25 @@ class ThreadPool {
   // The first exception thrown by a task is rethrown here after the
   // whole batch has drained.
   void run_batch(std::vector<std::function<void()>> tasks);
+
+  // Fire-and-forget enqueue: the task runs on some worker (or on a
+  // thread draining the queue via help_while / a nested run_batch) and
+  // must not throw — there is no waiter to receive the exception. This
+  // is the TaskGraph's dynamic-arming primitive: a finishing graph task
+  // posts its newly-ready successors instead of parking lanes on them.
+  void post(std::function<void()> fn);
+
+  // Pop and run queued tasks until `done()` returns true, sleeping when
+  // the queue is empty. `done` is evaluated under the pool mutex and
+  // must not block or take locks (an atomic flag is the intended shape).
+  // Whoever flips the flag must call wake() afterwards (without holding
+  // locks ordered after the pool's) or the helper may sleep forever.
+  // This is how a TaskGraph runner participates in execution: with a
+  // 0-thread pool it drains the whole graph itself.
+  void help_while(const std::function<bool()>& done);
+
+  // Nudge help_while sleepers to re-check their predicate.
+  void wake();
 
  private:
   struct Batch;

@@ -193,6 +193,114 @@ TEST(TaskGraph, TaskExceptionPropagatesAndSkipsDependents) {
   EXPECT_FALSE(dependent_ran.load());
 }
 
+TEST(TaskGraph, MaxLanesCapsConcurrency) {
+  // The lane cap bounds in-flight graph tasks; with independent tasks on
+  // a wide pool, the high-water mark must never exceed it.
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::atomic<int> running{0}, peak{0};
+  for (int i = 0; i < 24; ++i) {
+    g.add([&]() {
+      const int now = ++running;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      for (volatile int k = 0; k < 20000; ++k) {
+      }
+      --running;
+    });
+  }
+  g.run(pool, 2);
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(running.load(), 0);
+}
+
+TEST(TaskGraph, NestedParallelForInsideTasksDoesNotDeadlock) {
+  // Graph tasks are free to use the pool themselves: a nested
+  // parallel_for's helper may steal *other graph tasks* and must run
+  // them to completion instead of wedging — the hazard the dynamic
+  // arming rework removes.
+  ThreadPool pool(3);
+  TaskGraph g;
+  std::atomic<int> total{0};
+  std::vector<int> tails;
+  for (int c = 0; c < 6; ++c) {
+    const int head = g.add([&total]() {
+      std::atomic<int> local{0};
+      parallel_for(8, 4, [&](int, int) { ++local; });
+      total += local.load();
+    });
+    tails.push_back(g.add([&total]() { ++total; }, {head}));
+  }
+  g.add([&total]() { ++total; }, tails);
+  g.run(pool);
+  EXPECT_EQ(total.load(), 6 * 8 + 6 + 1);
+}
+
+TEST(TaskGraph, ZeroThreadPoolExecutesWholeGraphOnCaller) {
+  // With no workers the runner drains everything itself through
+  // help_while, depth-first: successors run before older roots.
+  ThreadPool pool(0);
+  TaskGraph g;
+  std::vector<int> order;
+  const int a = g.add([&]() { order.push_back(0); });
+  g.add([&]() { order.push_back(1); }, {a});
+  const int c = g.add([&]() { order.push_back(2); });
+  g.add([&]() { order.push_back(3); }, {c});
+  g.run(pool, 1);
+  ASSERT_EQ(order.size(), 4u);
+  // LIFO claiming: root c (added last) first, then its successor, then
+  // root a's chain — chains complete before new roots open.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 1);
+}
+
+TEST(TaskGraph, ObserverReportsOrderedDisjointTimestamps) {
+  // The completion-callback seam: every executed task reports a
+  // [start, end] window; on a single lane the windows are disjoint and
+  // honour dependency order — the contract the overlapped profiler's
+  // attribution rests on.
+  ThreadPool pool(0);
+  TaskGraph g;
+  const int a = g.add([]() {
+    for (volatile int k = 0; k < 10000; ++k) {
+    }
+  });
+  g.add([]() {
+    for (volatile int k = 0; k < 10000; ++k) {
+    }
+  },
+        {a});
+  std::vector<std::pair<double, double>> times(2, {0.0, -1.0});
+  g.set_task_observer(
+      [&](int id, double t0, double t1) { times[id] = {t0, t1}; });
+  g.run(pool, 1);
+  for (int id = 0; id < 2; ++id) {
+    EXPECT_GE(times[id].second, times[id].first) << id;
+    EXPECT_GE(times[id].first, 0.0) << id;
+  }
+  EXPECT_GE(times[1].first, times[0].second);  // dependency order
+}
+
+TEST(TaskGraph, ExceptionDuringNestedPoolUseStillLatches) {
+  // A task that fails while other tasks are mid-flight (including ones
+  // using the pool) must latch, drain, and rethrow — never hang.
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<bool> dependent_ran{false};
+  const int a = g.add([]() {
+    parallel_for(4, 2, [](int, int) {});
+    throw std::runtime_error("late failure");
+  });
+  g.add([&]() { dependent_ran = true; }, {a});
+  for (int i = 0; i < 4; ++i)
+    g.add([]() { parallel_for(4, 2, [](int, int) {}); });
+  EXPECT_THROW(g.run(pool), std::runtime_error);
+  EXPECT_FALSE(dependent_ran.load());
+}
+
 TEST(TaskGraph, RunsTwice) {
   ThreadPool pool(2);
   TaskGraph g;
