@@ -19,12 +19,16 @@
 // vs dense GENPOT with the bit-identity flag CI asserts, and the
 // barrier-free iteration probes: phased vs overlapped solve() on a
 // skewed division, the measured overlap fraction, and the
-// overlap-vs-phased bit-identity flag (both asserted in CI).
+// overlap-vs-phased bit-identity flag (both asserted in CI), plus the
+// adaptive-runtime probes: donated-lane vs fixed-lane iterations (events
+// > 0 and bit-identity asserted), the fp32-vs-fp64 batched Davidson
+// speedup, and the mixed-precision convergence flag on the Fig. 6 alloy.
 #include <benchmark/benchmark.h>
 
 #include <complex>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -637,6 +641,140 @@ std::vector<JsonEntry> kernel_summary() {
     identical = rho_looped[i] == rho_batched[i];
   out.push_back(
       {"petot_f_batched_bit_identical_to_looped", identical ? 1.0 : 0.0, 0});
+
+  {
+    // Live lane donation vs the fixed inner split on the skewed 1x1x4
+    // division. 4 logical lanes over the two size-class batches make two
+    // LPT holders; the short batch retires first and donates its lanes,
+    // so every PEtot_F round produces donation events deterministically
+    // (holders - 1 per round, even on one core). Donation is an A/B
+    // toggle over bit-identical arithmetic, so CI asserts events > 0,
+    // wall <= the fixed-lane run (within timing-noise headroom on shared
+    // runners), and the bit-identity flag. solve() rebuilds its initial
+    // state every call, so both solvers are warmed once (arenas, FFT
+    // plans) and then re-solved interleaved best-of-3 over identical
+    // deterministic work.
+    Structure s = petot_structure();
+    Ls3dfOptions lo = petot_options(4, 4);
+    lo.max_iterations = 2;
+    lo.l1_tol = 0.0;
+    lo.compute_energy = false;
+    lo.donate = false;
+    Ls3dfSolver fixed_lane(s, lo);
+    lo.donate = true;
+    Ls3dfSolver donating(s, lo);
+    Ls3dfResult r_fixed = fixed_lane.solve();  // warm
+    Ls3dfResult r_donate = donating.solve();   // warm
+    double fixed_ms = 1e300, donate_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer tf;
+      r_fixed = fixed_lane.solve();
+      fixed_ms = std::min(fixed_ms, tf.seconds() * 1e3 / r_fixed.iterations);
+      Timer td;
+      r_donate = donating.solve();
+      donate_ms =
+          std::min(donate_ms, td.seconds() * 1e3 / r_donate.iterations);
+    }
+    const long donate_events = donating.donated_lane_events();
+    bool same = r_fixed.rho.size() == r_donate.rho.size() &&
+                r_fixed.conv_history.size() == r_donate.conv_history.size();
+    for (std::size_t i = 0; same && i < r_fixed.conv_history.size(); ++i)
+      same = r_fixed.conv_history[i] == r_donate.conv_history[i];
+    for (std::size_t i = 0; same && i < r_fixed.rho.size(); ++i)
+      same = r_fixed.rho[i] == r_donate.rho[i];
+    out.push_back({"ls3df_iter_fixedlane_1x1x4", fixed_ms, 0});
+    out.push_back({"ls3df_iter_donate_1x1x4", donate_ms, 0});
+    out.push_back({"ls3df_donated_lane_events",
+                   static_cast<double>(donate_events), 0});
+    out.push_back(
+        {"donate_bit_identical_to_fixed", same ? 1.0 : 0.0, 0});
+  }
+
+  {
+    // fp32 vs fp64 batched Davidson on a 3-member ZnTe batch: the same
+    // initial wavefunctions through both drivers, interleaved best-of-3.
+    // The fp32 stack halves every memory stream in the hot sweeps
+    // (FFT grids, projector GEMMs), so the speedup is bandwidth-bound:
+    // well above 1 on memory-starved many-core hosts, closer to 1 where
+    // the small fixture fits in cache.
+    const Lattice lat = Lattice::cubic(8.0);
+    const Vec3i grid{12, 12, 12};
+    std::vector<std::unique_ptr<Hamiltonian>> hams;
+    std::vector<MatC> psis0;
+    const int nb = 8;
+    for (int t = 0; t < 3; ++t) {
+      Structure sb(lat);
+      sb.add_atom(Species::kZn, {2.0 + 0.6 * t, 2.0, 2.0});
+      sb.add_atom(Species::kTe, {2.0 + 0.6 * t, 2.0, 4.5});
+      GVectors gv(lat, grid, 1.4);
+      hams.push_back(std::make_unique<Hamiltonian>(sb, gv));
+      psis0.push_back(random_wavefunctions(gv, nb, 700 + t));
+    }
+    const EigensolverOptions opt{10, 1e-9, true};
+    const int workers = std::min(4, default_workers());
+    BatchWorkspace ws64, ws32;
+    double ms64 = 1e300, ms32 = 1e300;
+    for (int rep = 0; rep < 4; ++rep) {
+      std::vector<MatC> p64 = psis0, p32 = psis0;
+      std::vector<FragmentSolve> f64, f32;
+      for (int t = 0; t < 3; ++t) {
+        f64.push_back({hams[t].get(), &p64[t]});
+        f32.push_back({hams[t].get(), &p32[t]});
+      }
+      Timer t64;
+      solve_all_band_batched(f64, opt, ws64, workers);
+      const double s64 = t64.seconds() * 1e3;
+      Timer t32;
+      solve_all_band_batched_f32(f32, opt, ws32, workers);
+      const double s32 = t32.seconds() * 1e3;
+      if (rep == 0) continue;  // warm: arenas allocate on the first rep
+      ms64 = std::min(ms64, s64);
+      ms32 = std::min(ms32, s32);
+    }
+    out.push_back({"davidson_fp64_3x12c_nb8", ms64, 0});
+    out.push_back({"davidson_fp32_3x12c_nb8", ms32, 0});
+    out.push_back({"davidson_fp32_speedup_over_fp64",
+                   ms32 > 0 ? ms64 / ms32 : 0, 0});
+  }
+
+  {
+    // Mixed-precision trajectory flag on the Fig. 6 configuration (the
+    // bench_fig6_scf_convergence model alloy): a kMixed solve must reach
+    // the fp64 answer within tolerance spending at most two extra outer
+    // iterations. CI asserts the flag; the extra-iteration and energy
+    // deltas ride along for the cross-PR trajectory.
+    Structure s = build_model_znteo({3, 1, 1}, 1, 42);
+    Ls3dfOptions lo;
+    lo.division = {3, 1, 1};
+    lo.points_per_cell = 8;
+    lo.buffer_points = 4;
+    lo.ecut = 0.9;
+    lo.extra_bands = 4;
+    lo.fragment_smearing = 0.01;
+    lo.wall_height = 0.0;
+    lo.atom_margin = 0.0;
+    lo.eig.max_iterations = 5;
+    lo.max_iterations = 40;
+    lo.l1_tol = 5e-3;
+    lo.batch_width = 2;  // the fp32 path lives on the batched dispatch
+
+    Ls3dfSolver ref_solver(s, lo);
+    const Ls3dfResult ref = ref_solver.solve();
+
+    lo.precision = Precision::kMixed;
+    Ls3dfSolver mixed_solver(s, lo);
+    const Ls3dfResult mixed = mixed_solver.solve();
+
+    const double de = std::abs(mixed.energy.total - ref.energy.total);
+    const double tol = 1e-4 * std::max(1.0, std::abs(ref.energy.total));
+    const bool ok = ref.converged && mixed.converged &&
+                    mixed.iterations <= ref.iterations + 2 && de <= tol;
+    out.push_back({"mixed_precision_converges_like_fp64", ok ? 1.0 : 0.0, 0});
+    out.push_back({"mixed_precision_extra_iters",
+                   static_cast<double>(mixed.iterations - ref.iterations),
+                   0});
+    out.push_back({"mixed_precision_energy_delta", de, 0});
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <new>
 #include <numeric>
 
 #include "common/rng.h"
@@ -13,8 +14,23 @@
 namespace ls3df {
 
 using cd = std::complex<double>;
+using cf = std::complex<float>;
 
 namespace {
+
+// Level-1 shims dispatching on the element type, so the scalar Davidson
+// steps below can be templated over the real type. The double
+// instantiations forward to exactly the calls the untemplated code made,
+// so the fp64 path's arithmetic (and the bit-identity contract) is
+// untouched; the float ones back the mixed-precision fast path.
+inline cd dotc(int n, const cd* x, const cd* y) { return zdotc(n, x, y); }
+inline cf dotc(int n, const cf* x, const cf* y) { return cdotc(n, x, y); }
+inline double nrm2(int n, const cd* x) { return dznrm2(n, x); }
+inline double nrm2(int n, const cf* x) { return scnrm2(n, x); }
+inline void axpy(int n, cd a, const cd* x, cd* y) { zaxpy(n, a, x, y); }
+inline void axpy(int n, cf a, const cf* x, cf* y) { caxpy(n, a, x, y); }
+inline void scal(int n, cd a, cd* x) { zscal(n, a, x); }
+inline void scal(int n, cf a, cf* x) { cscal(n, a, x); }
 
 // Teter-Payne-Allan preconditioner factor for x = (kinetic of G) / (band
 // kinetic energy).
@@ -25,20 +41,23 @@ double tpa_factor(double x) {
 }
 
 // Apply TPA preconditioner to a residual vector for a band with kinetic
-// energy ekin.
-void precondition_tpa(const GVectors& basis, double ekin, const cd* r,
-                      cd* out) {
+// energy ekin. The factor is computed in double for either precision
+// (it is a handful of scalar ops per G) and rounded into the output.
+template <typename Real>
+void precondition_tpa(const GVectors& basis, double ekin,
+                      const std::complex<Real>* r, std::complex<Real>* out) {
   const double ek = std::max(ekin, 1e-6);
   for (int g = 0; g < basis.count(); ++g) {
     const double x = 0.5 * basis.g2(g) / ek;
-    out[g] = tpa_factor(x) * r[g];
+    out[g] = Real(tpa_factor(x)) * r[g];
   }
 }
 
-double band_kinetic(const GVectors& basis, const cd* psi) {
+template <typename Real>
+double band_kinetic(const GVectors& basis, const std::complex<Real>* psi) {
   double e = 0;
   for (int g = 0; g < basis.count(); ++g)
-    e += 0.5 * basis.g2(g) * std::norm(psi[g]);
+    e += 0.5 * basis.g2(g) * static_cast<double>(std::norm(psi[g]));
   return e;
 }
 
@@ -75,6 +94,17 @@ std::vector<std::complex<double>>& EigenWorkspace::vec(int slot, int n) {
   return vecs_[slot];
 }
 
+MatCF& EigenWorkspace::mat_f32(int slot, int rows, int cols) {
+  assert(slot >= 0 && slot < kMatSlots);
+  const std::size_t need = static_cast<std::size_t>(rows) * cols;
+  if (need > mat_f32_peak_[slot]) {
+    mat_f32_peak_[slot] = need;
+    ++allocs_;
+  }
+  mats_f32_[slot].reshape(rows, cols);
+  return mats_f32_[slot];
+}
+
 void EigenWorkspace::reserve(int ng, int nb, bool all_band) {
   const int vmax = std::min(2 * nb, ng);
   if (all_band) {
@@ -99,9 +129,30 @@ EigenWorkspace& BatchWorkspace::member(int i) {
 }
 
 long BatchWorkspace::allocations() const {
-  long total = apply_.allocations();
+  long total = apply_.allocations() + allocs_;
   for (const EigenWorkspace& ws : members_) total += ws.allocations();
   return total;
+}
+
+void* BatchWorkspace::member_table(std::size_t bytes) {
+  if (bytes > member_table_peak_) {
+    member_table_peak_ = bytes;
+    ++allocs_;
+    member_table_.resize(bytes);
+  }
+  return member_table_.data();
+}
+
+void BatchWorkspace::note_dispatch_capacity() {
+  const std::size_t cap =
+      apply_items.capacity() + apply_items_f32.capacity() +
+      g_items.capacity() + x_items.capacity() + hx_items.capacity() +
+      g_items_f32.capacity() + x_items_f32.capacity() +
+      hx_items_f32.capacity() + active.capacity() + still.capacity();
+  if (cap > dispatch_peak_) {
+    dispatch_peak_ = cap;
+    ++allocs_;
+  }
 }
 
 void orthonormalize_cholesky(MatC& X) {
@@ -183,24 +234,34 @@ namespace {
 
 // The per-iteration scalar steps of the Davidson loop, shared verbatim by
 // the per-fragment and batched drivers so the two paths are bit-identical
-// by construction.
+// by construction. Templated over the real type: the double instantiation
+// is operation-for-operation the original code (the shims above forward
+// to the same level-1 calls), and the float instantiation serves the
+// mixed-precision fast path.
 
 // Residuals R = HX - X diag(eps); returns the max column norm.
-double residual_block(const MatC& X, const MatC& HX,
-                      const std::vector<double>& evals, MatC& R) {
+template <typename Real>
+double residual_block(const Matrix<std::complex<Real>>& X,
+                      const Matrix<std::complex<Real>>& HX,
+                      const std::vector<double>& evals,
+                      Matrix<std::complex<Real>>& R) {
+  using C = std::complex<Real>;
   const int ng = X.rows(), nb = X.cols();
   std::copy(HX.data(), HX.data() + HX.size(), R.data());
   for (int j = 0; j < nb; ++j)
-    zaxpy(ng, cd(-evals[j], 0.0), X.col(j), R.col(j));
+    axpy(ng, C(Real(-evals[j]), Real(0)), X.col(j), R.col(j));
   double max_res = 0;
   for (int j = 0; j < nb; ++j)
-    max_res = std::max(max_res, dznrm2(ng, R.col(j)));
+    max_res = std::max(max_res, nrm2(ng, R.col(j)));
   return max_res;
 }
 
 // Preconditioned correction block T from residuals R.
-void correction_block(const GVectors& basis, bool precondition, const MatC& X,
-                      const MatC& R, MatC& T) {
+template <typename Real>
+void correction_block(const GVectors& basis, bool precondition,
+                      const Matrix<std::complex<Real>>& X,
+                      const Matrix<std::complex<Real>>& R,
+                      Matrix<std::complex<Real>>& T) {
   const int ng = X.rows(), nb = X.cols();
   for (int j = 0; j < nb; ++j) {
     if (precondition) {
@@ -217,21 +278,28 @@ void correction_block(const GVectors& basis, bool precondition, const MatC& X,
 // linearly dependent are dropped, and the total is capped at Vn.cols()
 // (== min(2nb, ng)) so the subspace can never exceed the full basis
 // (small fragments can have very few plane waves). Returns the accepted
-// column count; T is consumed.
-int expand_search_space(const MatC& X, MatC& T, MatC& Vn) {
+// column count; T is consumed. The dependence threshold scales with the
+// precision: 1e-8 for double, 1e-4 for float (a float correction with a
+// smaller surviving norm is rounding noise, not a direction).
+template <typename Real>
+int expand_search_space(const Matrix<std::complex<Real>>& X,
+                        Matrix<std::complex<Real>>& T,
+                        Matrix<std::complex<Real>>& Vn) {
+  using C = std::complex<Real>;
+  const double drop_tol = sizeof(Real) == sizeof(double) ? 1e-8 : 1e-4;
   const int ng = X.rows(), nb = X.cols();
   for (int j = 0; j < nb; ++j) std::copy(X.col(j), X.col(j) + ng, Vn.col(j));
   int cols = nb;
   for (int j = 0; j < nb && cols < Vn.cols(); ++j) {
-    cd* t = T.col(j);
+    C* t = T.col(j);
     for (int pass = 0; pass < 2; ++pass)
       for (int k = 0; k < cols; ++k) {
-        const cd proj = zdotc(ng, Vn.col(k), t);
-        zaxpy(ng, -proj, Vn.col(k), t);
+        const C proj = dotc(ng, Vn.col(k), t);
+        axpy(ng, -proj, Vn.col(k), t);
       }
-    const double nrm = dznrm2(ng, t);
-    if (nrm < 1e-8) continue;  // dependent: drop
-    zscal(ng, cd(1.0 / nrm, 0.0), t);
+    const double nrm = nrm2(ng, t);
+    if (nrm < drop_tol) continue;  // dependent: drop
+    scal(ng, C(Real(1.0 / nrm), Real(0)), t);
     std::copy(t, t + ng, Vn.col(cols));
     ++cols;
   }
@@ -316,24 +384,42 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
   return result;
 }
 
+namespace {
+
+// Per-member bookkeeping of the lockstep drivers. Trivially destructible
+// (pointers and scalars only) so it can live in the workspace's grow-only
+// byte arena instead of a fresh vector per solve.
+struct BatchMember {
+  const Hamiltonian* h;
+  MatC* psi;
+  EigenWorkspace* ws;
+  int ng, nb, vmax;
+  int cols;  // current Ritz-block width
+  bool done;
+};
+
+}  // namespace
+
 std::vector<EigensolverResult> solve_all_band_batched(
     const std::vector<FragmentSolve>& frags, const EigensolverOptions& opt,
-    BatchWorkspace& ws, int n_workers) {
+    BatchWorkspace& ws, int n_workers,
+    const std::function<int()>& live_lanes) {
+  using Member = BatchMember;
   const int k_members = static_cast<int>(frags.size());
   std::vector<EigensolverResult> results(k_members);
   if (k_members == 0) return results;
 
-  struct Member {
-    const Hamiltonian* h;
-    MatC* psi;
-    EigenWorkspace* ws;
-    int ng, nb, vmax;
-    int cols;  // current Ritz-block width
-    bool done = false;
+  // Live lane width: re-read at every sweep boundary. Every batched
+  // kernel below is worker-count-invariant, so a width change between
+  // sweeps can never change results — donation only moves wall time.
+  const auto lanes = [&]() {
+    return live_lanes ? std::max(1, live_lanes()) : n_workers;
   };
-  std::vector<Member> mem(k_members);
+
+  Member* mem = static_cast<Member*>(
+      ws.member_table(sizeof(Member) * static_cast<std::size_t>(k_members)));
   for (int i = 0; i < k_members; ++i) {
-    Member& m = mem[i];
+    Member& m = *new (mem + i) Member();
     m.h = frags[i].h;
     m.psi = frags[i].psi;
     m.ws = &ws.member(i);
@@ -341,16 +427,18 @@ std::vector<EigensolverResult> solve_all_band_batched(
     m.nb = m.psi->cols();
     m.vmax = std::min(2 * m.nb, m.ng);
     m.cols = m.nb;
+    m.done = false;
     assert(m.psi->rows() == m.ng);
     assert(m.nb <= m.ng);
     assert(m.h->basis().grid_shape() == frags[0].h->basis().grid_shape());
   }
 
-  std::vector<int> active(k_members);
+  std::vector<int>& active = ws.active;
+  active.resize(k_members);
   std::iota(active.begin(), active.end(), 0);
 
   // Per-member setup: slot reservation, orthonormalization, V <- psi.
-  parallel_for(k_members, n_workers, [&](int i, int /*worker*/) {
+  parallel_for(k_members, lanes(), [&](int i, int /*worker*/) {
     Member& m = mem[i];
     m.ws->reserve(m.ng, m.nb, /*all_band=*/true);
     orthonormalize_cholesky(*m.psi, m.ws->scratch());
@@ -363,22 +451,22 @@ std::vector<EigensolverResult> solve_all_band_batched(
   // converge out of the item list, so per-slot arena peaks never
   // regress.
   const auto batched_apply = [&](const std::vector<int>& who) {
-    std::vector<Hamiltonian::ApplyItem> items;
-    items.reserve(who.size());
+    std::vector<Hamiltonian::ApplyItem>& items = ws.apply_items;
+    items.clear();
     for (int i : who) {
       Member& m = mem[i];
       items.push_back({m.h, &m.ws->mat(kV, m.ng, m.cols),
                        &m.ws->mat(kHV, m.ng, m.cols), i});
     }
-    Hamiltonian::apply_batched(items, ws.apply(), n_workers);
+    Hamiltonian::apply_batched(items, ws.apply(), lanes());
   };
 
   // Rayleigh-Ritz across the active members: the subspace projection and
   // both Ritz rotations run as batched GEMMs; the dense eigh of each
   // small G stays per member (arena-backed), fanned out over members.
   const auto rayleigh_ritz = [&](const std::vector<int>& who) {
-    std::vector<GemmBatchItem> g_items, x_items, hx_items;
-    g_items.reserve(who.size());
+    std::vector<GemmBatchItem>& g_items = ws.g_items;
+    g_items.clear();
     for (int i : who) {
       Member& m = mem[i];
       g_items.push_back({&m.ws->mat(kV, m.ng, m.cols),
@@ -386,8 +474,8 @@ std::vector<EigensolverResult> solve_all_band_batched(
                          &m.ws->mat(kG, m.cols, m.cols)});
     }
     gemm_batched(Op::kConjTrans, Op::kNone, cd(1, 0), g_items, cd(0, 0),
-                 n_workers);
-    parallel_for(static_cast<int>(who.size()), n_workers,
+                 lanes());
+    parallel_for(static_cast<int>(who.size()), lanes(),
                  [&](int a, int /*worker*/) {
                    Member& m = mem[who[a]];
                    EigensolverResult& res = results[who[a]];
@@ -401,8 +489,10 @@ std::vector<EigensolverResult> solve_all_band_batched(
                    res.eigenvalues.assign(eg.eigenvalues->begin(),
                                           eg.eigenvalues->begin() + m.nb);
                  });
-    x_items.reserve(who.size());
-    hx_items.reserve(who.size());
+    std::vector<GemmBatchItem>& x_items = ws.x_items;
+    std::vector<GemmBatchItem>& hx_items = ws.hx_items;
+    x_items.clear();
+    hx_items.clear();
     for (int i : who) {
       Member& m = mem[i];
       MatC& Y = m.ws->mat(kY, m.cols, m.nb);
@@ -411,9 +501,9 @@ std::vector<EigensolverResult> solve_all_band_batched(
       hx_items.push_back(
           {&m.ws->mat(kHV, m.ng, m.cols), &Y, &m.ws->mat(kHX, m.ng, m.nb)});
     }
-    gemm_batched(Op::kNone, Op::kNone, cd(1, 0), x_items, cd(0, 0), n_workers);
+    gemm_batched(Op::kNone, Op::kNone, cd(1, 0), x_items, cd(0, 0), lanes());
     gemm_batched(Op::kNone, Op::kNone, cd(1, 0), hx_items, cd(0, 0),
-                 n_workers);
+                 lanes());
   };
 
   batched_apply(active);
@@ -425,7 +515,7 @@ std::vector<EigensolverResult> solve_all_band_batched(
 
     // Per-member tail: residuals, convergence, preconditioning, search-
     // space expansion. Members are independent, so this fans out.
-    parallel_for(static_cast<int>(active.size()), n_workers,
+    parallel_for(static_cast<int>(active.size()), lanes(),
                  [&](int a, int /*worker*/) {
                    Member& m = mem[active[a]];
                    EigensolverResult& res = results[active[a]];
@@ -458,12 +548,13 @@ std::vector<EigensolverResult> solve_all_band_batched(
                    m.cols = cols;
                  });
 
-    // Converged members drop out; the rest advance in lockstep.
-    std::vector<int> still;
-    still.reserve(active.size());
+    // Converged members drop out; the rest advance in lockstep (swap, not
+    // move: both index buffers stay resident in the workspace).
+    std::vector<int>& still = ws.still;
+    still.clear();
     for (int i : active)
       if (!mem[i].done) still.push_back(i);
-    active = std::move(still);
+    active.swap(still);
     if (!active.empty()) batched_apply(active);
   }
 
@@ -471,13 +562,203 @@ std::vector<EigensolverResult> solve_all_band_batched(
   // left (same final rotation the per-fragment driver performs).
   if (!active.empty()) {
     rayleigh_ritz(active);
-    parallel_for(static_cast<int>(active.size()), n_workers,
+    parallel_for(static_cast<int>(active.size()), lanes(),
                  [&](int a, int /*worker*/) {
                    Member& m = mem[active[a]];
                    MatC& X = m.ws->mat(kX, m.ng, m.nb);
                    std::copy(X.data(), X.data() + X.size(), m.psi->data());
                  });
   }
+  ws.note_dispatch_capacity();
+  return results;
+}
+
+std::vector<EigensolverResult> solve_all_band_batched_f32(
+    const std::vector<FragmentSolve>& frags, const EigensolverOptions& opt,
+    BatchWorkspace& ws, int n_workers,
+    const std::function<int()>& live_lanes) {
+  using Member = BatchMember;
+  const int k_members = static_cast<int>(frags.size());
+  std::vector<EigensolverResult> results(k_members);
+  if (k_members == 0) return results;
+
+  const auto lanes = [&]() {
+    return live_lanes ? std::max(1, live_lanes()) : n_workers;
+  };
+
+  // fp32 residuals bottom out near its epsilon; chasing a tighter
+  // tolerance would spin the loop on rounding noise (see eigensolver.h).
+  const double tol = std::max(opt.residual_tol, 2e-5);
+
+  Member* mem = static_cast<Member*>(
+      ws.member_table(sizeof(Member) * static_cast<std::size_t>(k_members)));
+  for (int i = 0; i < k_members; ++i) {
+    Member& m = *new (mem + i) Member();
+    m.h = frags[i].h;
+    m.psi = frags[i].psi;
+    m.ws = &ws.member(i);
+    m.ng = m.h->basis().count();
+    m.nb = m.psi->cols();
+    m.vmax = std::min(2 * m.nb, m.ng);
+    m.cols = m.nb;
+    m.done = false;
+    assert(m.psi->rows() == m.ng);
+    assert(m.nb <= m.ng);
+    assert(m.h->basis().grid_shape() == frags[0].h->basis().grid_shape());
+  }
+
+  std::vector<int>& active = ws.active;
+  active.resize(k_members);
+  std::iota(active.begin(), active.end(), 0);
+
+  const auto round_to_f32 = [](const MatC& src, MatCF& dst) {
+    const cd* s = src.data();
+    cf* d = dst.data();
+    for (std::size_t u = 0; u < src.size(); ++u) d[u] = cf(s[u]);
+  };
+  const auto store_psi = [](const MatCF& X, MatC& psi) {
+    const cf* x = X.data();
+    cd* p = psi.data();
+    for (std::size_t u = 0; u < X.size(); ++u) p[u] = cd(x[u]);
+  };
+
+  // Per-member setup: double-precision orthonormalization of the guess
+  // (identical to the fp64 driver — no float Cholesky needed), rounded
+  // once into the fp32 Ritz block. The fp32 slots are reserved at their
+  // per-solve maxima here, like EigenWorkspace::reserve does for the
+  // double ones.
+  parallel_for(k_members, lanes(), [&](int i, int /*worker*/) {
+    Member& m = mem[i];
+    m.ws->reserve(m.ng, m.nb, /*all_band=*/true);
+    m.ws->mat_f32(kV, m.ng, m.vmax);
+    m.ws->mat_f32(kHV, m.ng, m.vmax);
+    m.ws->mat_f32(kVn, m.ng, m.vmax);
+    m.ws->mat_f32(kX, m.ng, m.nb);
+    m.ws->mat_f32(kHX, m.ng, m.nb);
+    m.ws->mat_f32(kR, m.ng, m.nb);
+    m.ws->mat_f32(kT, m.ng, m.nb);
+    m.ws->mat_f32(kG, m.vmax, m.vmax);
+    m.ws->mat_f32(kY, m.vmax, m.nb);
+    orthonormalize_cholesky(*m.psi, m.ws->scratch());
+    round_to_f32(*m.psi, m.ws->mat_f32(kV, m.ng, m.nb));
+  });
+
+  const auto batched_apply = [&](const std::vector<int>& who) {
+    std::vector<Hamiltonian::ApplyItemF32>& items = ws.apply_items_f32;
+    items.clear();
+    for (int i : who) {
+      Member& m = mem[i];
+      items.push_back({m.h, &m.ws->mat_f32(kV, m.ng, m.cols),
+                       &m.ws->mat_f32(kHV, m.ng, m.cols), i});
+    }
+    Hamiltonian::apply_batched_f32(items, ws.apply(), lanes());
+  };
+
+  // Rayleigh-Ritz: float batched GEMMs for the subspace projection and
+  // both Ritz rotations; the tiny G is promoted to double for the dense
+  // eigh (free next to the fp32 GEMMs, keeps the rotation
+  // well-conditioned) and the rotation matrix rounded back to fp32.
+  const auto rayleigh_ritz = [&](const std::vector<int>& who) {
+    std::vector<GemmBatchItemF>& g_items = ws.g_items_f32;
+    g_items.clear();
+    for (int i : who) {
+      Member& m = mem[i];
+      g_items.push_back({&m.ws->mat_f32(kV, m.ng, m.cols),
+                         &m.ws->mat_f32(kHV, m.ng, m.cols),
+                         &m.ws->mat_f32(kG, m.cols, m.cols)});
+    }
+    gemm_batched(Op::kConjTrans, Op::kNone, cf(1, 0), g_items, cf(0, 0),
+                 lanes());
+    parallel_for(static_cast<int>(who.size()), lanes(),
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[who[a]];
+                   EigensolverResult& res = results[who[a]];
+                   const int dim = m.cols;
+                   MatCF& Gf = m.ws->mat_f32(kG, dim, dim);
+                   MatC& G = m.ws->mat(kG, dim, dim);
+                   for (int j = 0; j < dim; ++j)
+                     for (int i2 = 0; i2 < dim; ++i2)
+                       G(i2, j) = cd(Gf(i2, j));
+                   EighView eg = eigh(G, m.ws->scratch());
+                   MatCF& Y = m.ws->mat_f32(kY, dim, m.nb);
+                   for (int j = 0; j < m.nb; ++j)
+                     for (int i2 = 0; i2 < dim; ++i2)
+                       Y(i2, j) = cf((*eg.eigenvectors)(i2, j));
+                   res.eigenvalues.assign(eg.eigenvalues->begin(),
+                                          eg.eigenvalues->begin() + m.nb);
+                 });
+    std::vector<GemmBatchItemF>& x_items = ws.x_items_f32;
+    std::vector<GemmBatchItemF>& hx_items = ws.hx_items_f32;
+    x_items.clear();
+    hx_items.clear();
+    for (int i : who) {
+      Member& m = mem[i];
+      MatCF& Y = m.ws->mat_f32(kY, m.cols, m.nb);
+      x_items.push_back({&m.ws->mat_f32(kV, m.ng, m.cols), &Y,
+                         &m.ws->mat_f32(kX, m.ng, m.nb)});
+      hx_items.push_back({&m.ws->mat_f32(kHV, m.ng, m.cols), &Y,
+                          &m.ws->mat_f32(kHX, m.ng, m.nb)});
+    }
+    gemm_batched(Op::kNone, Op::kNone, cf(1, 0), x_items, cf(0, 0), lanes());
+    gemm_batched(Op::kNone, Op::kNone, cf(1, 0), hx_items, cf(0, 0),
+                 lanes());
+  };
+
+  batched_apply(active);
+
+  for (int iter = 0; iter < opt.max_iterations && !active.empty(); ++iter) {
+    for (int i : active) results[i].iterations = iter + 1;
+
+    rayleigh_ritz(active);
+
+    parallel_for(static_cast<int>(active.size()), lanes(),
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[active[a]];
+                   EigensolverResult& res = results[active[a]];
+                   MatCF& X = m.ws->mat_f32(kX, m.ng, m.nb);
+                   MatCF& HX = m.ws->mat_f32(kHX, m.ng, m.nb);
+                   MatCF& R = m.ws->mat_f32(kR, m.ng, m.nb);
+                   res.max_residual =
+                       residual_block(X, HX, res.eigenvalues, R);
+                   if (res.max_residual < tol) {
+                     res.converged = true;
+                     store_psi(X, *m.psi);
+                     m.done = true;
+                     return;
+                   }
+                   MatCF& T = m.ws->mat_f32(kT, m.ng, m.nb);
+                   correction_block(m.h->basis(), opt.precondition, X, R, T);
+                   MatCF& Vn = m.ws->mat_f32(kVn, m.ng, m.vmax);
+                   const int cols = expand_search_space(X, T, Vn);
+                   if (cols == m.nb) {
+                     res.converged = true;
+                     store_psi(X, *m.psi);
+                     m.done = true;
+                     return;
+                   }
+                   MatCF& V = m.ws->mat_f32(kV, m.ng, cols);
+                   for (int j = 0; j < cols; ++j)
+                     std::copy(Vn.col(j), Vn.col(j) + m.ng, V.col(j));
+                   m.cols = cols;
+                 });
+
+    std::vector<int>& still = ws.still;
+    still.clear();
+    for (int i : active)
+      if (!mem[i].done) still.push_back(i);
+    active.swap(still);
+    if (!active.empty()) batched_apply(active);
+  }
+
+  if (!active.empty()) {
+    rayleigh_ritz(active);
+    parallel_for(static_cast<int>(active.size()), lanes(),
+                 [&](int a, int /*worker*/) {
+                   Member& m = mem[active[a]];
+                   store_psi(m.ws->mat_f32(kX, m.ng, m.nb), *m.psi);
+                 });
+  }
+  ws.note_dispatch_capacity();
   return results;
 }
 

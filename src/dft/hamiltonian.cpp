@@ -40,6 +40,42 @@ MatC& ApplyBatchWorkspace::proj(int member, int rows, int cols) {
   return proj_[member];
 }
 
+std::complex<float>* ApplyBatchWorkspace::grid_stack_f32(std::size_t n) {
+  if (n > stack_f32_peak_) {
+    stack_f32_peak_ = n;
+    ++allocs_;
+    stack_f32_.resize(n);
+  }
+  return stack_f32_.data();
+}
+
+MatCF& ApplyBatchWorkspace::proj_f32(int member, int rows, int cols) {
+  assert(member >= 0);
+  while (static_cast<int>(proj_f32_.size()) <= member) {
+    proj_f32_.emplace_back();
+    proj_f32_peak_.push_back(0);
+  }
+  const std::size_t need = static_cast<std::size_t>(rows) * cols;
+  if (need > proj_f32_peak_[member]) {
+    proj_f32_peak_[member] = need;
+    ++allocs_;
+  }
+  proj_f32_[member].reshape(rows, cols);
+  return proj_f32_[member];
+}
+
+void ApplyBatchWorkspace::note_dispatch_capacity() {
+  const std::size_t cap = off.capacity() + member_of.capacity() +
+                          nl_members.capacity() + overlap_items.capacity() +
+                          accum_items.capacity() +
+                          overlap_items_f32.capacity() +
+                          accum_items_f32.capacity();
+  if (cap > dispatch_peak_) {
+    dispatch_peak_ = cap;
+    ++allocs_;
+  }
+}
+
 Vec3i default_fft_grid(const Lattice& lat, double ecut_hartree) {
   const double gmax = std::sqrt(2.0 * ecut_hartree);
   const Vec3d b = lat.reciprocal();
@@ -62,6 +98,31 @@ Hamiltonian::Hamiltonian(const Structure& s, const GVectors& basis)
 void Hamiltonian::set_local_potential(const FieldR& v) {
   assert(v.shape() == basis_->grid_shape());
   vloc_ = v;
+  vloc_f32_valid_ = false;  // fp32 mirror re-rounds on next f32 apply
+}
+
+void Hamiltonian::ensure_f32_mirrors() const {
+  if (g2_f32_.empty()) {
+    const int ng = basis_->count();
+    g2_f32_.resize(ng);
+    for (int g = 0; g < ng; ++g)
+      g2_f32_[g] = static_cast<float>(basis_->g2(g));
+    const MatC& B = nl_->projectors();
+    projectors_f32_.reshape(B.rows(), B.cols());
+    for (int j = 0; j < B.cols(); ++j)
+      for (int i = 0; i < B.rows(); ++i)
+        projectors_f32_(i, j) = std::complex<float>(B(i, j));
+    const std::vector<double>& d = nl_->strengths();
+    strengths_f32_.resize(d.size());
+    for (std::size_t p = 0; p < d.size(); ++p)
+      strengths_f32_[p] = static_cast<float>(d[p]);
+  }
+  if (!vloc_f32_valid_) {
+    vloc_f32_.resize(vloc_.size());
+    for (std::size_t i = 0; i < vloc_.size(); ++i)
+      vloc_f32_[i] = static_cast<float>(vloc_[i]);
+    vloc_f32_valid_ = true;
+  }
 }
 
 void Hamiltonian::apply_local(const cd* in, cd* out) const {
@@ -105,7 +166,10 @@ void Hamiltonian::apply_batched(const std::vector<ApplyItem>& items,
       static_cast<std::size_t>(shape.x) * shape.y * shape.z;
 
   // Grid-stack layout: member i's bands occupy grids [off[i], off[i+1]).
-  std::vector<int> off(k_members + 1, 0);
+  // off/member_of live in the workspace so a steady-state dispatch
+  // allocates nothing (assign reuses capacity).
+  std::vector<int>& off = ws.off;
+  off.assign(k_members + 1, 0);
   for (int t = 0; t < k_members; ++t) {
     const ApplyItem& it = items[t];
     assert(it.h && it.psi && it.hpsi);
@@ -117,7 +181,8 @@ void Hamiltonian::apply_batched(const std::vector<ApplyItem>& items,
   const int total = off[k_members];
   if (total == 0) return;
   cd* stack = ws.grid_stack(static_cast<std::size_t>(total) * gsize);
-  std::vector<int> member_of(total);
+  std::vector<int>& member_of = ws.member_of;
+  member_of.assign(total, 0);
   for (int t = 0; t < k_members; ++t)
     for (int u = off[t]; u < off[t + 1]; ++u) member_of[u] = t;
 
@@ -151,8 +216,12 @@ void Hamiltonian::apply_batched(const std::vector<ApplyItem>& items,
   // Nonlocal, batched: P_t = B_t^H psi_t, scale rows by the KB strengths,
   // hpsi_t += B_t P_t — the two GEMMs of NonlocalKB::apply_all_bands
   // fused across members.
-  std::vector<GemmBatchItem> overlap_items, accum_items;
-  std::vector<int> nl_members;
+  std::vector<GemmBatchItem>& overlap_items = ws.overlap_items;
+  std::vector<GemmBatchItem>& accum_items = ws.accum_items;
+  std::vector<int>& nl_members = ws.nl_members;
+  overlap_items.clear();
+  accum_items.clear();
+  nl_members.clear();
   for (int t = 0; t < k_members; ++t) {
     const NonlocalKB& nl = items[t].h->nonlocal();
     if (nl.num_projectors() == 0) continue;
@@ -190,6 +259,112 @@ void Hamiltonian::apply_batched(const std::vector<ApplyItem>& items,
     it.h->flops_->add(
         2 * FlopCounter::zgemm(it.h->nl_->num_projectors(), nb, ng));
   }
+  ws.note_dispatch_capacity();
+}
+
+void Hamiltonian::apply_batched_f32(const std::vector<ApplyItemF32>& items,
+                                    ApplyBatchWorkspace& ws, int n_workers) {
+  using cf = std::complex<float>;
+  const int k_members = static_cast<int>(items.size());
+  if (k_members == 0) return;
+  const Vec3i shape = items[0].h->basis().grid_shape();
+  const std::size_t gsize =
+      static_cast<std::size_t>(shape.x) * shape.y * shape.z;
+
+  // Mirrors first, serially: the parallel body below reads each member's
+  // fp32 V_loc / |G|^2 / projectors concurrently from several lanes.
+  for (const ApplyItemF32& it : items) it.h->ensure_f32_mirrors();
+
+  std::vector<int>& off = ws.off;
+  off.assign(k_members + 1, 0);
+  for (int t = 0; t < k_members; ++t) {
+    const ApplyItemF32& it = items[t];
+    assert(it.h && it.psi && it.hpsi);
+    assert(it.h->basis().grid_shape() == shape);
+    assert(it.psi->rows() == it.h->basis().count());
+    off[t + 1] = off[t] + it.psi->cols();
+    it.hpsi->reshape(it.psi->rows(), it.psi->cols());
+  }
+  const int total = off[k_members];
+  if (total == 0) return;
+  cf* stack = ws.grid_stack_f32(static_cast<std::size_t>(total) * gsize);
+  std::vector<int>& member_of = ws.member_of;
+  member_of.assign(total, 0);
+  for (int t = 0; t < k_members; ++t)
+    for (int u = off[t]; u < off[t + 1]; ++u) member_of[u] = t;
+
+  // Local potential: same scatter / inverse / multiply / forward / gather
+  // sweep as the double path, on single-precision plans and grids.
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const int t = member_of[u];
+    const ApplyItemF32& it = items[t];
+    it.h->basis().scatter(it.psi->col(u - off[t]), stack + u * gsize);
+  });
+  fft_inverse_many(shape, stack, total, n_workers);
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const std::vector<float>& vloc = items[member_of[u]].h->vloc_f32_;
+    cf* grid = stack + u * gsize;
+    for (std::size_t i = 0; i < gsize; ++i) grid[i] *= vloc[i];
+  });
+  fft_forward_many(shape, stack, total, n_workers);
+  parallel_for(total, n_workers, [&](int u, int /*worker*/) {
+    const int t = member_of[u];
+    const ApplyItemF32& it = items[t];
+    const GVectors& basis = it.h->basis();
+    const std::vector<float>& g2 = it.h->g2_f32_;
+    const int j = u - off[t];
+    cf* h = it.hpsi->col(j);
+    basis.gather(stack + u * gsize, h);
+    const cf* p = it.psi->col(j);
+    for (int g = 0; g < basis.count(); ++g) h[g] += 0.5f * g2[g] * p[g];
+  });
+
+  // Nonlocal: the two fused GEMMs on the fp32 projector mirrors.
+  std::vector<GemmBatchItemF>& overlap_items = ws.overlap_items_f32;
+  std::vector<GemmBatchItemF>& accum_items = ws.accum_items_f32;
+  std::vector<int>& nl_members = ws.nl_members;
+  overlap_items.clear();
+  accum_items.clear();
+  nl_members.clear();
+  for (int t = 0; t < k_members; ++t) {
+    const NonlocalKB& nl = items[t].h->nonlocal();
+    if (nl.num_projectors() == 0) continue;
+    const int slot = items[t].slot >= 0 ? items[t].slot : t;
+    MatCF& P =
+        ws.proj_f32(slot, nl.num_projectors(), items[t].psi->cols());
+    overlap_items.push_back({&items[t].h->projectors_f32_, items[t].psi, &P});
+    accum_items.push_back({&items[t].h->projectors_f32_, &P, items[t].hpsi});
+    nl_members.push_back(t);
+  }
+  if (!overlap_items.empty()) {
+    gemm_batched(Op::kConjTrans, Op::kNone, cf(1, 0), overlap_items, cf(0, 0),
+                 n_workers);
+    parallel_for(static_cast<int>(nl_members.size()), n_workers,
+                 [&](int m, int /*worker*/) {
+                   const int t = nl_members[m];
+                   const std::vector<float>& d = items[t].h->strengths_f32_;
+                   MatCF& P = *overlap_items[m].c;
+                   for (int j = 0; j < P.cols(); ++j)
+                     for (int p = 0; p < P.rows(); ++p) P(p, j) *= d[p];
+                 });
+    gemm_batched(Op::kNone, Op::kNone, cf(1, 0), accum_items, cf(1, 0),
+                 n_workers);
+  }
+
+  // Flop accounting: same analytic counts as the double path (the counter
+  // tracks operations, not operand width).
+  for (int t = 0; t < k_members; ++t) {
+    const ApplyItemF32& it = items[t];
+    if (!it.h->flops_) continue;
+    const int ng = it.h->basis().count(), nb = it.psi->cols();
+    it.h->flops_->add(static_cast<unsigned long long>(nb) *
+                      (2 * FlopCounter::fft3d(shape.x, shape.y, shape.z) +
+                       6 * gsize));
+    it.h->flops_->add(4ull * ng * nb);
+    it.h->flops_->add(
+        2 * FlopCounter::zgemm(it.h->nl_->num_projectors(), nb, ng));
+  }
+  ws.note_dispatch_capacity();
 }
 
 void Hamiltonian::apply_band(const cd* psi, cd* hpsi) const {

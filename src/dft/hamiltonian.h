@@ -24,6 +24,7 @@
 #include "fft/fft3d.h"
 #include "grid/field3d.h"
 #include "grid/gvectors.h"
+#include "linalg/blas.h"
 #include "linalg/matrix.h"
 #include "pseudo/pseudopotential.h"
 
@@ -41,13 +42,39 @@ class ApplyBatchWorkspace {
   // Projection matrix slot for batch member `member`, sized rows x cols.
   MatC& proj(int member, int rows, int cols);
 
+  // Single-precision twins backing apply_batched_f32 (the mixed-precision
+  // Davidson fast path). They live beside the double arenas, not instead
+  // of them: a batch whose SCF loop alternates precision (fp32 early
+  // iterations, fp64 after promotion) keeps both steady states resident,
+  // and neither costs anything until first touched.
+  std::complex<float>* grid_stack_f32(std::size_t n);
+  MatCF& proj_f32(int member, int rows, int cols);
+
   long allocations() const { return allocs_; }
 
+  // Dispatch-control scratch hoisted out of apply_batched: band offsets,
+  // the band -> member map, and the batched-GEMM item lists. Tiny, but a
+  // fresh heap allocation per dispatch would keep the steady-state
+  // allocation probes from ever going flat. Grow-only (assign/clear keep
+  // capacity); capacity growth is folded into allocations() once per
+  // dispatch via note_dispatch_capacity().
+  std::vector<int> off, member_of, nl_members;
+  std::vector<GemmBatchItem> overlap_items, accum_items;
+  std::vector<GemmBatchItemF> overlap_items_f32, accum_items_f32;
+
  private:
+  friend class Hamiltonian;
+  void note_dispatch_capacity();
+
   std::vector<std::complex<double>> stack_;
   std::size_t stack_peak_ = 0;
   std::deque<MatC> proj_;  // deque: slot addresses stay stable on growth
   std::vector<std::size_t> proj_peak_;
+  std::vector<std::complex<float>> stack_f32_;
+  std::size_t stack_f32_peak_ = 0;
+  std::deque<MatCF> proj_f32_;
+  std::vector<std::size_t> proj_f32_peak_;
+  std::size_t dispatch_peak_ = 0;
   long allocs_ = 0;
 };
 
@@ -96,6 +123,26 @@ class Hamiltonian {
   static void apply_batched(const std::vector<ApplyItem>& items,
                             ApplyBatchWorkspace& ws, int n_workers = 1);
 
+  // Single-precision batch member (fp32 wavefunction blocks).
+  struct ApplyItemF32 {
+    const Hamiltonian* h = nullptr;
+    const MatCF* psi = nullptr;
+    MatCF* hpsi = nullptr;
+    int slot = -1;
+  };
+
+  // Single-precision twin of apply_batched: the same scatter / many-FFT /
+  // V_loc / gather+kinetic / two-GEMM structure, run entirely in fp32
+  // (single-precision FFT plans, float GEMM cores, fp32 grid stack).
+  // This path is NOT bit-identical to apply() — it is the engine of the
+  // mixed-precision Davidson fast path and is guarded by trajectory
+  // checks (tests/test_mixed_precision.cpp) rather than the bit-identity
+  // contract. Each member's fp32 mirrors (V_loc, |G|^2, KB projectors)
+  // are built up front, serially, so the parallel body never races a
+  // lazy build.
+  static void apply_batched_f32(const std::vector<ApplyItemF32>& items,
+                                ApplyBatchWorkspace& ws, int n_workers = 1);
+
   // Kinetic energy sum_i occ_i <psi_i| -1/2 nabla^2 |psi_i>.
   double kinetic_energy(const MatC& psi, const std::vector<double>& occ) const;
 
@@ -128,6 +175,12 @@ class Hamiltonian {
   void apply_local(const std::complex<double>* in,
                    std::complex<double>* out) const;
 
+  // Build the single-precision mirrors apply_batched_f32 reads: V_loc is
+  // re-rounded whenever set_local_potential() replaces it; |G|^2 and the
+  // KB projectors/strengths are immutable after construction and rounded
+  // once. Serial-only — callers invoke it before fanning out.
+  void ensure_f32_mirrors() const;
+
   Structure structure_;
   std::unique_ptr<GVectors> basis_;
   Fft3D fft_;
@@ -139,6 +192,14 @@ class Hamiltonian {
   // grid per occupied band). Like work_, shares the instance's
   // one-thread-at-a-time contract.
   mutable std::vector<std::complex<double>> density_stack_;
+  // Single-precision mirrors for apply_batched_f32 (see
+  // ensure_f32_mirrors). Lazily built; V_loc's copy is invalidated by
+  // set_local_potential so fp64-only runs never pay for them.
+  mutable std::vector<float> vloc_f32_;
+  mutable bool vloc_f32_valid_ = false;
+  mutable std::vector<float> g2_f32_;
+  mutable MatCF projectors_f32_;
+  mutable std::vector<float> strengths_f32_;
 };
 
 // Default density/FFT grid for a lattice and wavefunction cutoff: large

@@ -35,7 +35,9 @@ int next_pow2(int n) {
 }
 
 // Iterative radix-2 in-place FFT for power-of-two m (used by Bluestein).
-void fft_pow2(cplx* a, int m, int sign) {
+template <typename Real>
+void fft_pow2(std::complex<Real>* a, int m, int sign) {
+  using Cplx = std::complex<Real>;
   // Bit-reversal permutation.
   for (int i = 1, j = 0; i < m; ++i) {
     int bit = m >> 1;
@@ -45,12 +47,13 @@ void fft_pow2(cplx* a, int m, int sign) {
   }
   for (int len = 2; len <= m; len <<= 1) {
     const double ang = sign * units::kTwoPi / len;
-    const cplx wl(std::cos(ang), std::sin(ang));
+    const Cplx wl(static_cast<Real>(std::cos(ang)),
+                  static_cast<Real>(std::sin(ang)));
     for (int i = 0; i < m; i += len) {
-      cplx w(1.0, 0.0);
+      Cplx w(1, 0);
       for (int k = 0; k < len / 2; ++k) {
-        const cplx u = a[i + k];
-        const cplx v = a[i + k + len / 2] * w;
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + len / 2] * w;
         a[i + k] = u + v;
         a[i + k + len / 2] = u - v;
         w *= wl;
@@ -61,13 +64,15 @@ void fft_pow2(cplx* a, int m, int sign) {
 
 }  // namespace
 
-bool Fft1D::is_smooth(int n) {
+template <typename Real>
+bool BasicFft1D<Real>::is_smooth(int n) {
   for (int p : {2, 3, 5, 7})
     while (n % p == 0) n /= p;
   return n == 1;
 }
 
-int Fft1D::good_fft_size(int n) {
+template <typename Real>
+int BasicFft1D<Real>::good_fft_size(int n) {
   if (n < 1) return 1;
   for (int m = n;; ++m) {
     int r = m;
@@ -77,14 +82,16 @@ int Fft1D::good_fft_size(int n) {
   }
 }
 
-Fft1D::Fft1D(int n) : n_(n) {
+template <typename Real>
+BasicFft1D<Real>::BasicFft1D(int n) : n_(n) {
   assert(n >= 1);
   factors_ = factorize(n);
   smooth_ = is_smooth(n);
   roots_.resize(n);
   for (int k = 0; k < n; ++k) {
     const double ang = -units::kTwoPi * k / n;
-    roots_[k] = cplx(std::cos(ang), std::sin(ang));
+    roots_[k] = Cplx(static_cast<Real>(std::cos(ang)),
+                     static_cast<Real>(std::sin(ang)));
   }
   work_.resize(n);
   if (!smooth_) {
@@ -94,9 +101,10 @@ Fft1D::Fft1D(int n) : n_(n) {
       // k^2 mod 2n keeps the argument bounded for large k.
       const long k2 = (static_cast<long>(k) * k) % (2L * n);
       const double ang = units::kPi * static_cast<double>(k2) / n;
-      bs_chirp_[k] = cplx(std::cos(ang), std::sin(ang));
+      bs_chirp_[k] = Cplx(static_cast<Real>(std::cos(ang)),
+                          static_cast<Real>(std::sin(ang)));
     }
-    std::vector<cplx> kernel(bs_m_, cplx(0, 0));
+    std::vector<Cplx> kernel(bs_m_, Cplx(0, 0));
     kernel[0] = bs_chirp_[0];
     for (int k = 1; k < n; ++k) {
       kernel[k] = bs_chirp_[k];
@@ -108,13 +116,15 @@ Fft1D::Fft1D(int n) : n_(n) {
   }
 }
 
-void Fft1D::inverse(cplx* data) const {
+template <typename Real>
+void BasicFft1D<Real>::inverse(Cplx* data) const {
   transform(data, +1);
-  const double s = 1.0 / n_;
+  const Real s = static_cast<Real>(1) / static_cast<Real>(n_);
   for (int i = 0; i < n_; ++i) data[i] *= s;
 }
 
-void Fft1D::transform(cplx* data, int sign) const {
+template <typename Real>
+void BasicFft1D<Real>::transform(Cplx* data, int sign) const {
   if (n_ == 1) return;
   if (smooth_) {
     transform_smooth(data, sign);
@@ -123,7 +133,8 @@ void Fft1D::transform(cplx* data, int sign) const {
   }
 }
 
-void Fft1D::transform_smooth(cplx* data, int sign) const {
+template <typename Real>
+void BasicFft1D<Real>::transform_smooth(Cplx* data, int sign) const {
   recurse(work_.data(), data, n_, 1, sign);
   for (int i = 0; i < n_; ++i) data[i] = work_[i];
 }
@@ -131,8 +142,9 @@ void Fft1D::transform_smooth(cplx* data, int sign) const {
 // Mixed-radix decimation in time. in has the given stride; out is
 // contiguous of length n. Twiddles are read from the length-n_ root table:
 // exp(sign*2*pi*i*t/n) == roots_[(sign<0 ? t : n_-t) * (n_/n) mod n_].
-void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
-                    int sign) const {
+template <typename Real>
+void BasicFft1D<Real>::recurse(Cplx* out, const Cplx* in, int n, int stride,
+                               int sign) const {
   if (n == 1) {
     out[0] = in[0];
     return;
@@ -155,13 +167,13 @@ void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
   // Smooth factors are <= 7, so the butterfly column fits on the stack
   // (this recursion is the innermost hot loop: no heap traffic here).
   assert(p <= 7);
-  cplx t[7];
-  cplx col[7];
+  Cplx t[7];
+  Cplx col[7];
   for (int k2 = 0; k2 < m; ++k2) {
     for (int r = 0; r < p; ++r) col[r] = out[r * m + k2];
     for (int k1 = 0; k1 < p; ++k1) {
       const int k = k1 * m + k2;
-      cplx acc(0, 0);
+      Cplx acc(0, 0);
       for (int r = 0; r < p; ++r) {
         long e = (static_cast<long>(r) * k) % n;
         if (sign > 0 && e != 0) e = n - e;
@@ -173,12 +185,13 @@ void Fft1D::recurse(cplx* out, const cplx* in, int n, int stride,
   }
 }
 
-void Fft1D::transform_bluestein(cplx* data, int sign) const {
+template <typename Real>
+void BasicFft1D<Real>::transform_bluestein(Cplx* data, int sign) const {
   const int n = n_, m = bs_m_;
-  std::vector<cplx>& a = bs_work_;
-  std::fill(a.begin(), a.end(), cplx(0, 0));
+  std::vector<Cplx>& a = bs_work_;
+  std::fill(a.begin(), a.end(), Cplx(0, 0));
   for (int k = 0; k < n; ++k) {
-    const cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
+    const Cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
     a[k] = data[k] * c;
   }
   fft_pow2(a.data(), m, -1);
@@ -194,11 +207,14 @@ void Fft1D::transform_bluestein(cplx* data, int sign) const {
     }
   }
   fft_pow2(a.data(), m, +1);
-  const double s = 1.0 / m;
+  const Real s = static_cast<Real>(1) / static_cast<Real>(m);
   for (int k = 0; k < n; ++k) {
-    const cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
+    const Cplx c = sign < 0 ? std::conj(bs_chirp_[k]) : bs_chirp_[k];
     data[k] = a[k] * s * c;
   }
 }
+
+template class BasicFft1D<double>;
+template class BasicFft1D<float>;
 
 }  // namespace ls3df

@@ -10,6 +10,13 @@
 // the inverse uses exp(+2*pi*i*j*k/n) and scales by 1/n, so
 // inverse(forward(x)) == x.
 //
+// The transform is templated over the real type: BasicFft1D<double> is
+// the engine's bit-exact reference path, BasicFft1D<float> the
+// single-precision instantiation behind the mixed-precision Davidson fast
+// path (dft/eigensolver.h). Twiddle and chirp tables are always computed
+// in double and rounded once to the storage type, so the float transform
+// carries no accumulated table error.
+//
 // Transforms reuse internal scratch buffers, so one instance must not be
 // transformed from two threads at once (see fft/plan_cache.h).
 #pragma once
@@ -20,19 +27,23 @@
 namespace ls3df {
 
 using cplx = std::complex<double>;
+using cplxf = std::complex<float>;
 
-class Fft1D {
+template <typename Real>
+class BasicFft1D {
  public:
-  explicit Fft1D(int n);
+  using Cplx = std::complex<Real>;
+
+  explicit BasicFft1D(int n);
 
   int size() const { return n_; }
 
   // In-place transforms on a contiguous array of length size().
-  void forward(cplx* data) const { transform(data, -1); }
-  void inverse(cplx* data) const;
+  void forward(Cplx* data) const { transform(data, -1); }
+  void inverse(Cplx* data) const;
 
-  void forward(std::vector<cplx>& data) const { forward(data.data()); }
-  void inverse(std::vector<cplx>& data) const { inverse(data.data()); }
+  void forward(std::vector<Cplx>& data) const { forward(data.data()); }
+  void inverse(std::vector<Cplx>& data) const { inverse(data.data()); }
 
   // True if n factors entirely into {2,3,5,7} (fast path, no Bluestein).
   static bool is_smooth(int n);
@@ -41,22 +52,25 @@ class Fft1D {
   static int good_fft_size(int n);
 
  private:
-  void transform(cplx* data, int sign) const;
-  void transform_smooth(cplx* data, int sign) const;
-  void transform_bluestein(cplx* data, int sign) const;
-  void recurse(cplx* out, const cplx* in, int n, int stride, int sign) const;
+  void transform(Cplx* data, int sign) const;
+  void transform_smooth(Cplx* data, int sign) const;
+  void transform_bluestein(Cplx* data, int sign) const;
+  void recurse(Cplx* out, const Cplx* in, int n, int stride, int sign) const;
 
   int n_ = 0;
   bool smooth_ = true;
   std::vector<int> factors_;      // prime factorization of n (ascending)
-  std::vector<cplx> roots_;       // e^{-2 pi i k / n}, k = 0..n-1
-  mutable std::vector<cplx> work_;  // scratch for recursion (size n)
+  std::vector<Cplx> roots_;       // e^{-2 pi i k / n}, k = 0..n-1
+  mutable std::vector<Cplx> work_;  // scratch for recursion (size n)
 
   // Bluestein state (only populated when !smooth_).
   int bs_m_ = 0;                   // power-of-two convolution length
-  std::vector<cplx> bs_chirp_;     // b_k = exp(+i pi k^2 / n)
-  std::vector<cplx> bs_kernel_fft_;  // FFT of zero-padded chirp kernel
-  mutable std::vector<cplx> bs_work_;  // convolution scratch (size bs_m_)
+  std::vector<Cplx> bs_chirp_;     // b_k = exp(+i pi k^2 / n)
+  std::vector<Cplx> bs_kernel_fft_;  // FFT of zero-padded chirp kernel
+  mutable std::vector<Cplx> bs_work_;  // convolution scratch (size bs_m_)
 };
+
+using Fft1D = BasicFft1D<double>;
+using Fft1DF = BasicFft1D<float>;
 
 }  // namespace ls3df

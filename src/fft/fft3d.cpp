@@ -8,7 +8,8 @@
 
 namespace ls3df {
 
-Fft3D::Fft3D(Vec3i shape)
+template <typename Real>
+BasicFft3D<Real>::BasicFft3D(Vec3i shape)
     : shape_(shape),
       fx_(shape.x),
       fy_(shape.y),
@@ -17,12 +18,13 @@ Fft3D::Fft3D(Vec3i shape)
   assert(shape.x >= 1 && shape.y >= 1 && shape.z >= 1);
 }
 
-void Fft3D::transform_z(cplx* data, bool inv) const {
+template <typename Real>
+void BasicFft3D<Real>::transform_z(Cplx* data, bool inv) const {
   const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
   // Axis z: contiguous rows.
   for (int ix = 0; ix < n1; ++ix)
     for (int iy = 0; iy < n2; ++iy) {
-      cplx* row = data + (static_cast<std::size_t>(ix) * n2 + iy) * n3;
+      Cplx* row = data + (static_cast<std::size_t>(ix) * n2 + iy) * n3;
       if (inv)
         fz_.inverse(row);
       else
@@ -30,13 +32,14 @@ void Fft3D::transform_z(cplx* data, bool inv) const {
     }
 }
 
-void Fft3D::transform_y(cplx* data, bool inv) const {
+template <typename Real>
+void BasicFft3D<Real>::transform_y(Cplx* data, bool inv) const {
   const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
   // Axis y: stride n3 within each x-slab.
-  std::vector<cplx>& buf = scratch_;
+  std::vector<Cplx>& buf = scratch_;
   for (int ix = 0; ix < n1; ++ix)
     for (int iz = 0; iz < n3; ++iz) {
-      cplx* base = data + static_cast<std::size_t>(ix) * n2 * n3 + iz;
+      Cplx* base = data + static_cast<std::size_t>(ix) * n2 * n3 + iz;
       for (int iy = 0; iy < n2; ++iy) buf[iy] = base[static_cast<std::size_t>(iy) * n3];
       if (inv)
         fy_.inverse(buf.data());
@@ -46,14 +49,15 @@ void Fft3D::transform_y(cplx* data, bool inv) const {
     }
 }
 
-void Fft3D::transform_x(cplx* data, bool inv) const {
+template <typename Real>
+void BasicFft3D<Real>::transform_x(Cplx* data, bool inv) const {
   const int n1 = shape_.x, n2 = shape_.y, n3 = shape_.z;
   // Axis x: stride n2*n3.
-  std::vector<cplx>& buf = scratch_;
+  std::vector<Cplx>& buf = scratch_;
   const std::size_t sx = static_cast<std::size_t>(n2) * n3;
   for (int iy = 0; iy < n2; ++iy)
     for (int iz = 0; iz < n3; ++iz) {
-      cplx* base = data + static_cast<std::size_t>(iy) * n3 + iz;
+      Cplx* base = data + static_cast<std::size_t>(iy) * n3 + iz;
       for (int ix = 0; ix < n1; ++ix) buf[ix] = base[ix * sx];
       if (inv)
         fx_.inverse(buf.data());
@@ -63,7 +67,8 @@ void Fft3D::transform_x(cplx* data, bool inv) const {
     }
 }
 
-void Fft3D::transform(cplx* data, bool inv) const {
+template <typename Real>
+void BasicFft3D<Real>::transform(Cplx* data, bool inv) const {
   // Forward applies z, y, x; inverse undoes them in reverse (x, y, z).
   // The mirrored order is what lets the slab-distributed transform
   // (fft/dist_fft3d.h) stay bit-identical to this dense path with a
@@ -82,13 +87,26 @@ void Fft3D::transform(cplx* data, bool inv) const {
 
 namespace {
 
-void transform_many(const Fft3D& self, cplx* stack, int count, bool inv,
-                    int n_workers) {
+// Thread-local cached plan lookup, one per real type (fft/plan_cache.h).
+template <typename Real>
+const BasicFft3D<Real>& cached_plan(Vec3i shape);
+template <>
+const BasicFft3D<double>& cached_plan<double>(Vec3i shape) {
+  return fft_plan(shape);
+}
+template <>
+const BasicFft3D<float>& cached_plan<float>(Vec3i shape) {
+  return fft_plan_f32(shape);
+}
+
+template <typename Real>
+void transform_many(const BasicFft3D<Real>& self, std::complex<Real>* stack,
+                    int count, bool inv, int n_workers) {
   if (count <= 0) return;
   const std::size_t stride = self.size();
   if (n_workers <= 1 || count == 1) {
     for (int g = 0; g < count; ++g) {
-      cplx* grid = stack + static_cast<std::size_t>(g) * stride;
+      std::complex<Real>* grid = stack + static_cast<std::size_t>(g) * stride;
       if (inv)
         self.inverse(grid);
       else
@@ -100,11 +118,12 @@ void transform_many(const Fft3D& self, cplx* stack, int count, bool inv,
   // Each lane transforms through its own thread-local plan so the
   // strided-axis scratch is never shared between concurrent grids; the
   // cache lookup happens once per lane, not once per grid.
-  std::vector<const Fft3D*> lane_plan(std::min(n_workers, count), nullptr);
+  std::vector<const BasicFft3D<Real>*> lane_plan(std::min(n_workers, count),
+                                                 nullptr);
   parallel_for(count, n_workers, [&](int g, int worker) {
-    const Fft3D*& plan = lane_plan[worker];
-    if (!plan) plan = &fft_plan(shape);
-    cplx* grid = stack + static_cast<std::size_t>(g) * stride;
+    const BasicFft3D<Real>*& plan = lane_plan[worker];
+    if (!plan) plan = &cached_plan<Real>(shape);
+    std::complex<Real>* grid = stack + static_cast<std::size_t>(g) * stride;
     if (inv)
       plan->inverse(grid);
     else
@@ -114,12 +133,19 @@ void transform_many(const Fft3D& self, cplx* stack, int count, bool inv,
 
 }  // namespace
 
-void Fft3D::forward_many(cplx* stack, int count, int n_workers) const {
+template <typename Real>
+void BasicFft3D<Real>::forward_many(Cplx* stack, int count,
+                                    int n_workers) const {
   transform_many(*this, stack, count, false, n_workers);
 }
 
-void Fft3D::inverse_many(cplx* stack, int count, int n_workers) const {
+template <typename Real>
+void BasicFft3D<Real>::inverse_many(Cplx* stack, int count,
+                                    int n_workers) const {
   transform_many(*this, stack, count, true, n_workers);
 }
+
+template class BasicFft3D<double>;
+template class BasicFft3D<float>;
 
 }  // namespace ls3df

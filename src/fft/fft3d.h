@@ -14,6 +14,11 @@
 // per x-slab and crossing the single pencil transpose for the x axis, in
 // both directions.
 //
+// Like the 1D planner, the 3D transform is templated over the real type:
+// BasicFft3D<double> (alias Fft3D) is the bit-exact engine path,
+// BasicFft3D<float> (alias Fft3DF) the single-precision plan behind the
+// mixed-precision Davidson fast path. Both share the axis-order contract.
+//
 // Thread safety: transforms reuse internal scratch (no allocation per
 // call), so concurrent transform() calls on one instance race. Use one
 // instance per thread — the per-thread plan cache (fft/plan_cache.h)
@@ -28,9 +33,12 @@
 
 namespace ls3df {
 
-class Fft3D {
+template <typename Real>
+class BasicFft3D {
  public:
-  explicit Fft3D(Vec3i shape);
+  using Cplx = std::complex<Real>;
+
+  explicit BasicFft3D(Vec3i shape);
 
   const Vec3i& shape() const { return shape_; }
   std::size_t size() const {
@@ -38,10 +46,10 @@ class Fft3D {
   }
 
   // In-place transforms. Forward: no scaling; inverse: scales by 1/(n1*n2*n3).
-  void forward(cplx* data) const { transform(data, false); }
-  void inverse(cplx* data) const { transform(data, true); }
-  void forward(std::vector<cplx>& v) const { forward(v.data()); }
-  void inverse(std::vector<cplx>& v) const { inverse(v.data()); }
+  void forward(Cplx* data) const { transform(data, false); }
+  void inverse(Cplx* data) const { transform(data, true); }
+  void forward(std::vector<Cplx>& v) const { forward(v.data()); }
+  void inverse(std::vector<Cplx>& v) const { inverse(v.data()); }
 
   // Many-transform sweep over a contiguous stack of `count` grids of this
   // shape (stack[g * size() .. (g+1) * size())). Transforms are
@@ -52,18 +60,21 @@ class Fft3D {
   // inverse() call would produce — results are bit-identical for any
   // n_workers. This is the transform shape the batched fragment solver
   // feeds: one sweep serves every band of every fragment in a batch.
-  void forward_many(cplx* stack, int count, int n_workers = 1) const;
-  void inverse_many(cplx* stack, int count, int n_workers = 1) const;
+  void forward_many(Cplx* stack, int count, int n_workers = 1) const;
+  void inverse_many(Cplx* stack, int count, int n_workers = 1) const;
 
  private:
-  void transform(cplx* data, bool inv) const;
-  void transform_x(cplx* data, bool inv) const;
-  void transform_y(cplx* data, bool inv) const;
-  void transform_z(cplx* data, bool inv) const;
+  void transform(Cplx* data, bool inv) const;
+  void transform_x(Cplx* data, bool inv) const;
+  void transform_y(Cplx* data, bool inv) const;
+  void transform_z(Cplx* data, bool inv) const;
 
   Vec3i shape_;
-  Fft1D fx_, fy_, fz_;
-  mutable std::vector<cplx> scratch_;  // strided-axis gather buffer
+  BasicFft1D<Real> fx_, fy_, fz_;
+  mutable std::vector<Cplx> scratch_;  // strided-axis gather buffer
 };
+
+using Fft3D = BasicFft3D<double>;
+using Fft3DF = BasicFft3D<float>;
 
 }  // namespace ls3df

@@ -29,6 +29,13 @@ const Fft3D& fft_plan(Vec3i shape) {
   return *slot;
 }
 
+const Fft3DF& fft_plan_f32(Vec3i shape) {
+  thread_local std::unordered_map<long long, std::unique_ptr<Fft3DF>> plans;
+  auto& slot = plans[shape_key(shape)];
+  if (!slot) slot = std::make_unique<Fft3DF>(shape);
+  return *slot;
+}
+
 const Fft1D& fft1d_plan(int n) {
   thread_local std::unordered_map<int, std::unique_ptr<Fft1D>> plans;
   auto& slot = plans[n];
@@ -42,6 +49,14 @@ void fft_forward_many(Vec3i shape, cplx* stack, int count, int n_workers) {
 
 void fft_inverse_many(Vec3i shape, cplx* stack, int count, int n_workers) {
   fft_plan(shape).inverse_many(stack, count, n_workers);
+}
+
+void fft_forward_many(Vec3i shape, cplxf* stack, int count, int n_workers) {
+  fft_plan_f32(shape).forward_many(stack, count, n_workers);
+}
+
+void fft_inverse_many(Vec3i shape, cplxf* stack, int count, int n_workers) {
+  fft_plan_f32(shape).inverse_many(stack, count, n_workers);
 }
 
 int fft_plan_cache_size() {

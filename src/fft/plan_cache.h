@@ -20,6 +20,11 @@ namespace ls3df {
 // The reference stays valid for the life of the calling thread.
 const Fft3D& fft_plan(Vec3i shape);
 
+// Single-precision twin of fft_plan, backing the mixed-precision Davidson
+// fast path (dft/eigensolver.h). Cached separately so a thread that never
+// touches fp32 pays nothing.
+const Fft3DF& fft_plan_f32(Vec3i shape);
+
 // This thread's cached 1D plan for length `n`. The distributed transform
 // (fft/dist_fft3d.h) runs its per-slab line transforms through these, so
 // each shard task picks up warm per-axis plans on whatever pool thread
@@ -33,6 +38,10 @@ const Fft1D& fft1d_plan(int n);
 // single-grid transforms for any n_workers.
 void fft_forward_many(Vec3i shape, cplx* stack, int count, int n_workers = 1);
 void fft_inverse_many(Vec3i shape, cplx* stack, int count, int n_workers = 1);
+
+// Single-precision many-transform sweeps through the fp32 plan cache.
+void fft_forward_many(Vec3i shape, cplxf* stack, int count, int n_workers = 1);
+void fft_inverse_many(Vec3i shape, cplxf* stack, int count, int n_workers = 1);
 
 // Number of distinct plans cached by the calling thread (diagnostics).
 int fft_plan_cache_size();

@@ -249,6 +249,7 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
   }
 
   measured_seconds_.assign(contexts_.size(), -1.0);
+  measured_seconds_f32_.assign(contexts_.size(), -1.0);
 
   if (opt_.n_shards > 0) {
     // Clamp to the grid's x extent and to the backend's rank ceiling
@@ -316,8 +317,43 @@ void Ls3dfSolver::solve_fragment(int f, EigenWorkspace& ws) {
 }
 
 void Ls3dfSolver::record_measured(int f, double seconds) {
-  double& m = measured_seconds_[f];
+  // Route into the EMA of the precision that produced the timing: the
+  // fp32 fast path is ~2x faster per iteration, and mixing its samples
+  // into the fp64 model would skew LPT for both.
+  double& m =
+      use_fp32_iter_ ? measured_seconds_f32_[f] : measured_seconds_[f];
   m = m < 0 ? seconds : 0.5 * m + 0.5 * seconds;
+}
+
+bool Ls3dfSolver::mixed_precision_available() const {
+  return opt_.precision == Precision::kMixed && opt_.all_band &&
+         opt_.batch_width > 0 && !batches_.empty();
+}
+
+void Ls3dfSolver::update_precision_policy(
+    const std::vector<double>& conv_history) {
+  // fp32 while the mixer is still far from self-consistency: no history
+  // yet, or the last L1 residual above the promotion threshold — and
+  // never again after promotion. The first fp64 iteration cleans the
+  // fp32 noise out of the potential, which can briefly *raise* the L1
+  // metric past the threshold; without the latch the policy would
+  // oscillate back to fp32 and the mixer would grind at the fp32 noise
+  // floor instead of converging. Promotion is one-way within a solve().
+  if (fp64_promoted_) {
+    use_fp32_iter_ = false;
+    return;
+  }
+  const double threshold =
+      std::max(opt_.promote_factor * opt_.l1_tol, opt_.l1_tol);
+  use_fp32_iter_ = mixed_precision_available() &&
+                   (conv_history.empty() || conv_history.back() > threshold);
+  if (!use_fp32_iter_ && mixed_precision_available() &&
+      !conv_history.empty())
+    fp64_promoted_ = true;
+}
+
+long Ls3dfSolver::donated_lane_events() const {
+  return lane_budget_.donation_events();
 }
 
 void Ls3dfSolver::petot_f() {
@@ -429,16 +465,28 @@ void Ls3dfSolver::solve_batch(int b, int group, int inner,
     items.reserve(k_members);
     for (int f : batch.members)
       items.push_back({contexts_[f]->h.get(), &contexts_[f]->psi});
+    // Live inner-lane width: with donation on, the lockstep driver
+    // re-reads the budget's allowance at every sweep boundary, so lanes
+    // donated by retiring holders widen this solve mid-flight. The
+    // kernels are worker-count-invariant, so the width schedule cannot
+    // change results.
+    std::function<int()> live_lanes;
+    if (opt_.donate)
+      live_lanes = [this]() { return lane_budget_.allowance(); };
     std::vector<EigensolverResult> rs =
-        solve_all_band_batched(items, opt_.eig, bw, inner);
+        use_fp32_iter_
+            ? solve_all_band_batched_f32(items, opt_.eig, bw, inner,
+                                         live_lanes)
+            : solve_all_band_batched(items, opt_.eig, bw, inner, live_lanes);
     for (int k = 0; k < k_members; ++k)
       contexts_[batch.members[k]]->eigenvalues = std::move(rs[k].eigenvalues);
     // Densities member by member, each member's band stack swept by
     // one many-transform pass over this batch's inner lanes (the
     // lanes go to the FFTs, not the member loop — bit-identical
-    // either way).
+    // either way, so the density sweep may also use donated width).
     for (int k = 0; k < k_members; ++k)
-      finish_fragment(batch.members[k], inner);
+      finish_fragment(batch.members[k],
+                      opt_.donate ? lane_budget_.allowance() : inner);
   } else {
     // Band-by-band has no lockstep driver; members still share the
     // batch's schedulable unit and per-member arenas.
@@ -481,13 +529,21 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
 
   // Lanes not consumed by batch-level parallelism drive the batched
   // kernels' internal work grids (fused GEMM tiles, many-FFT sweeps).
+  // With donation on, `inner` is only the opening width: the budget's
+  // allowance starts at exactly total/holders = inner and widens as
+  // groups retire.
   const int inner = std::max(1, opt_.n_workers / n_groups);
+  lane_budget_.reset(opt_.n_workers, n_groups);
   const std::vector<double> analytic = analytic_costs();
 
   std::vector<double> busy(n_groups, 0.0);
   const auto run_group = [&](int g) {
     Timer timer;
     for (int b : members[g]) solve_batch(b, g, inner, analytic);
+    // This group's solves are done: donate its inner lanes so the
+    // makespan-tail groups widen. With donation off the budget is never
+    // consulted nor retired, so donated_lane_events() stays flat.
+    if (opt_.donate) lane_budget_.retire(g);
     busy[g] = timer.seconds();
   };
 
@@ -721,8 +777,12 @@ std::vector<double> Ls3dfSolver::fragment_costs() const {
   // analytic model is the iteration-1 prior, measurements re-balance
   // later iterations. Rescaling to the analytic total keeps the blend
   // meaningful (LPT itself is scale-invariant).
-  bool all_measured = !measured_seconds_.empty();
-  for (double m : measured_seconds_)
+  // The upcoming iteration's precision selects its own measured EMA, so
+  // fp32 and fp64 batches are each balanced from timings of their kind.
+  const std::vector<double>& measured =
+      use_fp32_iter_ ? measured_seconds_f32_ : measured_seconds_;
+  bool all_measured = !measured.empty();
+  for (double m : measured)
     if (m < 0) {
       all_measured = false;
       break;
@@ -731,12 +791,12 @@ std::vector<double> Ls3dfSolver::fragment_costs() const {
   double analytic_sum = 0, measured_sum = 0;
   for (std::size_t f = 0; f < costs.size(); ++f) {
     analytic_sum += costs[f];
-    measured_sum += measured_seconds_[f];
+    measured_sum += measured[f];
   }
   if (measured_sum <= 0 || analytic_sum <= 0) return costs;
   const double scale = analytic_sum / measured_sum;
   for (std::size_t f = 0; f < costs.size(); ++f)
-    costs[f] = 0.5 * costs[f] + 0.5 * measured_seconds_[f] * scale;
+    costs[f] = 0.5 * costs[f] + 0.5 * measured[f] * scale;
   return costs;
 }
 
@@ -749,6 +809,7 @@ double Ls3dfSolver::fragment_electrons(int f) const {
 }
 
 Ls3dfResult Ls3dfSolver::solve() {
+  fp64_promoted_ = false;  // re-arm the kMixed promotion latch
   if (overlap_active()) return solve_overlap();
   return shards_ ? solve_sharded() : solve_dense();
 }
@@ -766,6 +827,7 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
 
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    update_precision_policy(result.conv_history);
     {
       ScopedPhase sp(profile_, "Gen_VF");
       gen_vf(v_in);
@@ -793,7 +855,10 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
     const double l1 = plane_l1(v_out, v_in) * point_vol;
     result.conv_history.push_back(l1);
     result.rho = std::move(rho);
-    if (l1 < opt_.l1_tol) {
+    // Never latch convergence from an fp32 iteration: the residual must
+    // be confirmed by the fp64 solver (the policy switches to fp64 next
+    // iteration once l1 is this small).
+    if (l1 < opt_.l1_tol && !use_fp32_iter_) {
       result.converged = true;
       result.v_eff = v_in;
       break;
@@ -834,6 +899,7 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
 
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    update_precision_policy(result.conv_history);
     {
       ScopedPhase sp(profile_, "Gen_VF");
       gen_vf_sharded(v_in);
@@ -858,7 +924,8 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
     }
     const double l1 = plane_l1(v_out, v_in, s.comm) * point_vol;
     result.conv_history.push_back(l1);
-    if (l1 < opt_.l1_tol) {
+    // As in solve_dense: convergence only latches from an fp64 iteration.
+    if (l1 < opt_.l1_tol && !use_fp32_iter_) {
       result.converged = true;
       break;
     }
@@ -994,6 +1061,10 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     solve_node[b] =
         tag(g.add([this, b, inner, &analytic]() {
               solve_batch(b, b, inner, analytic);
+              // Chain b's solve retired: donate its inner lanes to the
+              // still-running chains (holders are batches here, not LPT
+              // groups — the patch tail is cheap and lane-free).
+              if (opt_.donate) lane_budget_.retire(b);
             },
                   {rb}),
             kPetot, b);
@@ -1140,7 +1211,8 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
             l1 = sh ? plane_l1(sh->v_out, sh->v_in, sh->comm) * point_vol
                     : plane_l1(v_out_d, v_in_d) * point_vol;
             result.conv_history.push_back(l1);
-            if (l1 < opt_.l1_tol) {
+            // fp32 iterations never latch convergence (solve_dense rule).
+            if (l1 < opt_.l1_tol && !use_fp32_iter_) {
               converged = true;
             } else if (sh) {
               sh->v_in = mixer_s->mix(sh->v_in, sh->v_out);
@@ -1162,6 +1234,11 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
 
   for (int iter = 0; iter < opt_.max_iterations && !converged; ++iter) {
     result.iterations = iter + 1;
+    update_precision_policy(result.conv_history);
+    // Arm the lane budget for this round: every solve chain is a holder,
+    // opening at allowance == n_workers / min(n_batches, n_workers) ==
+    // the fixed `inner` above, widening as chains retire.
+    lane_budget_.reset(opt_.n_workers, n_batches);
     Timer iter_timer;
     if (!sh) rho_d = FieldR(global_grid_);  // fresh (zeroed) patch target
     std::fill(times.begin(), times.end(), std::make_pair(0.0, -1.0));

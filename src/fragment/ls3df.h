@@ -96,6 +96,13 @@
 
 namespace ls3df {
 
+// PEtot_F eigensolver precision (Ls3dfOptions::precision).
+enum class Precision {
+  kDouble,  // fp64 everywhere: the bit-identity reference path
+  kMixed,   // fp32 batched Davidson for early outer iterations, promoted
+            // to fp64 once the mixer's L1 residual crosses the promotion threshold
+};
+
 struct Ls3dfOptions {
   Vec3i division{2, 2, 2};   // m1 x m2 x m3 cell grid
   int points_per_cell = 10;  // global grid points per cell edge
@@ -151,6 +158,36 @@ struct Ls3dfOptions {
   // phased path runs. false keeps the phased loop for A/B — results are
   // bit-identical either way.
   bool overlap = true;
+  // Live inner-lane donation (parallel/scheduler.h, LaneBudget): batched
+  // PEtot_F solves draw their inner-lane width from a live budget shared
+  // by the dispatch round's groups (phased) or solve chains (overlap);
+  // a holder that retires donates its lanes, so tail solves widen
+  // mid-flight instead of grinding at the fixed n_workers / n_groups
+  // split. Every batched kernel is worker-count-invariant, so results
+  // are bit-identical with donation on or off — false keeps the fixed
+  // split for A/B (the equivalence suite draws both).
+  bool donate = true;
+  // Eigensolver precision policy (see Precision above). kMixed runs the
+  // fp32 fast path only on the batched all-band path (all_band &&
+  // batch_width > 0) and only while the previous iteration's L1 residual
+  // exceeds promote_factor * l1_tol; convergence is never declared from
+  // an fp32 iteration, and the fp64 fixed point erases the fp32 rounding
+  // history. NOT bit-identical to kDouble — guarded by the trajectory
+  // checks in tests/test_mixed_precision.cpp, off by default.
+  Precision precision = Precision::kDouble;
+  // Promotion threshold as a multiple of l1_tol: kMixed keeps using fp32
+  // while the last L1 residual exceeds promote_factor * l1_tol. Relative
+  // because the L1 metric's absolute scale tracks system size (the Fig. 6
+  // alloy starts ~1000x higher than a small H2 chain) while l1_tol is
+  // chosen on the same scale, so one default serves both. Promotion is a
+  // one-way latch per solve(): the first fp64 iteration perturbs the
+  // mixer's L1 briefly, and dropping back to fp32 on that bounce would
+  // park the SCF at the fp32 noise floor. The default promotes with a
+  // few decades still to go — fp32 only carries the iterations whose
+  // residual dwarfs single-precision rounding, which is where nearly all
+  // of the PEtot_F cost lives anyway (the L1 falls orders of magnitude
+  // in the first few iterations, Fig. 6).
+  double promote_factor = 400.0;
   // Test seam: invoked at the start of every batch solve (phased and
   // overlapped dispatch) with the batch index. A throw propagates as a
   // clean latched error from solve(); the failure-propagation suite uses
@@ -267,9 +304,21 @@ class Ls3dfSolver {
   // is 0); stable across outer iterations.
   const std::vector<FragmentBatch>& batches() const { return batches_; }
   // Measured per-fragment solve seconds (EMA; < 0 before first measure).
+  // The fp64 model; under Precision::kMixed a second EMA tracks fp32
+  // solves so LPT schedules each precision from its own cost model.
   const std::vector<double>& measured_fragment_seconds() const {
     return measured_seconds_;
   }
+  const std::vector<double>& measured_fragment_seconds_f32() const {
+    return measured_seconds_f32_;
+  }
+  // Cumulative lane-donation events across all solve() calls (a retiring
+  // batch/group left live holders to widen; parallel/scheduler.h). 0
+  // when opt.donate is false or batching is off.
+  long donated_lane_events() const;
+  // Whether the NEXT petot_f() call would run the fp32 fast path
+  // (reflects the most recent precision-policy update).
+  bool fp32_iteration_active() const { return use_fp32_iter_; }
   // Capacity-growth events across the per-group eigensolver arenas. The
   // count is flat after the first outer iteration: the steady state
   // solves every fragment with zero workspace heap traffic.
@@ -286,6 +335,12 @@ class Ls3dfSolver {
   void finish_fragment(int f, int n_workers = 1);
   void petot_f_per_fragment(int n_groups);
   void petot_f_batched(int n_groups);
+  // Mixed-precision policy: is the fp32 fast path available at all, and
+  // should the upcoming outer iteration use it (conv_history empty, or
+  // last L1 still above the promotion threshold)? Called by the solve()
+  // drivers at the top of every outer iteration.
+  bool mixed_precision_available() const;
+  void update_precision_policy(const std::vector<double>& conv_history);
   // One batch's lockstep solve + densities + measured-cost bookkeeping:
   // the body shared by the phased batched dispatch and the overlap
   // chains' solve nodes. `group` is the executed_group_of marker (the
@@ -337,7 +392,20 @@ class Ls3dfSolver {
   std::vector<std::unique_ptr<BatchWorkspace>> batch_workspaces_;
   // Measured per-fragment solve seconds (EMA), fed back into
   // fragment_costs() with the analytic model as the iteration-1 prior.
+  // One EMA per precision: fp32 solves must not pollute the fp64 cost
+  // model (and vice versa), so LPT balances whichever precision the
+  // upcoming iteration runs from timings of the same kind.
   std::vector<double> measured_seconds_;
+  std::vector<double> measured_seconds_f32_;
+  // Live inner-lane budget of the current PEtot_F dispatch round
+  // (parallel/scheduler.h): holders are LPT groups when phased, solve
+  // chains under overlap. Donation events accumulate across solve()s.
+  LaneBudget lane_budget_;
+  // Set by update_precision_policy for the upcoming outer iteration.
+  bool use_fp32_iter_ = false;
+  // One-way promotion latch: once a kMixed solve has run an fp64
+  // iteration it never drops back to fp32 (a fresh solve() re-arms it).
+  bool fp64_promoted_ = false;
   GroupAssignment assignment_;
   std::vector<int> executed_group_of_;
   // Sharded-grid state (null on the dense path): ShardComm + DistFft3D +

@@ -59,4 +59,19 @@ void GVectors::gather(const std::complex<double>* grid,
     coeff[i] = grid[fft_index_[i]];
 }
 
+void GVectors::scatter(const std::complex<float>* coeff,
+                       std::complex<float>* grid) const {
+  const std::size_t n = static_cast<std::size_t>(grid_shape_.x) *
+                        grid_shape_.y * grid_shape_.z;
+  std::fill(grid, grid + n, std::complex<float>(0, 0));
+  for (std::size_t i = 0; i < fft_index_.size(); ++i)
+    grid[fft_index_[i]] = coeff[i];
+}
+
+void GVectors::gather(const std::complex<float>* grid,
+                      std::complex<float>* coeff) const {
+  for (std::size_t i = 0; i < fft_index_.size(); ++i)
+    coeff[i] = grid[fft_index_[i]];
+}
+
 }  // namespace ls3df

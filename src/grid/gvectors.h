@@ -50,6 +50,13 @@ class GVectors {
   void gather(const std::complex<double>* grid,
               std::complex<double>* coeff) const;
 
+  // Single-precision twins over the same index table (the fp32 grid
+  // stacks of the mixed-precision Hamiltonian apply).
+  void scatter(const std::complex<float>* coeff,
+               std::complex<float>* grid) const;
+  void gather(const std::complex<float>* grid,
+              std::complex<float>* coeff) const;
+
   // Signed FFT frequency for index i on an axis of n points.
   static int freq(int i, int n) { return i <= n / 2 ? i : i - n; }
 

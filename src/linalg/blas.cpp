@@ -11,6 +11,11 @@ namespace ls3df {
 namespace {
 
 template <typename T>
+struct IsComplex : std::false_type {};
+template <typename R>
+struct IsComplex<std::complex<R>> : std::true_type {};
+
+template <typename T>
 T apply_op(Op op, const Matrix<T>& A, int i, int j) {
   switch (op) {
     case Op::kNone:
@@ -18,7 +23,7 @@ T apply_op(Op op, const Matrix<T>& A, int i, int j) {
     case Op::kTrans:
       return A(j, i);
     case Op::kConjTrans:
-      if constexpr (std::is_same_v<T, std::complex<double>>)
+      if constexpr (IsComplex<T>::value)
         return std::conj(A(j, i));
       else
         return A(j, i);
@@ -39,10 +44,16 @@ constexpr int kKBlock = 256;
 // vectorize the inner loop. The column range exists for gemm_batched's
 // tile grid; j0 must be even (relative to column 0) so the 2-column
 // pairing — and therefore the exact floating-point expression used for
-// each C element — matches the full-range sweep.
-void gemm_conjtrans_none_blocked(std::complex<double> alpha, const MatC& A,
-                                 const MatC& B, MatC& C, int j0, int j1) {
-  using cd = std::complex<double>;
+// each C element — matches the full-range sweep. Templated over the real
+// type: <double> is the reference path, <float> the mixed-precision fast
+// path (accumulators stay in the element type, which is where the fp32
+// SIMD-width win comes from).
+template <typename R>
+void gemm_conjtrans_none_blocked(std::complex<R> alpha,
+                                 const Matrix<std::complex<R>>& A,
+                                 const Matrix<std::complex<R>>& B,
+                                 Matrix<std::complex<R>>& C, int j0, int j1) {
+  using cd = std::complex<R>;
   const int ka = A.rows(), m = C.rows();
   const int n = j1;
   for (int kk = 0; kk < ka; kk += kKBlock) {
@@ -55,13 +66,13 @@ void gemm_conjtrans_none_blocked(std::complex<double> alpha, const MatC& A,
       for (; i + 1 < m; i += 2) {
         const cd* a0 = A.col(i);
         const cd* a1 = A.col(i + 1);
-        double r00 = 0, s00 = 0, r01 = 0, s01 = 0;
-        double r10 = 0, s10 = 0, r11 = 0, s11 = 0;
+        R r00 = 0, s00 = 0, r01 = 0, s01 = 0;
+        R r10 = 0, s10 = 0, r11 = 0, s11 = 0;
         for (int l = kk; l < ke; ++l) {
-          const double ar0 = a0[l].real(), ai0 = a0[l].imag();
-          const double ar1 = a1[l].real(), ai1 = a1[l].imag();
-          const double br0 = b0[l].real(), bi0 = b0[l].imag();
-          const double br1 = b1[l].real(), bi1 = b1[l].imag();
+          const R ar0 = a0[l].real(), ai0 = a0[l].imag();
+          const R ar1 = a1[l].real(), ai1 = a1[l].imag();
+          const R br0 = b0[l].real(), bi0 = b0[l].imag();
+          const R br1 = b1[l].real(), bi1 = b1[l].imag();
           // conj(a) * b = (ar*br + ai*bi) + i (ar*bi - ai*br)
           r00 += ar0 * br0 + ai0 * bi0;
           s00 += ar0 * bi0 - ai0 * br0;
@@ -105,9 +116,12 @@ void gemm_conjtrans_none_blocked(std::complex<double> alpha, const MatC& A,
 // the dominant A traffic of the plain column-at-a-time gaxpy for the
 // tall-skinny shapes PEtot_F produces. j0 must be a multiple of 4 so the
 // 4-column grouping matches the full-range sweep (see gemm_batched).
-void gemm_none_none_blocked(std::complex<double> alpha, const MatC& A,
-                            const MatC& B, MatC& C, int j0, int j1) {
-  using cd = std::complex<double>;
+template <typename R>
+void gemm_none_none_blocked(std::complex<R> alpha,
+                            const Matrix<std::complex<R>>& A,
+                            const Matrix<std::complex<R>>& B,
+                            Matrix<std::complex<R>>& C, int j0, int j1) {
+  using cd = std::complex<R>;
   const int m = C.rows(), k = A.cols();
   const int n = j1;
   int j = j0;
@@ -122,12 +136,12 @@ void gemm_none_none_blocked(std::complex<double> alpha, const MatC& A,
       const cd b2 = alpha * B(l, j + 2);
       const cd b3 = alpha * B(l, j + 3);
       const cd* al = A.col(l);
-      const double br0 = b0.real(), bi0 = b0.imag();
-      const double br1 = b1.real(), bi1 = b1.imag();
-      const double br2 = b2.real(), bi2 = b2.imag();
-      const double br3 = b3.real(), bi3 = b3.imag();
+      const R br0 = b0.real(), bi0 = b0.imag();
+      const R br1 = b1.real(), bi1 = b1.imag();
+      const R br2 = b2.real(), bi2 = b2.imag();
+      const R br3 = b3.real(), bi3 = b3.imag();
       for (int i = 0; i < m; ++i) {
-        const double ar = al[i].real(), ai = al[i].imag();
+        const R ar = al[i].real(), ai = al[i].imag();
         c0[i] += cd(ar * br0 - ai * bi0, ar * bi0 + ai * br0);
         c1[i] += cd(ar * br1 - ai * bi1, ar * bi1 + ai * br1);
         c2[i] += cd(ar * br2 - ai * bi2, ar * bi2 + ai * br2);
@@ -161,7 +175,7 @@ void gemm_impl(Op opA, Op opB, T alpha, const Matrix<T>& A,
     for (std::size_t i = 0; i < C.size(); ++i) C.data()[i] *= beta;
   }
 
-  if constexpr (std::is_same_v<T, std::complex<double>>) {
+  if constexpr (IsComplex<T>::value) {
     if (opA == Op::kNone && opB == Op::kNone) {
       gemm_none_none_blocked(alpha, A, B, C, 0, n);
       return;
@@ -203,10 +217,12 @@ constexpr int kBatchTileCols = 32;
 
 // General op fallback restricted to a column range (rare in the batched
 // path; kept for completeness).
-void gemm_general_range(Op opA, Op opB, std::complex<double> alpha,
-                        const MatC& A, const MatC& B, MatC& C, int j0,
-                        int j1) {
-  using cd = std::complex<double>;
+template <typename R>
+void gemm_general_range(Op opA, Op opB, std::complex<R> alpha,
+                        const Matrix<std::complex<R>>& A,
+                        const Matrix<std::complex<R>>& B,
+                        Matrix<std::complex<R>>& C, int j0, int j1) {
+  using cd = std::complex<R>;
   const int m = C.rows();
   const int k = (opA == Op::kNone) ? A.cols() : A.rows();
   for (int j = j0; j < j1; ++j)
@@ -217,17 +233,16 @@ void gemm_general_range(Op opA, Op opB, std::complex<double> alpha,
     }
 }
 
-}  // namespace
-
-void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
-          const MatC& B, std::complex<double> beta, MatC& C) {
-  gemm_impl(opA, opB, alpha, A, B, beta, C);
-}
-
-void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
-                  const std::vector<GemmBatchItem>& items,
-                  std::complex<double> beta, int n_workers) {
-  using cd = std::complex<double>;
+// Shared batched body: the item type carries the element precision
+// (GemmBatchItem = double, GemmBatchItemF = float); the tile grid,
+// alignment rules and per-tile beta handling are identical, so both
+// precisions inherit the same bit-identity-to-serial-gemm argument.
+template <typename R, typename Item>
+void gemm_batched_impl(Op opA, Op opB, std::complex<R> alpha,
+                       const std::vector<Item>& items, std::complex<R> beta,
+                       int n_workers) {
+  using cd = std::complex<R>;
+  using Mat = Matrix<cd>;
   if (items.empty()) return;
 
   // Flatten the batch into (member, column tile) work units. The unit
@@ -240,11 +255,11 @@ void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
   };
   std::vector<Unit> units;
   for (int t = 0; t < static_cast<int>(items.size()); ++t) {
-    const GemmBatchItem& it = items[t];
+    const Item& it = items[t];
     assert(it.a && it.b && it.c);
-    const MatC& A = *it.a;
-    const MatC& B = *it.b;
-    MatC& C = *it.c;
+    const Mat& A = *it.a;
+    const Mat& B = *it.b;
+    Mat& C = *it.c;
     const int m = C.rows(), n = C.cols();
     const int k = (opA == Op::kNone) ? A.cols() : A.rows();
     assert(((opA == Op::kNone) ? A.rows() : A.cols()) == m);
@@ -259,8 +274,8 @@ void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
   }
 
   const auto run_unit = [&](const Unit& u) {
-    const GemmBatchItem& it = items[u.item];
-    MatC& C = *it.c;
+    const Item& it = items[u.item];
+    Mat& C = *it.c;
     // Per-tile beta handling mirrors gemm_impl's whole-matrix pass.
     if (beta == cd{}) {
       for (int j = u.j0; j < u.j1; ++j)
@@ -290,9 +305,33 @@ void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
   }
 }
 
+}  // namespace
+
+void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
+          const MatC& B, std::complex<double> beta, MatC& C) {
+  gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
 void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,
           double beta, MatR& C) {
   gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
+void gemm(Op opA, Op opB, std::complex<float> alpha, const MatCF& A,
+          const MatCF& B, std::complex<float> beta, MatCF& C) {
+  gemm_impl(opA, opB, alpha, A, B, beta, C);
+}
+
+void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
+                  const std::vector<GemmBatchItem>& items,
+                  std::complex<double> beta, int n_workers) {
+  gemm_batched_impl<double>(opA, opB, alpha, items, beta, n_workers);
+}
+
+void gemm_batched(Op opA, Op opB, std::complex<float> alpha,
+                  const std::vector<GemmBatchItemF>& items,
+                  std::complex<float> beta, int n_workers) {
+  gemm_batched_impl<float>(opA, opB, alpha, items, beta, n_workers);
 }
 
 void gemv(Op opA, std::complex<double> alpha, const MatC& A,
@@ -343,6 +382,30 @@ void zaxpy(int n, std::complex<double> a, const std::complex<double>* x,
 }
 
 void zscal(int n, std::complex<double> a, std::complex<double>* x) {
+  for (int i = 0; i < n; ++i) x[i] *= a;
+}
+
+std::complex<float> cdotc(int n, const std::complex<float>* x,
+                          const std::complex<float>* y) {
+  // Accumulate in double, round once (see blas.h).
+  std::complex<double> acc{};
+  for (int i = 0; i < n; ++i)
+    acc += std::conj(std::complex<double>(x[i])) * std::complex<double>(y[i]);
+  return std::complex<float>(acc);
+}
+
+float scnrm2(int n, const std::complex<float>* x) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += std::norm(std::complex<double>(x[i]));
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void caxpy(int n, std::complex<float> a, const std::complex<float>* x,
+           std::complex<float>* y) {
+  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void cscal(int n, std::complex<float> a, std::complex<float>* x) {
   for (int i = 0; i < n; ++i) x[i] *= a;
 }
 

@@ -19,6 +19,12 @@ void gemm(Op opA, Op opB, std::complex<double> alpha, const MatC& A,
           const MatC& B, std::complex<double> beta, MatC& C);
 void gemm(Op opA, Op opB, double alpha, const MatR& A, const MatR& B,
           double beta, MatR& C);
+// Single-precision instantiation of the same blocked kernels (the
+// register-tiled cores are templated over the real type), used by the
+// mixed-precision Davidson fast path. Roughly 2x the SIMD width of the
+// double path on the same shapes.
+void gemm(Op opA, Op opB, std::complex<float> alpha, const MatCF& A,
+          const MatCF& B, std::complex<float> beta, MatCF& C);
 
 // One member of a batched product: C = alpha * op(A) * op(B) + beta * C.
 // Shapes may differ between members (same-class fragment batches share
@@ -27,6 +33,13 @@ struct GemmBatchItem {
   const MatC* a = nullptr;
   const MatC* b = nullptr;
   MatC* c = nullptr;
+};
+
+// Single-precision batch member (the fp32 Davidson stack).
+struct GemmBatchItemF {
+  const MatCF* a = nullptr;
+  const MatCF* b = nullptr;
+  MatCF* c = nullptr;
 };
 
 // Batched GEMM: every item's product, fused into one sweep over a grid of
@@ -39,6 +52,9 @@ struct GemmBatchItem {
 void gemm_batched(Op opA, Op opB, std::complex<double> alpha,
                   const std::vector<GemmBatchItem>& items,
                   std::complex<double> beta, int n_workers = 1);
+void gemm_batched(Op opA, Op opB, std::complex<float> alpha,
+                  const std::vector<GemmBatchItemF>& items,
+                  std::complex<float> beta, int n_workers = 1);
 
 // y = alpha * op(A) * x + beta * y (BLAS-2).
 void gemv(Op opA, std::complex<double> alpha, const MatC& A,
@@ -56,5 +72,17 @@ double dznrm2(int n, const std::complex<double>* x);
 void zaxpy(int n, std::complex<double> a, const std::complex<double>* x,
            std::complex<double>* y);
 void zscal(int n, std::complex<double> a, std::complex<double>* x);
+
+// Single-precision level-1 (BLAS naming). Reductions (cdotc, scnrm2)
+// accumulate in double and round once on return: the fp32 Davidson's
+// Gram-Schmidt expansion keeps orthogonality at fp32 eps instead of
+// sqrt(n) * eps, and the level-1 traffic is negligible next to the GEMM
+// and FFT sweeps that carry the fp32 speedup.
+std::complex<float> cdotc(int n, const std::complex<float>* x,
+                          const std::complex<float>* y);
+float scnrm2(int n, const std::complex<float>* x);
+void caxpy(int n, std::complex<float> a, const std::complex<float>* x,
+           std::complex<float>* y);
+void cscal(int n, std::complex<float> a, std::complex<float>* x);
 
 }  // namespace ls3df

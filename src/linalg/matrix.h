@@ -76,5 +76,8 @@ class Matrix {
 
 using MatR = Matrix<double>;
 using MatC = Matrix<std::complex<double>>;
+// Single-precision complex blocks: the storage type of the fp32 arenas
+// behind the mixed-precision Davidson fast path (dft/eigensolver.h).
+using MatCF = Matrix<std::complex<float>>;
 
 }  // namespace ls3df

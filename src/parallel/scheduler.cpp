@@ -7,6 +7,31 @@
 
 namespace ls3df {
 
+void LaneBudget::reset(int total_lanes, int n_holders) {
+  total_ = std::max(1, total_lanes);
+  n_holders_ = std::max(0, n_holders);
+  if (n_holders_ > capacity_) {  // grow-only: resets in the SCF loop reuse
+    retired_ = std::make_unique<std::atomic<bool>[]>(n_holders_);
+    capacity_ = n_holders_;
+  }
+  for (int h = 0; h < n_holders_; ++h)
+    retired_[h].store(false, std::memory_order_relaxed);
+  live_.store(n_holders_, std::memory_order_relaxed);
+}
+
+int LaneBudget::allowance() const {
+  int l = live_.load(std::memory_order_relaxed);
+  l = std::max(1, std::min(l, total_));
+  return std::max(1, total_ / l);
+}
+
+void LaneBudget::retire(int holder) {
+  if (holder < 0 || holder >= n_holders_) return;
+  if (retired_[holder].exchange(true, std::memory_order_acq_rel)) return;
+  const int after = live_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (after > 0) donations_.fetch_add(1, std::memory_order_relaxed);
+}
+
 GroupAssignment assign_fragments(const std::vector<double>& costs,
                                  int n_groups) {
   assert(n_groups >= 1);

@@ -6,10 +6,73 @@
 // threaded executor and by the performance simulator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace ls3df {
+
+// == Lane donation protocol ==
+//
+// The LPT assignment above fixes *which* group solves each batch, but the
+// paper's near-perfect PEtot_F efficiency also depends on lanes never
+// idling at the makespan tail. With a fixed `inner = n_workers / n_groups`
+// split, lanes freed when a short group (or a retired chain node) finishes
+// sit idle while the longest batches grind on at their original width.
+// LaneBudget makes the inner-lane count *live*:
+//
+//   reset(total, holders)   arm the budget for one dispatch round: `total`
+//                           pool lanes shared by `holders` concurrent
+//                           batch/group holders.
+//   allowance()             lanes a still-running holder may use *right
+//                           now* = max(1, total / min(live, total)) — the
+//                           same quotient as the fixed split while every
+//                           holder is live, widening as holders retire.
+//   retire(holder)          idempotent: the holder's solve retired (patch
+//                           committed / batch left the lockstep); its
+//                           lanes are donated back to the survivors. Each
+//                           retire that leaves live holders behind counts
+//                           one donation event.
+//
+// Batched kernels re-read allowance() at every sweep boundary (each
+// apply_batched / gemm_batched / FFT many-sweep dispatch inside the
+// lockstep Davidson driver — see dft/eigensolver.h), so tail solves widen
+// mid-flight. The engine's determinism contract (thread_pool.h) makes the
+// worker count arithmetically invisible, so donation is bit-identical to
+// the fixed split for any retirement order; with total == 1 the allowance
+// is pinned at 1 and donation is a structural no-op. All state is atomic:
+// retiring chains and sweeping readers never take a lock.
+class LaneBudget {
+ public:
+  // Arm the budget: `total_lanes` pool lanes (>= 1 after clamping) shared
+  // by `n_holders` holders, all initially live. Must not race with
+  // allowance()/retire() — call between dispatch rounds.
+  void reset(int total_lanes, int n_holders);
+
+  // Lanes a live holder may use right now. Never less than 1, never more
+  // than the total; equals the fixed LPT split until a holder retires.
+  int allowance() const;
+
+  // Donate `holder`'s lanes back. Idempotent; out-of-range ids ignored.
+  void retire(int holder);
+
+  int live() const { return live_.load(std::memory_order_relaxed); }
+  int total() const { return total_; }
+  // Cumulative count of retirements that left live holders to widen
+  // (never cleared by reset — a per-solve probe diffs it).
+  long donation_events() const {
+    return donations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int total_ = 1;
+  int n_holders_ = 0;
+  int capacity_ = 0;
+  std::atomic<int> live_{0};
+  std::atomic<long> donations_{0};
+  std::unique_ptr<std::atomic<bool>[]> retired_;
+};
 
 struct GroupAssignment {
   // group_of[f] = group index of fragment f.

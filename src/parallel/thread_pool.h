@@ -37,6 +37,14 @@
 // computes a value that depends only on its inputs, and reductions are
 // ordered by task index, not completion order, so results are
 // bit-identical for any worker count.
+//
+// Lane donation rides on that contract: because every kernel dispatched
+// through this engine is worker-count-invariant, the scheduler's
+// LaneBudget (scheduler.h) may widen a running task's lane allowance at
+// any sweep boundary — a retiring fragment chain donates its lanes and
+// the survivors fan the next parallel_for wider — without perturbing a
+// single bit of the result. The pool itself needs no changes for this:
+// donation only alters the n_workers argument callers pass in.
 #pragma once
 
 #include <condition_variable>

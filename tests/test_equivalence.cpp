@@ -3,7 +3,8 @@
 // barrier-free TaskGraph iteration on top, the bit-identity contract is
 // a combinatorial surface no hand-picked configuration list covers. A
 // seeded generator draws (division, batch_width, n_shards, transport,
-// workers, overlap) tuples and asserts that a full solve() reproduces
+// workers, overlap, donate) tuples and asserts that a full solve()
+// reproduces
 // the dense phased single-worker reference bit for bit — density,
 // effective potential, convergence history, charge-patch error and
 // total energy. Deterministic: the suite seed is fixed (override with
@@ -58,6 +59,7 @@ struct Draw {
   TransportKind transport;
   int workers;
   bool overlap;
+  bool donate;  // live lane donation: must be bit-identical either way
 
   std::string describe(std::uint64_t seed, int index) const {
     std::ostringstream os;
@@ -65,7 +67,8 @@ struct Draw {
        << " {division=" << ncells << "x1x1 batch_width=" << batch_width
        << " n_shards=" << n_shards << " transport="
        << transport_name(transport) << " workers=" << workers
-       << " overlap=" << (overlap ? "on" : "off") << "}";
+       << " overlap=" << (overlap ? "on" : "off")
+       << " donate=" << (donate ? "on" : "off") << "}";
     return os.str();
   }
 };
@@ -85,6 +88,7 @@ Draw random_draw(Rng& rng) {
   const int workers[] = {1, 2, 4};
   d.workers = workers[rng.uniform_int(3)];
   d.overlap = rng.uniform() < 0.6;
+  d.donate = rng.uniform() < 0.5;
   return d;
 }
 
@@ -106,6 +110,7 @@ TEST(CrossPathEquivalence, RandomizedDrawsMatchDenseReferenceBitwise) {
       lo.overlap = false;
       lo.batch_width = 0;
       lo.n_workers = 1;
+      lo.donate = false;  // reference is the fixed-lane path
       Ls3dfSolver solver(s, lo);
       it = refs.emplace(ncells, solver.solve()).first;
     }
@@ -114,14 +119,17 @@ TEST(CrossPathEquivalence, RandomizedDrawsMatchDenseReferenceBitwise) {
 
   Rng rng(seed);
   // The first draws are pinned to the corners a random sweep can miss:
-  // overlap on the dense and proc-sharded paths, and the per-fragment
-  // phased dispatch.
+  // overlap on the dense and proc-sharded paths, the per-fragment phased
+  // dispatch, and donation on the widest-contended shapes (many groups,
+  // few workers: retirement actually widens the surviving lanes).
   std::vector<Draw> draws = {
-      {3, 4, 0, TransportKind::kInProc, 1, true},
-      {3, 4, 0, TransportKind::kInProc, 4, true},
-      {3, 2, 3, TransportKind::kInProc, 2, true},
-      {3, 4, 2, TransportKind::kProc, 2, true},
-      {3, 0, 2, TransportKind::kInProc, 2, false},
+      {3, 4, 0, TransportKind::kInProc, 1, true, true},
+      {3, 4, 0, TransportKind::kInProc, 4, true, true},
+      {3, 2, 3, TransportKind::kInProc, 2, true, true},
+      {3, 4, 2, TransportKind::kProc, 2, true, true},
+      {3, 0, 2, TransportKind::kInProc, 2, false, true},
+      {4, 1, 0, TransportKind::kInProc, 4, true, true},
+      {4, 1, 0, TransportKind::kInProc, 4, false, true},
   };
   while (static_cast<int>(draws.size()) < n_draws)
     draws.push_back(random_draw(rng));
@@ -138,6 +146,7 @@ TEST(CrossPathEquivalence, RandomizedDrawsMatchDenseReferenceBitwise) {
     lo.transport = d.transport;
     lo.n_workers = d.workers;
     lo.overlap = d.overlap;
+    lo.donate = d.donate;
     Ls3dfSolver solver(s, lo);
     Ls3dfResult r = solver.solve();
 

@@ -379,5 +379,95 @@ TEST(Scheduler, SingleGroupTakesEverything) {
   EXPECT_DOUBLE_EQ(ga.efficiency, 1.0);
 }
 
+TEST(LaneBudget, AllowanceMatchesFixedSplitWhileAllLive) {
+  // While every holder is live the allowance must equal the fixed LPT
+  // split max(1, total / min(holders, total)) — donation-on dispatches
+  // open at exactly the donation-off width.
+  LaneBudget lb;
+  for (int total : {1, 2, 3, 4, 8}) {
+    for (int holders : {1, 2, 3, 4, 8}) {
+      lb.reset(total, holders);
+      const int fixed = std::max(1, total / std::min(holders, total));
+      EXPECT_EQ(lb.allowance(), fixed) << total << "/" << holders;
+    }
+  }
+}
+
+TEST(LaneBudget, RetireWidensSurvivorsAndIsIdempotent) {
+  LaneBudget lb;
+  lb.reset(8, 4);
+  const long base = lb.donation_events();
+  EXPECT_EQ(lb.allowance(), 2);
+  lb.retire(1);
+  EXPECT_EQ(lb.live(), 3);
+  EXPECT_EQ(lb.allowance(), 2);  // 8/3 -> 2
+  lb.retire(1);                  // idempotent: no double donation
+  EXPECT_EQ(lb.live(), 3);
+  EXPECT_EQ(lb.donation_events(), base + 1);
+  lb.retire(3);
+  EXPECT_EQ(lb.allowance(), 4);
+  lb.retire(0);
+  EXPECT_EQ(lb.allowance(), 8);
+  // The last holder's retirement leaves no survivor to widen: it is not
+  // a donation event.
+  lb.retire(2);
+  EXPECT_EQ(lb.live(), 0);
+  EXPECT_EQ(lb.donation_events(), base + 3);
+  // allowance() stays sane after everyone retired (clamped live).
+  EXPECT_EQ(lb.allowance(), 8);
+  lb.retire(99);  // out of range: ignored
+  EXPECT_EQ(lb.donation_events(), base + 3);
+}
+
+TEST(LaneBudget, OneLanePinsAllowanceAtOne) {
+  // total == 1 makes donation a structural no-op: every read is 1
+  // regardless of retirement order, so a 1-worker run is trivially
+  // deterministic.
+  LaneBudget lb;
+  lb.reset(1, 4);
+  EXPECT_EQ(lb.allowance(), 1);
+  lb.retire(0);
+  lb.retire(2);
+  EXPECT_EQ(lb.allowance(), 1);
+  lb.retire(1);
+  lb.retire(3);
+  EXPECT_EQ(lb.allowance(), 1);
+  // Degenerate arm: clamped to one lane, allowance still 1.
+  lb.reset(0, 0);
+  EXPECT_EQ(lb.allowance(), 1);
+}
+
+TEST(LaneBudget, ConcurrentRetireAndAllowanceStress) {
+  // TSan-exercised (test_parallel is in the sanitizer label set):
+  // retiring chains race with sweeping allowance() readers, lock-free.
+  // Every read must be a legal width for the live count at *some* moment
+  // of the round, and the final state must be exact.
+  constexpr int kHolders = 16;
+  constexpr int kTotal = 8;
+  LaneBudget lb;
+  for (int round = 0; round < 25; ++round) {
+    lb.reset(kTotal, kHolders);
+    const long base = lb.donation_events();
+    std::atomic<bool> bad{false};
+    std::vector<std::function<void()>> tasks;
+    for (int h = 0; h < kHolders; ++h) {
+      tasks.push_back([&lb, &bad, h] {
+        for (int sweep = 0; sweep < 64; ++sweep) {
+          const int a = lb.allowance();
+          if (a < 1 || a > kTotal) bad.store(true);
+        }
+        lb.retire(h);
+        lb.retire(h);  // racing double-retire stays idempotent
+      });
+    }
+    ThreadPool pool(4);
+    pool.run_batch(std::move(tasks));
+    EXPECT_FALSE(bad.load());
+    EXPECT_EQ(lb.live(), 0);
+    EXPECT_EQ(lb.donation_events(), base + kHolders - 1);
+    EXPECT_EQ(lb.allowance(), kTotal);
+  }
+}
+
 }  // namespace
 }  // namespace ls3df
