@@ -22,13 +22,17 @@
 // overlap-vs-phased bit-identity flag (both asserted in CI), plus the
 // adaptive-runtime probes: donated-lane vs fixed-lane iterations (events
 // > 0 and bit-identity asserted), the fp32-vs-fp64 batched Davidson
-// speedup, and the mixed-precision convergence flag on the Fig. 6 alloy.
+// speedup, and the mixed-precision convergence flag on the Fig. 6 alloy,
+// plus the crash-safety probes: solve() wall time with every-2 snapshots
+// vs checkpoint-free (< 5% overhead asserted in CI) and the
+// resume-after-crash bit-identity flag.
 #include <benchmark/benchmark.h>
 
 #include <complex>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -688,6 +692,86 @@ std::vector<JsonEntry> kernel_summary() {
                    static_cast<double>(donate_events), 0});
     out.push_back(
         {"donate_bit_identical_to_fixed", same ? 1.0 : 0.0, 0});
+  }
+
+  {
+    // Checkpoint overhead + resume fidelity on the skewed 1x1x4
+    // division. Snapshots ride the end-of-iteration sequence point at
+    // every-2 cadence; the write is one buffered temp file + atomic
+    // rename, so the target is < 5% over the checkpoint-free solve (CI
+    // asserts it with the usual timing-noise treatment: interleaved
+    // best-of-3 over identical deterministic work). The fidelity flag is
+    // the crash-safety contract itself: a solve killed mid-iteration and
+    // resumed from its latest snapshot must land on the uninterrupted
+    // run's bits.
+    Structure s = petot_structure();
+    Ls3dfOptions lo = petot_options(std::min(4, default_workers()), 4);
+    lo.max_iterations = 3;
+    lo.l1_tol = 0.0;
+    lo.compute_energy = false;
+
+    const std::string path = "/tmp/ls3df_bench_ckpt.snap";
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    Ls3dfOptions ck = lo;
+    ck.checkpoint.path = path;
+    ck.checkpoint.every = 2;
+
+    Ls3dfSolver plain(s, lo);
+    Ls3dfSolver snapped(s, ck);
+    // The warm pass (arenas, FFT plans) is also the fidelity reference:
+    // repeated solve() calls advance the solver-level RNG stream, so the
+    // crash + resume below — fresh solvers, first solve each — must be
+    // compared against a first solve, not a re-solve.
+    const Ls3dfResult r_plain = plain.solve();
+    Ls3dfResult r_snap = snapped.solve();
+    double plain_ms = 1e300, snap_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer tp;
+      benchmark::DoNotOptimize(plain.solve().iterations);
+      plain_ms = std::min(plain_ms, tp.seconds() * 1e3);
+      Timer ts;
+      r_snap = snapped.solve();
+      snap_ms = std::min(snap_ms, ts.seconds() * 1e3);
+    }
+    const double overhead =
+        plain_ms > 0 ? std::max(0.0, snap_ms / plain_ms - 1.0) : 0.0;
+
+    // Crash in iteration 3's first batch (the every-2 snapshot from
+    // iteration 2 is committed), then resume with a fresh solver.
+    Ls3dfOptions crash = ck;
+    Ls3dfSolver probe(s, crash);
+    const int per_iter = static_cast<int>(probe.batches().size());
+    int counter = 0;
+    crash.on_batch_solve = [&counter, per_iter](int) {
+      if (counter++ == 2 * per_iter)
+        throw std::runtime_error("injected crash");
+    };
+    bool identical = false;
+    try {
+      Ls3dfSolver victim(s, crash);
+      victim.solve();
+    } catch (const std::runtime_error&) {
+      Ls3dfSolver resumer(s, lo);
+      const Ls3dfResult r = resumer.resume(path);
+      identical = r.iterations == r_plain.iterations &&
+                  r.conv_history.size() == r_plain.conv_history.size() &&
+                  r.rho.size() == r_plain.rho.size() &&
+                  r.charge_patch_error == r_plain.charge_patch_error;
+      for (std::size_t i = 0; identical && i < r_plain.conv_history.size();
+           ++i)
+        identical = r.conv_history[i] == r_plain.conv_history[i];
+      for (std::size_t i = 0; identical && i < r_plain.rho.size(); ++i)
+        identical = r.rho[i] == r_plain.rho[i];
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+
+    out.push_back({"ls3df_solve_nockpt_1x1x4", plain_ms, 0});
+    out.push_back({"ls3df_solve_ckpt_e2_1x1x4", snap_ms, 0});
+    out.push_back({"ls3df_checkpoint_overhead_1x1x4", overhead, 0});
+    out.push_back({"resume_bit_identical_to_uninterrupted",
+                   identical ? 1.0 : 0.0, 0});
   }
 
   {

@@ -1,0 +1,33 @@
+#include "checkpoint/fault_injection.h"
+
+#include <limits>
+
+#include "transport/proc_transport.h"
+
+namespace ls3df {
+
+void FaultPlan::before_collective(ProcTransport& t) {
+  const long idx = collective_count_++;
+  for (KillEvent& k : kills_) {
+    if (k.fired || k.at != idx) continue;
+    k.fired = true;
+    t.kill_worker_for_test(k.rank);
+  }
+  for (StallEvent& s : stalls_) {
+    if (s.fired || s.at != idx) continue;
+    s.fired = true;
+    t.inject_stall_for_test(s.rank, s.ms);
+  }
+}
+
+std::size_t FaultPlan::record_write_cap() {
+  const long idx = record_count_++;
+  for (TruncEvent& e : truncs_) {
+    if (e.fired || e.at != idx) continue;
+    e.fired = true;
+    return e.keep;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace ls3df

@@ -4,6 +4,14 @@
 
 namespace ls3df {
 
+Rng::State Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const State& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s[i];
+}
+
 double Rng::normal() {
   // Box-Muller; guard against log(0).
   double u1 = uniform();

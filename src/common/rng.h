@@ -4,12 +4,17 @@
 // runs are reproducible from a single seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace ls3df {
 
 class Rng {
  public:
+  // The full generator state (checkpoint/restart): a generator restored
+  // via set_state() continues the exact stream state() was taken from.
+  using State = std::array<std::uint64_t, 4>;
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
@@ -68,6 +73,11 @@ class Rng {
 
   // Standard normal via Box-Muller (no caching; simple and stateless).
   double normal();
+
+  // Save / restore the generator state (bit-exact stream continuation;
+  // round-trip tested in tests/test_common.cpp).
+  State state() const;
+  void set_state(const State& s);
 
  private:
   static std::uint64_t rotl(std::uint64_t v, int k) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "fft/plan_cache.h"
 #include "grid/gvectors.h"
@@ -56,6 +57,16 @@ PotentialMixer::PotentialMixer(MixerType type, double alpha,
 void PotentialMixer::reset() {
   v_history_.clear();
   r_history_.clear();
+}
+
+void PotentialMixer::restore_history(std::vector<FieldR> v,
+                                     std::vector<FieldR> r) {
+  if (v.size() != r.size() ||
+      static_cast<int>(v.size()) > max_history_)
+    throw std::invalid_argument(
+        "PotentialMixer::restore_history: inconsistent DIIS stack");
+  v_history_ = std::move(v);
+  r_history_ = std::move(r);
 }
 
 FieldR PotentialMixer::kerker_smooth(const FieldR& residual) const {
@@ -150,6 +161,16 @@ ShardedPotentialMixer::ShardedPotentialMixer(MixerType type, double alpha,
 void ShardedPotentialMixer::reset() {
   v_history_.clear();
   r_history_.clear();
+}
+
+void ShardedPotentialMixer::restore_history(std::vector<ShardedFieldR> v,
+                                            std::vector<ShardedFieldR> r) {
+  if (v.size() != r.size() ||
+      static_cast<int>(v.size()) > max_history_)
+    throw std::invalid_argument(
+        "ShardedPotentialMixer::restore_history: inconsistent DIIS stack");
+  v_history_ = std::move(v);
+  r_history_ = std::move(r);
 }
 
 void ShardedPotentialMixer::kerker_smooth(const ShardedFieldR& residual,

@@ -38,6 +38,14 @@ class PotentialMixer {
   void reset();
   MixerType type() const { return type_; }
 
+  // Checkpoint seam: the Pulay DIIS stack, exposed raw so a snapshot
+  // (checkpoint/snapshot.h) can serialize it and a resumed solve can
+  // restore it bit-exactly — the DIIS Gram matrix sees the same history
+  // bits, so the continued mixing trajectory is identical.
+  const std::vector<FieldR>& v_history() const { return v_history_; }
+  const std::vector<FieldR>& r_history() const { return r_history_; }
+  void restore_history(std::vector<FieldR> v, std::vector<FieldR> r);
+
  private:
   FieldR kerker_smooth(const FieldR& residual) const;
 
@@ -66,6 +74,13 @@ class ShardedPotentialMixer {
 
   void reset();
   MixerType type() const { return type_; }
+
+  // Checkpoint seam (see PotentialMixer): the sharded DIIS stack, one
+  // slab set per history slot.
+  const std::vector<ShardedFieldR>& v_history() const { return v_history_; }
+  const std::vector<ShardedFieldR>& r_history() const { return r_history_; }
+  void restore_history(std::vector<ShardedFieldR> v,
+                       std::vector<ShardedFieldR> r);
 
  private:
   void kerker_smooth(const ShardedFieldR& residual, ShardedFieldR& out);

@@ -4,10 +4,12 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "checkpoint/snapshot.h"
 #include "dft/eigensolver.h"
 #include "fft/dist_fft3d.h"
 #include "fft/fft.h"
@@ -68,6 +70,20 @@ struct Ls3dfSolver::ShardState {
         v_out(grid, n_shards) {}
 };
 
+// Mid-SCF state carried from load_resume() to the driver that consumes
+// it. The dense fields are used on the dense path only; the sharded
+// slabs restore straight into ShardState, so only the mixer's DIIS
+// stack travels here on the sharded path.
+struct Ls3dfSolver::ResumeState {
+  int iterations = 0;
+  bool converged = false;
+  double charge_patch_error = 0;
+  std::vector<double> conv_history;
+  FieldR v_in, rho;                             // dense path
+  std::vector<FieldR> mix_v, mix_r;             // dense DIIS stack
+  std::vector<ShardedFieldR> mix_v_s, mix_r_s;  // sharded DIIS stack
+};
+
 struct Ls3dfSolver::FragmentContext {
   Fragment frag;
   Vec3i buffer;         // buffer thickness in grid points per side
@@ -109,7 +125,7 @@ int smooth_uniform_buffer(int p, int m, int b_max) {
 }  // namespace
 
 Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
-    : structure_(s), opt_(opt), decomp_(opt.division) {
+    : structure_(s), opt_(opt), decomp_(opt.division), rng_(opt.seed) {
   const Vec3i m = opt.division;
   // A division of exactly 2 along an axis is structurally degenerate: the
   // size-2 fragments wrap the whole axis and carry no artificial boundary,
@@ -808,8 +824,227 @@ double Ls3dfSolver::fragment_electrons(int f) const {
   return contexts_[f]->electrons;
 }
 
+std::uint64_t Ls3dfSolver::state_fingerprint() const {
+  Fingerprint fp;
+  static const char kTag[] = "ls3df-snapshot-v1";
+  fp.mix_bytes(kTag, sizeof(kTag));
+  // The physical problem: lattice, atoms, and thereby the electron count.
+  const Vec3d L = structure_.lattice().lengths();
+  fp.mix_double(L.x);
+  fp.mix_double(L.y);
+  fp.mix_double(L.z);
+  fp.mix_u64(static_cast<std::uint64_t>(structure_.size()));
+  for (int a = 0; a < structure_.size(); ++a) {
+    const Atom& atom = structure_.atom(a);
+    fp.mix_i64(static_cast<int>(atom.species));
+    fp.mix_double(atom.position.x);
+    fp.mix_double(atom.position.y);
+    fp.mix_double(atom.position.z);
+  }
+  // Every option that shapes the numerical trajectory. Deliberately
+  // absent: max_iterations (resuming with a higher cap is the point),
+  // n_workers, batch_width, transport, overlap, donate, on_batch_solve
+  // and the checkpoint settings themselves — all bit-invariant execution
+  // knobs, so a resume may run on a different machine configuration.
+  fp.mix_i64(opt_.division.x);
+  fp.mix_i64(opt_.division.y);
+  fp.mix_i64(opt_.division.z);
+  fp.mix_i64(opt_.points_per_cell);
+  fp.mix_i64(opt_.buffer_points);
+  fp.mix_double(opt_.ecut);
+  fp.mix_double(opt_.wall_height);
+  fp.mix_double(opt_.wall_width);
+  fp.mix_double(opt_.atom_margin);
+  fp.mix_i64(opt_.extra_bands);
+  fp.mix_double(opt_.fragment_smearing);
+  fp.mix_i64(opt_.eig.max_iterations);
+  fp.mix_double(opt_.eig.residual_tol);
+  fp.mix_i64(opt_.eig.precondition ? 1 : 0);
+  fp.mix_i64(opt_.all_band ? 1 : 0);
+  fp.mix_double(opt_.l1_tol);
+  fp.mix_i64(static_cast<int>(opt_.mixer));
+  fp.mix_double(opt_.mix_alpha);
+  fp.mix_u64(opt_.seed);
+  fp.mix_i64(static_cast<int>(opt_.precision));
+  fp.mix_double(opt_.promote_factor);
+  // Shard records are per-slab, so the snapshot binds to the clamped
+  // shard count (0 = dense records).
+  fp.mix_i64(active_shards());
+  return fp.value();
+}
+
+void Ls3dfSolver::maybe_write_checkpoint(
+    const Ls3dfResult& result, const FieldR* v_in_dense,
+    const PotentialMixer* mixer_d, const ShardedPotentialMixer* mixer_s) {
+  const CheckpointOptions& ck = opt_.checkpoint;
+  if (ck.path.empty()) return;
+  const int every = std::max(1, ck.every);
+  if (!result.converged && result.iterations % every != 0) return;
+
+  ScopedPhase sp(profile_, "Checkpoint");
+  SnapshotWriter w(ck.path, state_fingerprint(), ck.fault);
+
+  const std::size_t depth =
+      shards_ ? mixer_s->v_history().size() : mixer_d->v_history().size();
+  const std::uint64_t meta[8] = {
+      static_cast<std::uint64_t>(result.iterations),
+      result.converged ? 1u : 0u,
+      use_fp32_iter_ ? 1u : 0u,
+      fp64_promoted_ ? 1u : 0u,
+      contexts_.size(),
+      static_cast<std::uint64_t>(active_shards()),
+      static_cast<std::uint64_t>(depth),
+      result.conv_history.size()};
+  w.add_u64("meta", meta, 8);
+  const Rng::State rng_state = rng_.state();
+  w.add_u64("rng", rng_state.data(), rng_state.size());
+  w.add_f64("conv_history", result.conv_history.data(),
+            result.conv_history.size());
+  w.add_f64("charge_patch_error", &result.charge_patch_error, 1);
+
+  // Fragment wavefunctions and occupations: PEtot_F warm-starts from
+  // psi, so the continued trajectory needs exactly the bits the
+  // interrupted run would have carried into its next iteration.
+  for (std::size_t f = 0; f < contexts_.size(); ++f) {
+    const FragmentContext& ctx = *contexts_[f];
+    w.add("psi/" + std::to_string(f), RecordKind::kC128, ctx.psi.data(),
+          ctx.psi.size() * sizeof(std::complex<double>));
+    w.add_f64("occ/" + std::to_string(f), ctx.occ.data(), ctx.occ.size());
+  }
+
+  if (shards_) {
+    ShardState& s = *shards_;
+    write_sharded_field(w, "v_in", s.v_in, s.comm);
+    write_sharded_field(w, "rho", s.rho, s.comm);
+    for (std::size_t i = 0; i < depth; ++i) {
+      write_sharded_field(w, "mixer/v" + std::to_string(i),
+                          mixer_s->v_history()[i], s.comm);
+      write_sharded_field(w, "mixer/r" + std::to_string(i),
+                          mixer_s->r_history()[i], s.comm);
+    }
+  } else {
+    write_dense_field(w, "v_in", *v_in_dense);
+    write_dense_field(w, "rho", result.rho);
+    for (std::size_t i = 0; i < depth; ++i) {
+      write_dense_field(w, "mixer/v" + std::to_string(i),
+                        mixer_d->v_history()[i]);
+      write_dense_field(w, "mixer/r" + std::to_string(i),
+                        mixer_d->r_history()[i]);
+    }
+  }
+  w.commit();
+}
+
+void Ls3dfSolver::load_resume(const SnapshotReader& r) {
+  if (r.fingerprint() != state_fingerprint())
+    throw SnapshotError(
+        SnapshotErrorCode::kFingerprint,
+        "snapshot " + r.path() +
+            " was written by a solver with a different state fingerprint "
+            "(structure or numerically relevant options differ)");
+
+  std::uint64_t meta[8];
+  r.read_u64("meta", meta, 8);
+  auto rs = std::make_unique<ResumeState>();
+  rs->iterations = static_cast<int>(meta[0]);
+  rs->converged = meta[1] != 0;
+  // Belt and braces: the fingerprint already pins the layout.
+  if (meta[4] != contexts_.size() ||
+      meta[5] != static_cast<std::uint64_t>(active_shards()))
+    throw SnapshotError(
+        SnapshotErrorCode::kFormat,
+        "snapshot " + r.path() + ": fragment/shard layout mismatch");
+  const std::size_t depth = static_cast<std::size_t>(meta[6]);
+  rs->conv_history.resize(static_cast<std::size_t>(meta[7]));
+  if (!rs->conv_history.empty())
+    r.read_f64("conv_history", rs->conv_history.data(),
+               rs->conv_history.size());
+  r.read_f64("charge_patch_error", &rs->charge_patch_error, 1);
+
+  std::uint64_t rng_words[4];
+  r.read_u64("rng", rng_words, 4);
+  rng_.set_state({rng_words[0], rng_words[1], rng_words[2], rng_words[3]});
+
+  for (std::size_t f = 0; f < contexts_.size(); ++f) {
+    FragmentContext& ctx = *contexts_[f];
+    const auto& bytes = r.payload("psi/" + std::to_string(f));
+    if (bytes.size() != ctx.psi.size() * sizeof(std::complex<double>))
+      throw SnapshotError(
+          SnapshotErrorCode::kFormat,
+          "snapshot record 'psi/" + std::to_string(f) +
+              "' does not match this solver's wavefunction extents");
+    std::memcpy(ctx.psi.data(), bytes.data(), bytes.size());
+    r.read_f64("occ/" + std::to_string(f), ctx.occ.data(), ctx.occ.size());
+  }
+
+  if (shards_) {
+    ShardState& s = *shards_;
+    read_sharded_field(r, "v_in", s.v_in);
+    read_sharded_field(r, "rho", s.rho);
+    const int n = s.comm.n_ranks();
+    for (std::size_t i = 0; i < depth; ++i) {
+      ShardedFieldR v(global_grid_, n), res(global_grid_, n);
+      read_sharded_field(r, "mixer/v" + std::to_string(i), v);
+      read_sharded_field(r, "mixer/r" + std::to_string(i), res);
+      rs->mix_v_s.push_back(std::move(v));
+      rs->mix_r_s.push_back(std::move(res));
+    }
+  } else {
+    rs->v_in = FieldR(global_grid_);
+    rs->rho = FieldR(global_grid_);
+    read_dense_field(r, "v_in", rs->v_in);
+    read_dense_field(r, "rho", rs->rho);
+    for (std::size_t i = 0; i < depth; ++i) {
+      FieldR v(global_grid_), res(global_grid_);
+      read_dense_field(r, "mixer/v" + std::to_string(i), v);
+      read_dense_field(r, "mixer/r" + std::to_string(i), res);
+      rs->mix_v.push_back(std::move(v));
+      rs->mix_r.push_back(std::move(res));
+    }
+  }
+
+  // The precision-policy latches travel with the trajectory: the policy
+  // is a pure function of (conv_history, fp64_promoted_, options), so
+  // restoring them re-derives identical per-iteration decisions.
+  use_fp32_iter_ = meta[2] != 0;
+  fp64_promoted_ = meta[3] != 0;
+  resume_ = std::move(rs);
+}
+
+Ls3dfResult Ls3dfSolver::resume(const std::string& snapshot_path) {
+  std::unique_ptr<SnapshotReader> reader =
+      open_snapshot_with_fallback(snapshot_path);
+  load_resume(*reader);
+  reader.reset();
+
+  if (resume_->converged) {
+    // The interrupted run had already converged; rebuild its result
+    // without iterating further.
+    Ls3dfResult result;
+    result.iterations = resume_->iterations;
+    result.converged = true;
+    result.conv_history = std::move(resume_->conv_history);
+    result.charge_patch_error = resume_->charge_patch_error;
+    if (shards_) {
+      result.v_eff = shards_->v_in.to_dense();
+      result.rho = shards_->rho.to_dense();
+    } else {
+      result.v_eff = std::move(resume_->v_in);
+      result.rho = std::move(resume_->rho);
+    }
+    resume_.reset();
+    if (opt_.compute_energy) compute_patched_energy(result);
+    result.profile = profile_;
+    return result;
+  }
+
+  if (overlap_active()) return solve_overlap();
+  return shards_ ? solve_sharded() : solve_dense();
+}
+
 Ls3dfResult Ls3dfSolver::solve() {
   fp64_promoted_ = false;  // re-arm the kMixed promotion latch
+  resume_.reset();         // a plain solve never consumes stale resume state
   if (overlap_active()) return solve_overlap();
   return shards_ ? solve_sharded() : solve_dense();
 }
@@ -821,11 +1056,28 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
   const double n_electrons = structure_.num_electrons();
 
   Ls3dfResult result;
-  FieldR rho0 = build_initial_density(structure_, global_grid_);
-  FieldR v_in = genpot(rho0);
+  FieldR v_in;
   PotentialMixer mixer(opt_.mixer, opt_.mix_alpha, lat, global_grid_);
+  int iter0 = 0;
+  if (resume_) {
+    // Continue where the snapshot left off: the restored V_in is the
+    // next iteration's input and the DIIS stack already contains the
+    // checkpointed iteration's update.
+    iter0 = resume_->iterations;
+    result.iterations = iter0;
+    result.conv_history = std::move(resume_->conv_history);
+    result.charge_patch_error = resume_->charge_patch_error;
+    result.rho = std::move(resume_->rho);
+    v_in = std::move(resume_->v_in);
+    mixer.restore_history(std::move(resume_->mix_v),
+                          std::move(resume_->mix_r));
+    resume_.reset();
+  } else {
+    FieldR rho0 = build_initial_density(structure_, global_grid_);
+    v_in = genpot(rho0);
+  }
 
-  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+  for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
     {
@@ -861,9 +1113,14 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
     if (l1 < opt_.l1_tol && !use_fp32_iter_) {
       result.converged = true;
       result.v_eff = v_in;
-      break;
+    } else {
+      v_in = mixer.mix(v_in, v_out);
     }
-    v_in = mixer.mix(v_in, v_out);
+    // The end-of-iteration sequence point: V_in now carries the next
+    // iteration's input (or the converged potential) and the mixer
+    // holds this iteration's DIIS update.
+    maybe_write_checkpoint(result, &v_in, &mixer, nullptr);
+    if (result.converged) break;
   }
   if (!result.converged) result.v_eff = v_in;
 
@@ -886,18 +1143,32 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
   const double n_electrons = structure_.num_electrons();
 
   Ls3dfResult result;
-  // The initial guess is built slab-locally (G-space pencils through the
-  // distributed inverse FFT, pseudo/pseudopotential.h) — with it, no
-  // step of the sharded pipeline materializes the dense grid: from_dense
-  // appears only at the user-density and result boundaries of the public
-  // API, and shard_rank_footprint() probes the ~global/N contract.
-  build_initial_density_sharded(structure_, s.fft, s.comm, s.rho);
   ShardedFieldR& v_in = s.v_in;
   ShardedFieldR& v_out = s.v_out;
-  genpot_sharded(s.rho, v_in);
   ShardedPotentialMixer mixer(opt_.mixer, opt_.mix_alpha, lat, s.fft);
+  int iter0 = 0;
+  if (resume_) {
+    // V_in and rho restored straight into the shard slabs by
+    // load_resume; only the DIIS stack and scalars travel here.
+    iter0 = resume_->iterations;
+    result.iterations = iter0;
+    result.conv_history = std::move(resume_->conv_history);
+    result.charge_patch_error = resume_->charge_patch_error;
+    mixer.restore_history(std::move(resume_->mix_v_s),
+                          std::move(resume_->mix_r_s));
+    resume_.reset();
+  } else {
+    // The initial guess is built slab-locally (G-space pencils through
+    // the distributed inverse FFT, pseudo/pseudopotential.h) — with it,
+    // no step of the sharded pipeline materializes the dense grid:
+    // from_dense appears only at the user-density and result boundaries
+    // of the public API, and shard_rank_footprint() probes the ~global/N
+    // contract.
+    build_initial_density_sharded(structure_, s.fft, s.comm, s.rho);
+    genpot_sharded(s.rho, v_in);
+  }
 
-  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+  for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
     {
@@ -927,9 +1198,11 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
     // As in solve_dense: convergence only latches from an fp64 iteration.
     if (l1 < opt_.l1_tol && !use_fp32_iter_) {
       result.converged = true;
-      break;
+    } else {
+      v_in = mixer.mix(v_in, v_out);
     }
-    v_in = mixer.mix(v_in, v_out);
+    maybe_write_checkpoint(result, nullptr, nullptr, &mixer);
+    if (result.converged) break;
   }
   result.v_eff = v_in.to_dense();
   if (result.iterations > 0) result.rho = s.rho.to_dense();
@@ -971,15 +1244,36 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   std::unique_ptr<PotentialMixer> mixer_d;
   std::unique_ptr<ShardedPotentialMixer> mixer_s;
   if (sh) {
-    build_initial_density_sharded(structure_, sh->fft, sh->comm, sh->rho);
-    genpot_sharded(sh->rho, sh->v_in);
+    if (!resume_) {
+      build_initial_density_sharded(structure_, sh->fft, sh->comm, sh->rho);
+      genpot_sharded(sh->rho, sh->v_in);
+    }
     mixer_s = std::make_unique<ShardedPotentialMixer>(
         opt_.mixer, opt_.mix_alpha, lat, sh->fft);
+    if (resume_)
+      mixer_s->restore_history(std::move(resume_->mix_v_s),
+                               std::move(resume_->mix_r_s));
   } else {
-    FieldR rho0 = build_initial_density(structure_, global_grid_);
-    v_in_d = genpot(rho0);
+    if (resume_) {
+      v_in_d = std::move(resume_->v_in);
+      result.rho = std::move(resume_->rho);
+    } else {
+      FieldR rho0 = build_initial_density(structure_, global_grid_);
+      v_in_d = genpot(rho0);
+    }
     mixer_d = std::make_unique<PotentialMixer>(opt_.mixer, opt_.mix_alpha,
                                                lat, global_grid_);
+    if (resume_)
+      mixer_d->restore_history(std::move(resume_->mix_v),
+                               std::move(resume_->mix_r));
+  }
+  int iter0 = 0;
+  if (resume_) {
+    iter0 = resume_->iterations;
+    result.iterations = iter0;
+    result.conv_history = std::move(resume_->conv_history);
+    result.charge_patch_error = resume_->charge_patch_error;
+    resume_.reset();
   }
 
   prepare_batch_workspaces();
@@ -1232,7 +1526,7 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     times[id] = std::make_pair(t0, t1);
   });
 
-  for (int iter = 0; iter < opt_.max_iterations && !converged; ++iter) {
+  for (int iter = iter0; iter < opt_.max_iterations && !converged; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
     // Arm the lane budget for this round: every solve chain is a holder,
@@ -1246,6 +1540,9 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
 
     if (!sh) result.rho = std::move(rho_d);
     if (converged) result.converged = true;
+    // Same sequence point as the phased drivers: the mix node has
+    // already updated V_in (or convergence latched with it unmixed).
+    maybe_write_checkpoint(result, &v_in_d, mixer_d.get(), mixer_s.get());
 
     // Attribution: per-phase busy sums (one profile sample per phase per
     // iteration), per-chain times, and the measured window overlap.

@@ -82,9 +82,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "atoms/structure.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "dft/eigensolver.h"
 #include "dft/energy.h"
@@ -95,6 +97,27 @@
 #include "transport/transport.h"
 
 namespace ls3df {
+
+class FaultPlan;       // checkpoint/fault_injection.h
+class SnapshotReader;  // checkpoint/snapshot.h
+
+// Crash-safe checkpoint/restart (Ls3dfOptions::checkpoint). With a
+// non-empty path, solve() writes a versioned CRC-protected snapshot
+// (checkpoint/snapshot.h) at the end of every `every`-th completed outer
+// iteration — the global sequence point where V_in, the mixer's DIIS
+// stack, the fragment wavefunctions and the RNG stream together define
+// the rest of the trajectory — and once more at convergence. The write
+// is atomic (tmp + rename) and keeps one previous generation as a
+// corruption fallback. Ls3dfSolver::resume() reconstructs the mid-SCF
+// state from a snapshot and continues *bit-identically* to the
+// uninterrupted run, on the dense and sharded paths alike.
+struct CheckpointOptions {
+  std::string path;  // empty = checkpointing off
+  int every = 1;     // snapshot cadence in completed outer iterations
+  // Test seam: torn-write injection for the snapshot writer
+  // (checkpoint/fault_injection.h). Null in production.
+  FaultPlan* fault = nullptr;
+};
 
 // PEtot_F eigensolver precision (Ls3dfOptions::precision).
 enum class Precision {
@@ -193,6 +216,9 @@ struct Ls3dfOptions {
   // clean latched error from solve(); the failure-propagation suite uses
   // it to inject eigensolver faults and worker kills. Null in production.
   std::function<void(int batch)> on_batch_solve;
+  // Checkpoint/restart snapshots (see CheckpointOptions above). Off by
+  // default; an execution knob, never part of the state fingerprint.
+  CheckpointOptions checkpoint;
 };
 
 struct Ls3dfResult {
@@ -238,6 +264,28 @@ class Ls3dfSolver {
 
   // Full outer SCF loop.
   Ls3dfResult solve();
+
+  // Continue an interrupted solve from a snapshot written by a solver
+  // with the same state fingerprint (structure + numerically relevant
+  // options + shard count; execution knobs like worker count, transport
+  // and cadence are free to differ). Loads `snapshot_path`, falling back
+  // to the previous generation on corruption, restores the mid-SCF state
+  // (V_in, density, mixer DIIS stack, fragment wavefunctions and
+  // occupations, RNG stream, precision latches) and resumes the outer
+  // loop — the completed run is bit-identical to one that was never
+  // interrupted. A converged snapshot short-circuits: the saved result
+  // is rebuilt and returned without further iterations. Throws
+  // SnapshotError (kFingerprint on mismatch; kCrc/kTruncated/... when
+  // both generations are damaged).
+  Ls3dfResult resume(const std::string& snapshot_path);
+
+  // FNV-1a fingerprint over the physical problem and every option that
+  // shapes the numerical trajectory. Snapshots embed it; resume()
+  // refuses a snapshot whose fingerprint differs. Bit-invariant knobs
+  // (worker count, batch width, transport, overlap, donation, iteration
+  // cap, checkpoint settings) are deliberately excluded so a resume may
+  // run on a different execution configuration.
+  std::uint64_t state_fingerprint() const;
 
   // Individual phases, exposed for tests and benchmarks. gen_vf must be
   // called before petot_f; petot_f before gen_dens. With n_shards > 0
@@ -327,6 +375,7 @@ class Ls3dfSolver {
  private:
   struct FragmentContext;
   struct ShardState;
+  struct ResumeState;
 
   void solve_fragment(int f, EigenWorkspace& ws);
   // Occupations + density of a solved fragment (shared tail of the
@@ -374,6 +423,19 @@ class Ls3dfSolver {
   // Patched-energy epilogue shared by both drivers (uses result.rho).
   void compute_patched_energy(Ls3dfResult& result) const;
 
+  // Checkpoint/restart internals. maybe_write_checkpoint runs at the
+  // end-of-iteration sequence point in every driver (and at the
+  // convergence break); exactly one of {mixer_d, mixer_s} is non-null,
+  // matching the active path, and v_in_dense carries the dense V_in
+  // (unused on shards — slabs are read from shards_). load_resume
+  // validates the fingerprint and fills resume_; the drivers consume it
+  // via their iter-0 setup and start the loop at the saved iteration.
+  void maybe_write_checkpoint(const Ls3dfResult& result,
+                              const FieldR* v_in_dense,
+                              const PotentialMixer* mixer_d,
+                              const ShardedPotentialMixer* mixer_s);
+  void load_resume(const SnapshotReader& r);
+
   Structure structure_;
   Ls3dfOptions opt_;
   FragmentDecomposition decomp_;
@@ -412,6 +474,14 @@ class Ls3dfSolver {
   // persistent sharded fields. Scratch inside is reused across phases and
   // iterations; only the first exchange grows buffers.
   std::unique_ptr<ShardState> shards_;
+  // Solver-level RNG stream, seeded from opt.seed. Part of the snapshot
+  // contract (saved and restored bit-exactly) so any stochastic feature
+  // drawing from it — and the determinism probes that do today —
+  // inherits crash-safety for free.
+  Rng rng_;
+  // Pending restore state between resume() and the driver that consumes
+  // it (null outside a resume).
+  std::unique_ptr<ResumeState> resume_;
   mutable PhaseProfiler profile_;
 };
 

@@ -47,6 +47,18 @@ const double* ShardComm::all_gather(
   return transport_->gather_table();
 }
 
+const double* ShardComm::gather_one(
+    int owner, std::size_t count,
+    const std::function<void(double* block)>& fill) {
+  assert(owner >= 0 && owner < n_ranks_);
+  std::vector<int> counts(static_cast<std::size_t>(n_ranks_), 0);
+  counts[static_cast<std::size_t>(owner)] = static_cast<int>(count);
+  return all_gather(counts,
+                    [&](int r, double* block) {
+                      if (r == owner) fill(block);
+                    });
+}
+
 void ShardComm::reduce_scatter(
     std::size_t n, const std::vector<std::size_t>& seg_begin,
     const std::function<const double*(int rank)>& contribute,

@@ -119,6 +119,16 @@ class ShardComm {
       const std::vector<int>& counts,
       const std::function<void(int rank, double* block)>& fill);
 
+  // Single-owner gather: only `owner` contributes (count slots; every
+  // other rank posts zero), so the returned table IS owner's block. The
+  // checkpoint writer routes one slab at a time through this — at most
+  // one slab of exchange staging is ever live, which is what keeps the
+  // snapshot path inside the "no rank materializes the dense grid"
+  // contract. Same validity rule as all_gather: the pointer lasts until
+  // the next gather on this communicator.
+  const double* gather_one(int owner, std::size_t count,
+                           const std::function<void(double* block)>& fill);
+
   // --- reduce_scatter -------------------------------------------------
   // contribute(rank) returns rank's length-n contribution (valid through
   // the call; invoked from rank's phase lane). Item i's value is the sum

@@ -5,12 +5,17 @@
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
 #include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <new>
 #include <stdexcept>
+
+#include "checkpoint/fault_injection.h"
 
 namespace ls3df {
 
@@ -43,6 +48,12 @@ inline void backoff(int& spins) {
   nanosleep(&ts, nullptr);
 }
 
+inline double monotonic_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
 }  // namespace
 
 struct ProcShmHeader {
@@ -58,6 +69,11 @@ struct ProcShmHeader {
   ShmLane gsrc[ProcTransport::kMaxRanks];
   ShmLane rsrc[ProcTransport::kMaxRanks];
   alignas(64) std::atomic<std::uint64_t> done[ProcTransport::kMaxRanks];
+  // Injected per-rank stall (fault_injection.h): the parent arms it
+  // before publishing a command, the worker consumes (exchanges to 0)
+  // after acquiring seq and sleeps that long before executing. Ordering
+  // rides on the seq release/acquire pair; recover() clears leftovers.
+  std::atomic<std::uint64_t> stall_ns[ProcTransport::kMaxRanks];
 };
 
 static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
@@ -69,14 +85,38 @@ namespace {
 // exchange, never returns. Touches only the shm segment and makes no
 // heap allocation — fork()-safe even with the parent's pool threads
 // live, because no lock of the parent can be held in this child.
+// `last` is the protocol cursor the worker starts from: 0 at
+// construction, the current seq for a respawned replacement (it must
+// not re-execute the command its predecessor died in). `parent` closes
+// the PDEATHSIG race below.
 [[noreturn]] void worker_main(ProcShmHeader* h, unsigned char* base,
-                              int rank) {
+                              int rank, std::uint64_t last, pid_t parent) {
+#ifdef __linux__
+  // Die with the parent: a parent killed mid-phase must not leak workers
+  // spinning on a segment nobody will ever publish to again. PDEATHSIG
+  // binds to the forking *thread*; the transport forks from threads that
+  // outlive it (solver construction / recovery), so thread death implies
+  // teardown here. If the parent died before prctl took effect, getppid
+  // already reports the reaper — exit now instead of orphaning.
+  prctl(PR_SET_PDEATHSIG, SIGTERM);
+  if (getppid() != parent) _exit(0);
+#else
+  (void)parent;
+#endif
   const int n = static_cast<int>(h->n_ranks);
-  std::uint64_t last = 0;
   for (;;) {
     int spins = 0;
     while (h->seq.load(std::memory_order_acquire) == last) backoff(spins);
     last = h->seq.load(std::memory_order_acquire);
+    // Injected stall (hung-but-alive fault model): sleep before doing
+    // this round's share, then disarm so a respawn-retry runs clean.
+    const std::uint64_t stall =
+        h->stall_ns[rank].exchange(0, std::memory_order_relaxed);
+    if (stall > 0) {
+      timespec ts{static_cast<time_t>(stall / 1'000'000'000ull),
+                  static_cast<long>(stall % 1'000'000'000ull)};
+      nanosleep(&ts, nullptr);
+    }
     switch (h->cmd) {
       case kCmdAllToAll:
         // Receive side of rank `rank`: copy every (src -> rank) lane.
@@ -147,18 +187,27 @@ ProcTransport::ProcTransport(int n_ranks, std::size_t arena_bytes)
   gsrc_growths_.assign(kMaxRanks, 0);
   rsrc_growths_.assign(kMaxRanks, 0);
 
+  parent_pid_ = getpid();
   for (int r = 0; r < n_ranks_; ++r) {
-    const pid_t pid = fork();
-    if (pid < 0) {
-      const std::string err = std::strerror(errno);
+    try {
+      spawn_worker(r, 0);
+    } catch (...) {
       for (int k = 0; k < r; ++k) kill(pids_[k], SIGKILL);
       for (int k = 0; k < r; ++k) waitpid(pids_[k], nullptr, 0);
       munmap(base_, map_bytes_);
-      throw std::runtime_error("ProcTransport: fork failed: " + err);
+      throw;
     }
-    if (pid == 0) worker_main(hdr_, base_, r);  // never returns
-    pids_[r] = pid;
   }
+}
+
+void ProcTransport::spawn_worker(int rank, std::uint64_t start_seq) {
+  const pid_t pid = fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("ProcTransport: fork failed: ") +
+                             std::strerror(errno));
+  if (pid == 0)
+    worker_main(hdr_, base_, rank, start_seq, parent_pid_);  // never returns
+  pids_[rank] = pid;
 }
 
 ProcTransport::~ProcTransport() {
@@ -225,17 +274,82 @@ void ProcTransport::check_alive() {
 
 void ProcTransport::run_command(std::uint32_t cmd) {
   if (!failed_.empty()) throw std::runtime_error(failed_);
+  // Deterministic fault hook: may SIGKILL a worker (caught by the
+  // check_alive poll below) or arm a stall (caught by the deadline).
+  if (fault_plan_) fault_plan_->before_collective(*this);
   hdr_->cmd = cmd;
   const std::uint64_t s =
       hdr_->seq.load(std::memory_order_relaxed) + 1;
   hdr_->seq.store(s, std::memory_order_release);
+  const double deadline = monotonic_seconds() + deadline_s_;
   for (int r = 0; r < n_ranks_; ++r) {
     int spins = 0;
     while (hdr_->done[r].load(std::memory_order_acquire) != s) {
       backoff(spins);
       if ((spins & 1023) == 0) check_alive();
+      if ((spins & 63) == 0 && monotonic_seconds() > deadline) {
+        // Alive but unresponsive (wedged / stalled): latch a timeout so
+        // every later collective fails fast instead of wedging the
+        // parent. recover() respawns the laggards.
+        std::string lag;
+        for (int k = 0; k < n_ranks_; ++k)
+          if (hdr_->done[k].load(std::memory_order_acquire) != s)
+            lag += (lag.empty() ? "" : ", ") + std::to_string(k);
+        failed_ = "ProcTransport: phase timed out after " +
+                  std::to_string(deadline_s_) +
+                  " s waiting for rank(s) " + lag +
+                  " — worker alive but unresponsive";
+        throw std::runtime_error(failed_);
+      }
     }
   }
+}
+
+void ProcTransport::respawn_rank(int rank) {
+  assert(rank >= 0 && rank < n_ranks_);
+  if (pids_[rank] > 0) {
+    kill(pids_[rank], SIGKILL);
+    waitpid(pids_[rank], nullptr, 0);
+    pids_[rank] = -1;
+  }
+  // Disarm any leftover stall and mark the rank caught-up at the current
+  // seq: the replacement starts its cursor there, so the command its
+  // predecessor died in is never re-executed (the caller re-issues lost
+  // work from its checkpoint instead).
+  hdr_->stall_ns[rank].store(0, std::memory_order_relaxed);
+  const std::uint64_t s = hdr_->seq.load(std::memory_order_acquire);
+  hdr_->done[rank].store(s, std::memory_order_release);
+  spawn_worker(rank, s);
+  failed_.clear();
+}
+
+bool ProcTransport::recover() {
+  const std::uint64_t s = hdr_->seq.load(std::memory_order_acquire);
+  for (int r = 0; r < n_ranks_; ++r) {
+    bool dead = pids_[r] <= 0;
+    if (!dead && waitpid(pids_[r], nullptr, WNOHANG) == pids_[r]) {
+      pids_[r] = -1;
+      dead = true;
+    }
+    // A lagging-but-alive worker (mid-stall, wedged) cannot be trusted
+    // to catch up: replace it too.
+    const bool behind = hdr_->done[r].load(std::memory_order_acquire) != s;
+    if (dead || behind) respawn_rank(r);
+    hdr_->stall_ns[r].store(0, std::memory_order_relaxed);
+  }
+  failed_.clear();
+  try {
+    barrier();  // health fence: every worker answers one round
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void ProcTransport::inject_stall_for_test(int rank, int stall_ms) {
+  hdr_->stall_ns[rank].store(
+      static_cast<std::uint64_t>(stall_ms) * 1'000'000ull,
+      std::memory_order_relaxed);
 }
 
 std::complex<double>* ProcTransport::send_box(int src, int dst,

@@ -29,6 +29,22 @@
 // crosses process boundaries. Workers die with the transport; if one
 // dies early (crash, OOM-kill), the parent's completion wait detects it
 // via waitpid(WNOHANG) and throws instead of hanging.
+//
+// == Fault tolerance ==
+//
+// Every completion wait carries a deadline (set_phase_deadline): a
+// worker that is alive but unresponsive — wedged, livelocked, or stalled
+// by an injected fault — surfaces as a latched timeout error instead of
+// spinning the parent forever. A latched transport (dead worker or
+// timeout) fails every subsequent collective until respawn_rank() /
+// recover() replaces the lost workers: the replacement is forked with
+// its protocol cursor at the *current* seq, so it never re-executes the
+// command its predecessor died in; the caller retries the lost work from
+// its last checkpoint (checkpoint/snapshot.h). Workers also arm
+// prctl(PR_SET_PDEATHSIG) so a parent killed mid-phase cannot leak
+// spinning worker processes. Deterministic fault injection
+// (checkpoint/fault_injection.h) hooks the top of every protocol round
+// via set_fault_plan().
 #pragma once
 
 #include <sys/types.h>
@@ -41,6 +57,7 @@
 
 namespace ls3df {
 
+class FaultPlan;
 struct ProcShmHeader;  // defined in proc_transport.cpp
 
 class ProcTransport : public Transport {
@@ -79,9 +96,33 @@ class ProcTransport : public Transport {
   long allocations() const override;
   std::size_t rank_box_elements(int dst) const override;
 
+  // --- fault tolerance -------------------------------------------------
+  // Wall-clock budget for one completion wait. The workers only memcpy
+  // and sum, so the generous default can never fire on a healthy node;
+  // tests shrink it to sub-second to exercise the timeout latch.
+  void set_phase_deadline(double seconds) { deadline_s_ = seconds; }
+  double phase_deadline() const { return deadline_s_; }
+  // Replace rank's worker process: kill + reap whatever is left of the
+  // old one, fork a replacement whose protocol cursor starts at the
+  // current seq (it never re-executes the command its predecessor died
+  // in), and clear the failure latch. The exchange buffers live in the
+  // shared segment and survive; payload in flight when the worker died
+  // does not — the caller retries from its last checkpoint.
+  void respawn_rank(int rank);
+  // Full recovery sweep: respawn every dead or protocol-lagging worker,
+  // clear injected stalls and the latch, and fence. Returns false if the
+  // transport still cannot complete a barrier.
+  bool recover() override;
+  // Deterministic fault hook, invoked at the top of every protocol
+  // round (checkpoint/fault_injection.h). Null disables injection.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   // Crash-detection hooks (tests): the worker process behind a rank.
   pid_t worker_pid(int rank) const { return pids_[rank]; }
   void kill_worker_for_test(int rank);
+  // Make rank's worker sleep through its next command (the
+  // hung-but-alive failure mode the deadline wait exists for).
+  void inject_stall_for_test(int rank, int stall_ms);
 
  private:
   // Grow-only extent allocation from the shm bump arena; one allocation
@@ -93,6 +134,10 @@ class ProcTransport : public Transport {
   void run_command(std::uint32_t cmd);
   void check_alive();
 
+  // Fork rank's worker with its protocol cursor at start_seq; records
+  // the pid. Shared by the constructor (start_seq 0) and respawn_rank.
+  void spawn_worker(int rank, std::uint64_t start_seq);
+
   int n_ranks_;
   std::size_t map_bytes_ = 0;
   ProcShmHeader* hdr_ = nullptr;
@@ -100,6 +145,9 @@ class ProcTransport : public Transport {
   std::atomic<std::uint64_t> arena_used_{0};
   std::size_t arena_bytes_ = 0;
   pid_t pids_[kMaxRanks] = {};
+  pid_t parent_pid_ = -1;                // for the PDEATHSIG race check
+  double deadline_s_ = 120.0;
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t table_cap_ = 0;   // parent-side capacities of the two
   std::uint64_t result_cap_ = 0;  // single-region exchange targets
   std::string failed_;                   // latched fatal error, if any

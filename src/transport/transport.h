@@ -127,6 +127,15 @@ class Transport {
   // Phase fence with no payload.
   virtual void barrier() = 0;
 
+  // Attempt to restore a failed transport to service (after a latched
+  // worker crash or phase timeout): reap dead workers, respawn
+  // replacements, clear the failure latch, and fence. Returns true when
+  // the transport is usable again; the caller then retries from its
+  // last checkpoint (the exchange buffers survive, in-flight payload
+  // does not). Backends with nothing to recover (in-process ranks)
+  // report success trivially.
+  virtual bool recover() { return true; }
+
   // Capacity-growth events across every exchange buffer this transport
   // owns (alltoallv lanes, gather table + blocks, reduce blocks +
   // result). All backends count the same way — one event per lane or

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <complex>
@@ -241,6 +242,106 @@ TEST(ProcTransport, WorkerCrashIsDetectedNotHung) {
   // Destruction after a crash must still reap cleanly (no hang): covered
   // by leaving scope here.
 }
+
+TEST(ProcTransport, StalledWorkerLatchesTimeoutNotWedge) {
+  // The hung-but-alive failure mode a dead-worker check cannot see: the
+  // worker sleeps through its command, the parent's deadline wait must
+  // latch a timeout well before the stall drains — never wedge.
+  ProcTransport t(2);
+  t.barrier();
+  t.set_phase_deadline(0.3);
+  t.inject_stall_for_test(1, 10000);
+  try {
+    t.barrier();
+    FAIL() << "expected a timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+  // Latched: the next collective fails fast without touching the
+  // protocol (the stalled worker is still asleep).
+  EXPECT_THROW(t.alltoallv(), std::runtime_error);
+
+  // recover() replaces the laggard (alive but behind the protocol
+  // cursor) and fences; collectives work again.
+  t.set_phase_deadline(120.0);
+  EXPECT_TRUE(t.recover());
+  t.gather_layout({2, 2});
+  for (int r = 0; r < 2; ++r) {
+    double* block = t.gather_block(r);
+    block[0] = 10.0 * r;
+    block[1] = 10.0 * r + 1;
+  }
+  t.allgatherv();
+  const double* table = t.gather_table();
+  EXPECT_EQ(table[0], 0.0);
+  EXPECT_EQ(table[1], 1.0);
+  EXPECT_EQ(table[2], 10.0);
+  EXPECT_EQ(table[3], 11.0);
+}
+
+TEST(ProcTransport, RespawnRankReplacesADeadWorker) {
+  ProcTransport t(3);
+  t.barrier();
+  const pid_t old_pid = t.worker_pid(1);
+  t.kill_worker_for_test(1);
+  EXPECT_THROW(t.barrier(), std::runtime_error);
+
+  t.respawn_rank(1);
+  EXPECT_NE(t.worker_pid(1), old_pid);
+  EXPECT_GT(t.worker_pid(1), 0);
+  t.barrier();  // the replacement joins the protocol at the current seq
+
+  // And it does real work: rank 1's reduce segment sums correctly.
+  t.reduce_layout(3, {0, 1, 2, 3});
+  for (int r = 0; r < 3; ++r) {
+    double* block = t.reduce_block(r);
+    for (int i = 0; i < 3; ++i) block[i] = r + 1;
+  }
+  t.reduce_scatter();
+  for (int owner = 0; owner < 3; ++owner)
+    EXPECT_EQ(t.reduce_segment(owner)[0], 6.0) << owner;
+}
+
+#ifdef __linux__
+TEST(ProcTransport, WorkersDieWithTheirParent) {
+  // The orphan-leak fix: workers arm PR_SET_PDEATHSIG, so a parent that
+  // dies without running the destructor (crash, SIGKILL) cannot leave
+  // worker processes spinning. An intermediate process creates the
+  // transport, reports its worker pids over a pipe, and _exits without
+  // cleanup; the workers must vanish on their own.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t mid = fork();
+  ASSERT_GE(mid, 0);
+  if (mid == 0) {
+    // Intermediate: build the transport, leak it, die.
+    auto* t = new ProcTransport(2);
+    t->barrier();
+    pid_t pids[2] = {t->worker_pid(0), t->worker_pid(1)};
+    (void)!write(fds[1], pids, sizeof(pids));
+    _exit(0);  // no destructor: the workers' parent just vanished
+  }
+  close(fds[1]);
+  pid_t pids[2] = {0, 0};
+  ASSERT_EQ(read(fds[0], pids, sizeof(pids)),
+            static_cast<ssize_t>(sizeof(pids)));
+  close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(waitpid(mid, &status, 0), mid);
+
+  // The orphaned workers get SIGTERM via PDEATHSIG; poll until both are
+  // gone (they are not our children, so kill(pid, 0) is the probe).
+  bool gone = false;
+  for (int i = 0; i < 500 && !gone; ++i) {
+    gone = kill(pids[0], 0) != 0 && kill(pids[1], 0) != 0;
+    if (!gone) usleep(10000);
+  }
+  EXPECT_TRUE(gone) << "orphaned workers " << pids[0] << ", " << pids[1]
+                    << " outlived their parent";
+}
+#endif  // __linux__
 
 TEST(ProcTransport, WorkersAreRealProcesses) {
   // The point of the backend: the exchange work runs in forked children,
