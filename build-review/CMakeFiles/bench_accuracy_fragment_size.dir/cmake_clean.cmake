@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_fragment_size.dir/bench/bench_accuracy_fragment_size.cpp.o"
+  "CMakeFiles/bench_accuracy_fragment_size.dir/bench/bench_accuracy_fragment_size.cpp.o.d"
+  "bench/bench_accuracy_fragment_size"
+  "bench/bench_accuracy_fragment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_fragment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

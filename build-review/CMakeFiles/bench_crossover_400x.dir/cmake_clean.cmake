@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossover_400x.dir/bench/bench_crossover_400x.cpp.o"
+  "CMakeFiles/bench_crossover_400x.dir/bench/bench_crossover_400x.cpp.o.d"
+  "bench/bench_crossover_400x"
+  "bench/bench_crossover_400x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover_400x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_efficiency.dir/bench/bench_fig4_efficiency.cpp.o"
+  "CMakeFiles/bench_fig4_efficiency.dir/bench/bench_fig4_efficiency.cpp.o.d"
+  "bench/bench_fig4_efficiency"
+  "bench/bench_fig4_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_scf_convergence.dir/bench/bench_fig6_scf_convergence.cpp.o"
+  "CMakeFiles/bench_fig6_scf_convergence.dir/bench/bench_fig6_scf_convergence.cpp.o.d"
+  "bench/bench_fig6_scf_convergence"
+  "bench/bench_fig6_scf_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scf_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_band_edges.dir/bench/bench_fig7_band_edges.cpp.o"
+  "CMakeFiles/bench_fig7_band_edges.dir/bench/bench_fig7_band_edges.cpp.o.d"
+  "bench/bench_fig7_band_edges"
+  "bench/bench_fig7_band_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_band_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

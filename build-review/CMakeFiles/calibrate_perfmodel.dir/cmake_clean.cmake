@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_perfmodel.dir/tools/calibrate_perfmodel.cpp.o"
+  "CMakeFiles/calibrate_perfmodel.dir/tools/calibrate_perfmodel.cpp.o.d"
+  "tools/calibrate_perfmodel"
+  "tools/calibrate_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_anatomy.dir/examples/fragment_anatomy.cpp.o"
+  "CMakeFiles/fragment_anatomy.dir/examples/fragment_anatomy.cpp.o.d"
+  "examples/fragment_anatomy"
+  "examples/fragment_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atoms/builders.cpp" "CMakeFiles/ls3df.dir/src/atoms/builders.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/atoms/builders.cpp.o.d"
+  "/root/repo/src/atoms/io.cpp" "CMakeFiles/ls3df.dir/src/atoms/io.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/atoms/io.cpp.o.d"
+  "/root/repo/src/atoms/neighbors.cpp" "CMakeFiles/ls3df.dir/src/atoms/neighbors.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/atoms/neighbors.cpp.o.d"
+  "/root/repo/src/checkpoint/fault_injection.cpp" "CMakeFiles/ls3df.dir/src/checkpoint/fault_injection.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/checkpoint/fault_injection.cpp.o.d"
+  "/root/repo/src/checkpoint/snapshot.cpp" "CMakeFiles/ls3df.dir/src/checkpoint/snapshot.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/checkpoint/snapshot.cpp.o.d"
+  "/root/repo/src/common/flops.cpp" "CMakeFiles/ls3df.dir/src/common/flops.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/common/flops.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/ls3df.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/ls3df.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/dft/eigensolver.cpp" "CMakeFiles/ls3df.dir/src/dft/eigensolver.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/eigensolver.cpp.o.d"
+  "/root/repo/src/dft/energy.cpp" "CMakeFiles/ls3df.dir/src/dft/energy.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/energy.cpp.o.d"
+  "/root/repo/src/dft/fsm.cpp" "CMakeFiles/ls3df.dir/src/dft/fsm.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/fsm.cpp.o.d"
+  "/root/repo/src/dft/hamiltonian.cpp" "CMakeFiles/ls3df.dir/src/dft/hamiltonian.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/hamiltonian.cpp.o.d"
+  "/root/repo/src/dft/mixing.cpp" "CMakeFiles/ls3df.dir/src/dft/mixing.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/mixing.cpp.o.d"
+  "/root/repo/src/dft/scf.cpp" "CMakeFiles/ls3df.dir/src/dft/scf.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/dft/scf.cpp.o.d"
+  "/root/repo/src/fft/dist_fft3d.cpp" "CMakeFiles/ls3df.dir/src/fft/dist_fft3d.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fft/dist_fft3d.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "CMakeFiles/ls3df.dir/src/fft/fft.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fft/fft.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "CMakeFiles/ls3df.dir/src/fft/fft3d.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fft/fft3d.cpp.o.d"
+  "/root/repo/src/fft/plan_cache.cpp" "CMakeFiles/ls3df.dir/src/fft/plan_cache.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fft/plan_cache.cpp.o.d"
+  "/root/repo/src/fragment/decomposition.cpp" "CMakeFiles/ls3df.dir/src/fragment/decomposition.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fragment/decomposition.cpp.o.d"
+  "/root/repo/src/fragment/ls3df.cpp" "CMakeFiles/ls3df.dir/src/fragment/ls3df.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/fragment/ls3df.cpp.o.d"
+  "/root/repo/src/grid/gvectors.cpp" "CMakeFiles/ls3df.dir/src/grid/gvectors.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/grid/gvectors.cpp.o.d"
+  "/root/repo/src/grid/sharded_field.cpp" "CMakeFiles/ls3df.dir/src/grid/sharded_field.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/grid/sharded_field.cpp.o.d"
+  "/root/repo/src/linalg/blas.cpp" "CMakeFiles/ls3df.dir/src/linalg/blas.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/linalg/blas.cpp.o.d"
+  "/root/repo/src/linalg/eigen.cpp" "CMakeFiles/ls3df.dir/src/linalg/eigen.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/linalg/eigen.cpp.o.d"
+  "/root/repo/src/linalg/lstsq.cpp" "CMakeFiles/ls3df.dir/src/linalg/lstsq.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/linalg/lstsq.cpp.o.d"
+  "/root/repo/src/parallel/scheduler.cpp" "CMakeFiles/ls3df.dir/src/parallel/scheduler.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/parallel/scheduler.cpp.o.d"
+  "/root/repo/src/parallel/shard_comm.cpp" "CMakeFiles/ls3df.dir/src/parallel/shard_comm.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/parallel/shard_comm.cpp.o.d"
+  "/root/repo/src/parallel/task_graph.cpp" "CMakeFiles/ls3df.dir/src/parallel/task_graph.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/parallel/task_graph.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/ls3df.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/perfmodel/amdahl.cpp" "CMakeFiles/ls3df.dir/src/perfmodel/amdahl.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/perfmodel/amdahl.cpp.o.d"
+  "/root/repo/src/perfmodel/crossover.cpp" "CMakeFiles/ls3df.dir/src/perfmodel/crossover.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/perfmodel/crossover.cpp.o.d"
+  "/root/repo/src/perfmodel/machines.cpp" "CMakeFiles/ls3df.dir/src/perfmodel/machines.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/perfmodel/machines.cpp.o.d"
+  "/root/repo/src/perfmodel/paper_data.cpp" "CMakeFiles/ls3df.dir/src/perfmodel/paper_data.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/perfmodel/paper_data.cpp.o.d"
+  "/root/repo/src/perfmodel/simulator.cpp" "CMakeFiles/ls3df.dir/src/perfmodel/simulator.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/perfmodel/simulator.cpp.o.d"
+  "/root/repo/src/poisson/ewald.cpp" "CMakeFiles/ls3df.dir/src/poisson/ewald.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/poisson/ewald.cpp.o.d"
+  "/root/repo/src/poisson/poisson.cpp" "CMakeFiles/ls3df.dir/src/poisson/poisson.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/poisson/poisson.cpp.o.d"
+  "/root/repo/src/poisson/sharded_poisson.cpp" "CMakeFiles/ls3df.dir/src/poisson/sharded_poisson.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/poisson/sharded_poisson.cpp.o.d"
+  "/root/repo/src/pseudo/pseudopotential.cpp" "CMakeFiles/ls3df.dir/src/pseudo/pseudopotential.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/pseudo/pseudopotential.cpp.o.d"
+  "/root/repo/src/transport/inproc_transport.cpp" "CMakeFiles/ls3df.dir/src/transport/inproc_transport.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/transport/inproc_transport.cpp.o.d"
+  "/root/repo/src/transport/mpi_transport.cpp" "CMakeFiles/ls3df.dir/src/transport/mpi_transport.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/transport/mpi_transport.cpp.o.d"
+  "/root/repo/src/transport/proc_transport.cpp" "CMakeFiles/ls3df.dir/src/transport/proc_transport.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/transport/proc_transport.cpp.o.d"
+  "/root/repo/src/transport/transport.cpp" "CMakeFiles/ls3df.dir/src/transport/transport.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/transport/transport.cpp.o.d"
+  "/root/repo/src/vff/vff.cpp" "CMakeFiles/ls3df.dir/src/vff/vff.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/vff/vff.cpp.o.d"
+  "/root/repo/src/xc/lda.cpp" "CMakeFiles/ls3df.dir/src/xc/lda.cpp.o" "gcc" "CMakeFiles/ls3df.dir/src/xc/lda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

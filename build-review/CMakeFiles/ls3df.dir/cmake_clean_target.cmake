@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libls3df.a"
+)

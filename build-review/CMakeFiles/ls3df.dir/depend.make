@@ -1,0 +1,2 @@
+# Empty dependencies file for ls3df.
+# This may be replaced when dependencies are built.

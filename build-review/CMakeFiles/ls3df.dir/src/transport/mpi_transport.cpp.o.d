@@ -1,0 +1,2 @@
+CMakeFiles/ls3df.dir/src/transport/mpi_transport.cpp.o: \
+ /root/repo/src/transport/mpi_transport.cpp /usr/include/stdc-predef.h

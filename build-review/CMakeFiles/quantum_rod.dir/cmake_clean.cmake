@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_rod.dir/examples/quantum_rod.cpp.o"
+  "CMakeFiles/quantum_rod.dir/examples/quantum_rod.cpp.o.d"
+  "examples/quantum_rod"
+  "examples/quantum_rod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_rod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quantum_rod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_inspect.dir/tools/snapshot_inspect.cpp.o"
+  "CMakeFiles/snapshot_inspect.dir/tools/snapshot_inspect.cpp.o.d"
+  "tools/snapshot_inspect"
+  "tools/snapshot_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atoms.dir/tests/test_atoms.cpp.o"
+  "CMakeFiles/test_atoms.dir/tests/test_atoms.cpp.o.d"
+  "tests/test_atoms"
+  "tests/test_atoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigensolver.dir/tests/test_eigensolver.cpp.o"
+  "CMakeFiles/test_eigensolver.dir/tests/test_eigensolver.cpp.o.d"
+  "tests/test_eigensolver"
+  "tests/test_eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

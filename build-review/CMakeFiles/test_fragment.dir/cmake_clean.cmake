@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragment.dir/tests/test_fragment.cpp.o"
+  "CMakeFiles/test_fragment.dir/tests/test_fragment.cpp.o.d"
+  "tests/test_fragment"
+  "tests/test_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

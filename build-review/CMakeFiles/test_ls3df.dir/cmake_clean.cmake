@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ls3df.dir/tests/test_ls3df.cpp.o"
+  "CMakeFiles/test_ls3df.dir/tests/test_ls3df.cpp.o.d"
+  "tests/test_ls3df"
+  "tests/test_ls3df.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ls3df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_precision.dir/tests/test_mixed_precision.cpp.o"
+  "CMakeFiles/test_mixed_precision.dir/tests/test_mixed_precision.cpp.o.d"
+  "tests/test_mixed_precision"
+  "tests/test_mixed_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

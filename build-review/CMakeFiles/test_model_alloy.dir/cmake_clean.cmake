@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_alloy.dir/tests/test_model_alloy.cpp.o"
+  "CMakeFiles/test_model_alloy.dir/tests/test_model_alloy.cpp.o.d"
+  "tests/test_model_alloy"
+  "tests/test_model_alloy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/tests/test_perfmodel.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/tests/test_perfmodel.cpp.o.d"
+  "tests/test_perfmodel"
+  "tests/test_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudo.dir/tests/test_pseudo.cpp.o"
+  "CMakeFiles/test_pseudo.dir/tests/test_pseudo.cpp.o.d"
+  "tests/test_pseudo"
+  "tests/test_pseudo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scf.dir/tests/test_scf.cpp.o"
+  "CMakeFiles/test_scf.dir/tests/test_scf.cpp.o.d"
+  "tests/test_scf"
+  "tests/test_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard.dir/tests/test_shard.cpp.o"
+  "CMakeFiles/test_shard.dir/tests/test_shard.cpp.o.d"
+  "tests/test_shard"
+  "tests/test_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vff.dir/tests/test_vff.cpp.o"
+  "CMakeFiles/test_vff.dir/tests/test_vff.cpp.o.d"
+  "tests/test_vff"
+  "tests/test_vff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

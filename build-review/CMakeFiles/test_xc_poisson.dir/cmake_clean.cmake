@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xc_poisson.dir/tests/test_xc_poisson.cpp.o"
+  "CMakeFiles/test_xc_poisson.dir/tests/test_xc_poisson.cpp.o.d"
+  "tests/test_xc_poisson"
+  "tests/test_xc_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xc_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

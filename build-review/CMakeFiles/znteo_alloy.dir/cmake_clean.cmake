@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/znteo_alloy.dir/examples/znteo_alloy.cpp.o"
+  "CMakeFiles/znteo_alloy.dir/examples/znteo_alloy.cpp.o.d"
+  "examples/znteo_alloy"
+  "examples/znteo_alloy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/znteo_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for znteo_alloy.
+# This may be replaced when dependencies are built.
