@@ -26,6 +26,13 @@
 // plus the crash-safety probes: solve() wall time with every-2 snapshots
 // vs checkpoint-free (< 5% overhead asserted in CI) and the
 // resume-after-crash bit-identity flag.
+//
+// When built with LS3DF_WITH_MPI the binary also self-launches
+// `mpirun -np 4 bench_kernels --mpi-child` and folds the child's report
+// into the JSON: genpot_mpi_40_s4 (MAX rank wall), genpot_mpi_peak_rss_mb_np4
+// (MAX per-rank peak RSS — each rank holds only ~global/N of the sharded
+// state), and mpi_bit_identical_to_dense (asserted by the CI mpi-build
+// job; 0 if the launch fails, so the assertion trips loudly).
 #include <benchmark/benchmark.h>
 
 #include <complex>
@@ -53,6 +60,13 @@
 #include "linalg/blas.h"
 #include "parallel/shard_comm.h"
 #include "parallel/thread_pool.h"
+
+#ifdef LS3DF_WITH_MPI
+#include <mpi.h>
+#include <sys/resource.h>
+
+#include "transport/mpi_transport.h"
+#endif
 
 namespace {
 
@@ -862,6 +876,94 @@ std::vector<JsonEntry> kernel_summary() {
   return out;
 }
 
+#ifdef LS3DF_WITH_MPI
+// Child body of the MPI GENPOT probe, executed under
+// `mpirun -np 4 bench_kernels --mpi-child` by append_mpi_entries below.
+// Each rank holds only its slab (rank-local SPMD storage), times the
+// sharded GENPOT, gathers the result and checks it bitwise against the
+// locally computed dense reference, and rank 0 prints one parseable
+// line with the MAX wall, MIN identity and MAX per-rank peak RSS.
+int run_mpi_child() {
+  MPI_Init(nullptr, nullptr);
+  int self = 0, world = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &self);
+  MPI_Comm_size(MPI_COMM_WORLD, &world);
+  {
+    const Vec3i shape{40, 40, 40};
+    const Lattice lat({12.0, 12.0, 12.0});
+    Rng rng(9);
+    FieldR vion(shape), rho(shape);
+    for (std::size_t i = 0; i < vion.size(); ++i) {
+      vion[i] = rng.uniform(-1, 1);
+      rho[i] = rng.uniform(0.0, 0.2);
+    }
+    const FieldR v_dense = effective_potential(vion, rho, lat);
+
+    ShardComm comm(world, 1, std::make_unique<MpiTransport>(MPI_COMM_WORLD));
+    const int lr = comm.local_rank();
+    DistFft3D fft(shape, comm);
+    ShardedFieldR svion(shape, world, lr), srho(shape, world, lr),
+        vh(shape, world, lr), vxc(shape, world, lr), vout(shape, world, lr);
+    svion.from_dense(vion);
+    srho.from_dense(rho);
+    sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);  // warm
+    const double ms = time_best_ms(3, [&]() {
+      sharded_effective_potential(svion, srho, lat, fft, vh, vxc, vout);
+    });
+    const FieldR got = gather_dense(vout, comm);
+    bool identical = got.size() == v_dense.size();
+    for (std::size_t i = 0; identical && i < v_dense.size(); ++i)
+      identical = got[i] == v_dense[i];
+
+    struct rusage ru {};
+    getrusage(RUSAGE_SELF, &ru);
+    const double rss_mb = ru.ru_maxrss / 1024.0;  // Linux: ru_maxrss in KiB
+
+    double wall_max = 0, rss_max = 0;
+    int ident = identical ? 1 : 0, ident_all = 0;
+    MPI_Allreduce(&ms, &wall_max, 1, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD);
+    MPI_Allreduce(&rss_mb, &rss_max, 1, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD);
+    MPI_Allreduce(&ident, &ident_all, 1, MPI_INT, MPI_MIN, MPI_COMM_WORLD);
+    if (self == 0)
+      std::printf("mpi_child wall_ms=%.6f identical=%d peak_rss_mb=%.3f\n",
+                  wall_max, ident_all, rss_max);
+  }
+  MPI_Finalize();
+  return 0;
+}
+
+// Parent side of the MPI probe: self-launch under mpirun and fold the
+// child's report into the JSON summary. A failed launch or unparsable
+// output emits mpi_bit_identical_to_dense = 0 so the CI assertion
+// fails loudly instead of silently skipping the contract.
+void append_mpi_entries(std::vector<JsonEntry>& out, const char* argv0) {
+  const std::string cmd = std::string("mpirun --oversubscribe -np 4 ") +
+                          argv0 + " --mpi-child 2>&1";
+  std::string text;
+  if (std::FILE* p = popen(cmd.c_str(), "r")) {
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, p)) text += buf;
+    pclose(p);
+  }
+  double wall = 0, rss = 0;
+  int identical = 0;
+  const char* line = std::strstr(text.c_str(), "mpi_child ");
+  if (!line ||
+      std::sscanf(line, "mpi_child wall_ms=%lf identical=%d peak_rss_mb=%lf",
+                  &wall, &identical, &rss) != 3) {
+    std::fprintf(stderr,
+                 "bench_kernels: mpirun probe failed or unparsable output:\n"
+                 "%s\n",
+                 text.c_str());
+    out.push_back({"mpi_bit_identical_to_dense", 0.0, 0});
+    return;
+  }
+  out.push_back({"genpot_mpi_40_s4", wall, 0});
+  out.push_back({"genpot_mpi_peak_rss_mb_np4", rss, 0});
+  out.push_back({"mpi_bit_identical_to_dense", identical ? 1.0 : 0.0, 0});
+}
+#endif  // LS3DF_WITH_MPI
+
 void write_json(const std::vector<JsonEntry>& entries, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -883,6 +985,11 @@ void write_json(const std::vector<JsonEntry>& entries, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef LS3DF_WITH_MPI
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--mpi-child") == 0) return run_mpi_child();
+#endif
+  const char* argv0 = argv[0];
   const char* json_path = "BENCH_kernels.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -897,6 +1004,12 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  write_json(kernel_summary(), json_path);
+  std::vector<JsonEntry> entries = kernel_summary();
+#ifdef LS3DF_WITH_MPI
+  append_mpi_entries(entries, argv0);
+#else
+  (void)argv0;
+#endif
+  write_json(entries, json_path);
   return 0;
 }

@@ -337,30 +337,35 @@ void read_dense_field(const SnapshotReader& r, const std::string& name,
   r.read_f64(name, f.data(), f.size());
 }
 
-void write_sharded_field(SnapshotWriter& w, const std::string& name,
+void write_sharded_field(SnapshotWriter* w, const std::string& name,
                          const ShardedField3D<double>& f, ShardComm& comm) {
   // One slab in flight at a time: rank r's slab crosses the transport
   // (gather_one posts counts[r] = slab size, 0 elsewhere), lands in the
   // shared table, and becomes its own record. The writer never holds
-  // more than one slab of staging — the "no dense grid" contract.
+  // more than one slab of staging — the "no dense grid" contract. The
+  // slab access happens inside the fill, which runs only on the owning
+  // rank — under SPMD the other ranks hold no slab to read, and only
+  // the rank with a writer records the gathered payload.
   for (int r = 0; r < f.n_shards(); ++r) {
-    const Field3D<double>& slab = f.slab(r);
-    const double* table = comm.gather_one(
-        r, slab.size(), [&](double* block) {
-          std::memcpy(block, slab.data(), slab.size() * sizeof(double));
+    const std::size_t n = f.slab_elements(r);
+    const ShardComm::GatherView view =
+        comm.gather_one(r, n, [&](double* block) {
+          std::memcpy(block, f.slab(r).data(), n * sizeof(double));
         });
-    w.add_f64(name + "/slab" + std::to_string(r), table, slab.size());
+    if (w) w->add_f64(name + "/slab" + std::to_string(r), view.data(), n);
   }
 }
 
 void read_sharded_field(const SnapshotReader& r, const std::string& name,
                         ShardedField3D<double>& f) {
   // Slab records restore rank-locally (each payload is exactly the
-  // owning rank's storage); an SPMD restore would route each record
-  // through alltoallv from the file-owning rank instead.
-  for (int rank = 0; rank < f.n_shards(); ++rank)
+  // owning rank's storage). Under SPMD every rank opens the same file
+  // and restores only its resident slab.
+  for (int rank = 0; rank < f.n_shards(); ++rank) {
+    if (!f.has_slab(rank)) continue;
     r.read_f64(name + "/slab" + std::to_string(rank), f.slab(rank).data(),
                f.slab(rank).size());
+  }
 }
 
 }  // namespace ls3df

@@ -46,9 +46,14 @@
 // slab at a time (ShardComm::gather_one): the writer's staging buffer
 // holds at most one slab, so no rank — and no writer — materializes the
 // dense grid. Restore is the mirror image: each slab record lands
-// directly in the owning rank's storage. Under a future SPMD transport
-// the same records route through alltoallv from the rank that owns the
-// file.
+// directly in the owning rank's storage. Under an SPMD transport
+// (threads, MPI) the same gather_one collectives run on every rank but
+// only rank 0 holds a SnapshotWriter and records the gathered payloads
+// — the snapshot file is byte-identical to the one a dense-per-process
+// run with the same shard count writes, so snapshots are portable
+// across transports. Resume under SPMD has every rank open the same
+// file and restore only its resident slabs (plus its owned fragments'
+// wavefunctions).
 #pragma once
 
 #include <cstddef>
@@ -209,9 +214,15 @@ class Fingerprint {
 
 // --- shard-record routing (see the architecture block) ----------------
 // Write/read one record per rank ("<name>/slab<r>"), one slab in flight
-// at a time through the communicator's transport.
-void write_sharded_field(SnapshotWriter& w, const std::string& name,
+// at a time through the communicator's transport. `w` may be null on
+// ranks that do not own the snapshot file (SPMD: only rank 0 writes) —
+// every rank must still make the call, because each slab crosses the
+// transport as a collective.
+void write_sharded_field(SnapshotWriter* w, const std::string& name,
                          const ShardedField3D<double>& f, ShardComm& comm);
+// Restores only the slabs the field holds (all of them dense-per-
+// process; the local rank's under SPMD, where every rank opens the same
+// file and restricts it).
 void read_sharded_field(const SnapshotReader& r, const std::string& name,
                         ShardedField3D<double>& f);
 // Dense twin (payload = the field's contiguous z-fastest data).

@@ -205,7 +205,7 @@ ShardedFieldR ShardedPotentialMixer::mix(const ShardedFieldR& v_in,
 
   if (type_ == MixerType::kLinear) return linear_step(residual);
   if (type_ == MixerType::kKerker) {
-    ShardedFieldR smoothed(fft_.shape(), n);
+    ShardedFieldR smoothed(fft_.shape(), n, comm.local_rank());
     kerker_smooth(residual, smoothed);
     return linear_step(smoothed);
   }
@@ -232,7 +232,7 @@ ShardedFieldR ShardedPotentialMixer::mix(const ShardedFieldR& v_in,
     return linear_step(residual);
   }
 
-  ShardedFieldR next(fft_.shape(), n);
+  ShardedFieldR next(fft_.shape(), n, comm.local_rank());
   for (int i = 0; i < m; ++i) {
     const ShardedFieldR& vh = v_history_[i];
     const ShardedFieldR& rh = r_history_[i];

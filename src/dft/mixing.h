@@ -64,6 +64,9 @@ class PotentialMixer {
 // per-shard (global/N per rank per slot), DIIS dots are plane-blocked
 // all_gather reductions, and Kerker smoothing runs through the
 // distributed transform — mixing is applied shard-locally end to end.
+// Under an SPMD transport the history slots inherit the inputs'
+// rank-local storage (one resident slab per rank), so the DIIS stack
+// also costs ~global/N per rank.
 class ShardedPotentialMixer {
  public:
   ShardedPotentialMixer(MixerType type, double alpha, const Lattice& lat,

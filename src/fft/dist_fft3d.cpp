@@ -8,13 +8,18 @@
 namespace ls3df {
 
 DistFft3D::DistFft3D(Vec3i shape, ShardComm& comm)
-    : shape_(shape), comm_(comm) {
+    : shape_(shape), comm_(comm), local_(comm.local_rank()) {
   const int n = n_shards();
   assert(n <= shape.x);
   slab_.resize(n);
   pencil_.resize(n);
   scratch_.resize(n);
+  // Rank-local mode (SPMD transport): only the local rank's slab,
+  // pencil block and line scratch are allocated — every rank-indexed
+  // access runs inside each_rank, which under SPMD executes the local
+  // rank only. Non-resident slots stay empty (size 0 for probes).
   for (int r = 0; r < n; ++r) {
+    if (local_ >= 0 && r != local_) continue;
     slab_[r].resize(static_cast<std::size_t>(x1(r) - x0(r)) * shape_.y *
                     shape_.z);
     pencil_[r].resize(static_cast<std::size_t>(y1(r) - y0(r)) * shape_.z *

@@ -31,7 +31,11 @@
 // at construction and never reallocated; the all_to_all mailboxes grow
 // only on the first exchange (probed via ShardComm::allocations()). Per
 // rank the footprint is ~3x global/N complex values — no step touches
-// the full grid.
+// the full grid. Storage follows the ShardComm's mode: under an SPMD
+// transport (comm.local_rank() >= 0) only the local rank's buffers are
+// allocated, so the whole-transform resident footprint really is
+// ~global/N per process; the in-process backends keep all N ranks'
+// buffers in the one orchestrating process.
 //
 // The transpose's data movement is whatever Transport backs the
 // ShardComm (transport/transport.h): zero-copy mailboxes in process,
@@ -40,6 +44,8 @@
 // identical in all three, and the transform stays bit-identical to the
 // dense Fft3D for the in-process backends.
 #pragma once
+
+#include <stdexcept>
 
 #include "fft/fft.h"
 #include "grid/gvectors.h"
@@ -74,8 +80,15 @@ class DistFft3D {
 
   // Rank r's pencil block: ((iy - y0(r)) * nz + iz) * nx + ix. Mutate
   // between forward and inverse for G-space kernels (from each_rank, or
-  // from the orchestrator).
-  cplx* pencil(int r) { return pencil_[r].data(); }
+  // from the orchestrator). Rank-local mode holds only the local rank's
+  // block (see the storage note below).
+  cplx* pencil(int r) {
+    if (local_ >= 0 && r != local_)
+      throw std::logic_error(
+          "DistFft3D::pencil: rank-local FFT does not hold this rank's "
+          "pencils");
+    return pencil_[r].data();
+  }
   std::size_t pencil_size(int r) const { return pencil_[r].size(); }
   // Per-rank scratch extents (complex elements) for footprint probes.
   std::size_t slab_size(int r) const { return slab_[r].size(); }
@@ -95,6 +108,11 @@ class DistFft3D {
 
   Vec3i shape_;
   ShardComm& comm_;
+  // comm.local_rank() at construction: -1 allocates every rank's
+  // buffers (dense-per-process); >= 0 allocates only that rank's (SPMD
+  // rank-local mode — non-resident slots are empty vectors, so the
+  // *_size probes report true resident extents).
+  int local_ = -1;
   std::vector<std::vector<cplx>> slab_;     // per-rank complex x-slab
   std::vector<std::vector<cplx>> pencil_;   // per-rank y-pencil block
   std::vector<std::vector<cplx>> scratch_;  // per-rank strided-y gather

@@ -56,18 +56,40 @@ struct Ls3dfSolver::ShardState {
   mutable ShardedFieldR v_scratch; // public-hook genpot target
   ShardedFieldR v_in, v_out;       // solve loop potentials
 
-  ShardState(Vec3i grid, int n_shards, int n_workers, TransportKind kind)
-      : comm(n_shards, n_workers,
-             make_transport(kind, n_shards, n_workers,
-                            transport_arena_bytes(grid))),
+  // Rank-local (SPMD) exchange plans, computed once at construction from
+  // geometry every rank can see — no communication. All extents are
+  // fixed for the life of the solver, so the halo buffer and the window
+  // lanes never regrow after warm-up.
+  struct Spmd {
+    // Gen_VF halo: global x planes this rank needs beyond its own slab
+    // (ascending), the gx -> halo row map, the receive buffer, and the
+    // per-destination list of own planes to send.
+    std::vector<int> halo_need;
+    std::vector<int> halo_row;  // size nx; -1 = not a halo plane
+    mutable FieldR halo;        // {halo_need.size(), ny, nz}
+    std::vector<std::vector<int>> halo_send;  // [dst] -> own gx planes
+    // Gen_dens windows: per destination, total doubles this rank sends
+    // (raw interior-window plane values of its owned fragments), and per
+    // owned fragment the starting offset of its segment in each lane —
+    // fixed by geometry, so overlap-mode pack nodes write disjoint
+    // ranges concurrently.
+    std::vector<std::size_t> win_send_doubles;        // [dst]
+    std::vector<std::vector<std::size_t>> win_off;    // [f - own_begin][dst]
+    mutable std::vector<double*> win_lane;            // cached send lanes
+  };
+  std::unique_ptr<Spmd> spmd;
+
+  ShardState(Vec3i grid, int n_shards, int n_workers,
+             std::unique_ptr<Transport> transport)
+      : comm(n_shards, n_workers, std::move(transport)),
         fft(grid, comm),
-        vion(grid, n_shards),
-        rho(grid, n_shards),
-        vh(grid, n_shards),
-        vxc(grid, n_shards),
-        v_scratch(grid, n_shards),
-        v_in(grid, n_shards),
-        v_out(grid, n_shards) {}
+        vion(grid, n_shards, comm.local_rank()),
+        rho(grid, n_shards, comm.local_rank()),
+        vh(grid, n_shards, comm.local_rank()),
+        vxc(grid, n_shards, comm.local_rank()),
+        v_scratch(grid, n_shards, comm.local_rank()),
+        v_in(grid, n_shards, comm.local_rank()),
+        v_out(grid, n_shards, comm.local_rank()) {}
 };
 
 // Mid-SCF state carried from load_resume() to the driver that consumes
@@ -85,6 +107,10 @@ struct Ls3dfSolver::ResumeState {
 };
 
 struct Ls3dfSolver::FragmentContext {
+  // Light metadata (pass 1): present for EVERY fragment on every rank —
+  // the geometry, costs and record extents all ranks must agree on
+  // (exchange layouts, LPT costs, checkpoint framing) are derived from
+  // these without communication.
   Fragment frag;
   Vec3i buffer;         // buffer thickness in grid points per side
   Vec3i grid;           // fragment box grid shape
@@ -93,6 +119,10 @@ struct Ls3dfSolver::FragmentContext {
   std::vector<int> owned_local;  // local atom indices with home cell in F
   double electrons = 0;
   int n_bands = 0;
+  int n_basis = 0;  // plane-wave count at opt.ecut (cost model, psi extents)
+  // Heavy solve state (pass 2): allocated only for fragments this rank
+  // owns — on SPMD transports that is the contiguous owned range, which
+  // is what keeps per-rank fragment memory ~1/N too.
   std::unique_ptr<Hamiltonian> h;
   FieldR wall;  // passivation potential dV_F
   MatC psi;     // wavefunctions, warm-started across outer iterations
@@ -231,34 +261,16 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
     }
 
     ctx->electrons = ctx->local.num_electrons();
-    ctx->vf = FieldR(ctx->grid);
-    ctx->rho = FieldR(ctx->grid);
-    GVectors basis(box, ctx->grid, opt.ecut);
+    {
+      // Basis count only (the cost model and psi record extents every
+      // rank must know); the heavy pass below rebuilds the basis for
+      // fragments this rank actually solves.
+      GVectors basis(box, ctx->grid, opt.ecut);
+      ctx->n_basis = basis.count();
+    }
     const int n_occ = static_cast<int>(std::ceil(ctx->electrons / 2.0));
     ctx->n_bands =
-        std::min(std::max(1, n_occ + opt.extra_bands), basis.count());
-    ctx->h = std::make_unique<Hamiltonian>(ctx->local, basis);
-    ctx->psi = random_wavefunctions(basis, ctx->n_bands,
-                                    opt.seed ^ (0x9e37u + findex));
-    ctx->occ = fill_occupations(ctx->electrons, ctx->n_bands);
-
-    // Passivation wall on artificially cut faces only.
-    ctx->wall = FieldR(ctx->grid);
-    for (int i = 0; i < 3; ++i) {
-      if (frag.size[i] >= m[i]) continue;  // spans the axis: physical PBC
-      const double h_spacing = cell_len[i] / p;
-      for (int ix = 0; ix < ctx->grid.x; ++ix)
-        for (int iy = 0; iy < ctx->grid.y; ++iy)
-          for (int iz = 0; iz < ctx->grid.z; ++iz) {
-            const int idx = i == 0 ? ix : (i == 1 ? iy : iz);
-            const int n = ctx->grid[i];
-            const double d =
-                std::min(idx + 0.5, n - 0.5 - idx) * h_spacing;
-            const double w = opt.wall_width;
-            ctx->wall(ix, iy, iz) +=
-                opt.wall_height * std::exp(-(d * d) / (w * w));
-          }
-    }
+        std::min(std::max(1, n_occ + opt.extra_bands), ctx->n_basis);
 
     contexts_.push_back(std::move(ctx));
     ++findex;
@@ -268,31 +280,161 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
   measured_seconds_f32_.assign(contexts_.size(), -1.0);
 
   if (opt_.n_shards > 0) {
-    // Clamp to the grid's x extent and to the backend's rank ceiling
-    // (the proc transport's fixed worker table).
-    const int n = std::min(std::min(opt_.n_shards, global_grid_.x),
-                           transport_max_ranks(opt_.transport));
-    shards_ = std::make_unique<ShardState>(
-        global_grid_, n, std::max(1, opt_.n_workers), opt_.transport);
+    // Clamp to the grid's x extent and (without a factory) to the
+    // backend's rank ceiling (the proc transport's fixed worker table).
+    int n = std::min(opt_.n_shards, global_grid_.x);
+    if (!opt_.transport_factory)
+      n = std::min(n, transport_max_ranks(opt_.transport));
+    const int nw = std::max(1, opt_.n_workers);
+    std::unique_ptr<Transport> t =
+        opt_.transport_factory
+            ? opt_.transport_factory(n, nw,
+                                     transport_arena_bytes(global_grid_))
+            : make_transport(opt_.transport, n, nw,
+                             transport_arena_bytes(global_grid_));
+    // Explicit check (not assert): a factory/shard-count mismatch under
+    // SPMD would desynchronize collectives, never a tolerable state.
+    if (!t || t->n_ranks() != n)
+      throw std::invalid_argument(
+          "Ls3dfOptions::transport_factory must return a transport with "
+          "the clamped shard count");
+    shards_ = std::make_unique<ShardState>(global_grid_, n, nw, std::move(t));
     shards_->vion.from_dense(vion_);
+    spmd_ = shards_->comm.local_rank() >= 0;
+  }
+
+  // Fragment ownership: every fragment on the dense-per-process paths; a
+  // contiguous cost-balanced range per rank under SPMD. The partition is
+  // pure arithmetic over pass-1 metadata, so every rank computes the
+  // identical split without communicating. Contiguity is what lets the
+  // Gen_dens window exchange replay contributions in ascending global
+  // fragment order (see the rank-local phase bodies).
+  own_begin_ = 0;
+  own_end_ = static_cast<int>(contexts_.size());
+  if (spmd_) {
+    const int n = shards_->comm.n_ranks();
+    const std::vector<double> costs = analytic_costs();
+    std::vector<double> prefix(costs.size() + 1, 0.0);
+    for (std::size_t f = 0; f < costs.size(); ++f)
+      prefix[f + 1] = prefix[f] + costs[f];
+    frag_rank_begin_.assign(n + 1, 0);
+    frag_rank_begin_[n] = static_cast<int>(costs.size());
+    for (int r = 1; r < n; ++r) {
+      const double target = prefix.back() * r / n;
+      const auto it =
+          std::lower_bound(prefix.begin(), prefix.end(), target);
+      const int cut = std::min(static_cast<int>(it - prefix.begin()),
+                               static_cast<int>(costs.size()));
+      frag_rank_begin_[r] = std::max(cut, frag_rank_begin_[r - 1]);
+    }
+    const int self = shards_->comm.local_rank();
+    own_begin_ = frag_rank_begin_[self];
+    own_end_ = frag_rank_begin_[self + 1];
+  }
+
+  // Pass 2: heavy per-fragment solve state for the fragments this rank
+  // owns (all of them outside SPMD).
+  for (int f = own_begin_; f < own_end_; ++f) {
+    FragmentContext& ctx = *contexts_[f];
+    ctx.vf = FieldR(ctx.grid);
+    ctx.rho = FieldR(ctx.grid);
+    GVectors basis(ctx.local.lattice(), ctx.grid, opt.ecut);
+    ctx.h = std::make_unique<Hamiltonian>(ctx.local, basis);
+    ctx.psi =
+        random_wavefunctions(basis, ctx.n_bands, opt.seed ^ (0x9e37u + f));
+    ctx.occ = fill_occupations(ctx.electrons, ctx.n_bands);
+
+    // Passivation wall on artificially cut faces only.
+    ctx.wall = FieldR(ctx.grid);
+    for (int i = 0; i < 3; ++i) {
+      if (ctx.frag.size[i] >= m[i]) continue;  // spans the axis: physical PBC
+      const double h_spacing = cell_len[i] / p;
+      for (int ix = 0; ix < ctx.grid.x; ++ix)
+        for (int iy = 0; iy < ctx.grid.y; ++iy)
+          for (int iz = 0; iz < ctx.grid.z; ++iz) {
+            const int idx = i == 0 ? ix : (i == 1 ? iy : iz);
+            const int n = ctx.grid[i];
+            const double d =
+                std::min(idx + 0.5, n - 0.5 - idx) * h_spacing;
+            const double w = opt.wall_width;
+            ctx.wall(ix, iy, iz) +=
+                opt.wall_height * std::exp(-(d * d) / (w * w));
+          }
+    }
+  }
+
+  // SPMD exchange plans: halo-plane sets and window-lane layouts, all
+  // derived from geometry every rank can see.
+  if (spmd_) {
+    ShardState& s = *shards_;
+    const int n = s.comm.n_ranks();
+    const int self = s.comm.local_rank();
+    const int nx = global_grid_.x;
+    auto sp = std::make_unique<ShardState::Spmd>();
+
+    std::vector<std::vector<char>> needs(
+        n, std::vector<char>(static_cast<std::size_t>(nx), 0));
+    for (int r = 0; r < n; ++r) {
+      for (int f = frag_rank_begin_[r]; f < frag_rank_begin_[r + 1]; ++f) {
+        const FragmentContext& ctx = *contexts_[f];
+        for (int ix = 0; ix < ctx.grid.x; ++ix)
+          needs[r][pmod(ctx.global_offset.x + ix, nx)] = 1;
+      }
+      for (int gx = s.rho.x0(r); gx < s.rho.x1(r); ++gx) needs[r][gx] = 0;
+    }
+    sp->halo_row.assign(static_cast<std::size_t>(nx), -1);
+    for (int gx = 0; gx < nx; ++gx)
+      if (needs[self][gx]) {
+        sp->halo_row[gx] = static_cast<int>(sp->halo_need.size());
+        sp->halo_need.push_back(gx);
+      }
+    if (!sp->halo_need.empty())
+      sp->halo = FieldR({static_cast<int>(sp->halo_need.size()),
+                         global_grid_.y, global_grid_.z});
+    sp->halo_send.resize(n);
+    for (int dst = 0; dst < n; ++dst)
+      for (int gx = s.rho.x0(self); gx < s.rho.x1(self); ++gx)
+        if (needs[dst][gx]) sp->halo_send[dst].push_back(gx);
+
+    sp->win_send_doubles.assign(n, 0);
+    sp->win_off.assign(static_cast<std::size_t>(own_end_ - own_begin_),
+                       std::vector<std::size_t>(n, 0));
+    for (int f = own_begin_; f < own_end_; ++f) {
+      const FragmentContext& ctx = *contexts_[f];
+      const std::size_t plane_d =
+          static_cast<std::size_t>(ctx.frag.size.y) * p *
+          (static_cast<std::size_t>(ctx.frag.size.z) * p);
+      for (int dst = 0; dst < n; ++dst)
+        sp->win_off[f - own_begin_][dst] = sp->win_send_doubles[dst];
+      for (int ix = 0; ix < ctx.frag.size.x * p; ++ix) {
+        const int gx = pmod(ctx.frag.corner.x * p + ix, nx);
+        sp->win_send_doubles[s.rho.owner_of(gx)] += plane_d;
+      }
+    }
+    sp->win_lane.assign(n, nullptr);
+    s.spmd = std::move(sp);
   }
 
   // Size classes for the batched PEtot_F path: fragments whose solves
   // share (grid shape, basis size, band count) can run in lockstep.
-  // Batch composition depends only on the decomposition, so batches and
-  // their workspaces are stable across outer iterations.
-  if (opt_.batch_width > 0 && !contexts_.empty()) {
-    std::vector<int> class_of(contexts_.size());
+  // Batch composition depends only on the decomposition (and, under
+  // SPMD, on this rank's owned range — batches never cross ranks), so
+  // batches and their workspaces are stable across outer iterations.
+  if (opt_.batch_width > 0 && own_end_ > own_begin_) {
+    std::vector<int> class_of(static_cast<std::size_t>(own_end_ - own_begin_));
     std::map<std::array<int, 5>, int> ids;
-    for (std::size_t f = 0; f < contexts_.size(); ++f) {
+    for (int f = own_begin_; f < own_end_; ++f) {
       const FragmentContext& ctx = *contexts_[f];
       const std::array<int, 5> key{ctx.grid.x, ctx.grid.y, ctx.grid.z,
-                                   ctx.h->basis().count(), ctx.n_bands};
+                                   ctx.n_basis, ctx.n_bands};
       auto [it, inserted] = ids.emplace(key, static_cast<int>(ids.size()));
-      class_of[f] = it->second;
+      class_of[f - own_begin_] = it->second;
       (void)inserted;
     }
     batches_ = make_batches(class_of, opt_.batch_width);
+    if (own_begin_ > 0)
+      for (FragmentBatch& b : batches_)
+        for (int& f : b.members) f += own_begin_;
   }
 }
 
@@ -300,10 +442,11 @@ Ls3dfSolver::~Ls3dfSolver() = default;
 
 void Ls3dfSolver::gen_vf(const FieldR& v_global) {
   assert(v_global.shape() == global_grid_);
-  // Fragment restrictions are independent: fan out on the engine.
-  parallel_for(static_cast<int>(contexts_.size()), opt_.n_workers,
-               [&](int f, int /*worker*/) {
-                 FragmentContext& ctx = *contexts_[f];
+  // Fragment restrictions are independent: fan out on the engine. Owned
+  // fragments only — the rest have no solve state on this rank.
+  parallel_for(own_end_ - own_begin_, opt_.n_workers,
+               [&](int i, int /*worker*/) {
+                 FragmentContext& ctx = *contexts_[own_begin_ + i];
                  v_global.extract_into(ctx.global_offset, ctx.vf);
                  ctx.vf += ctx.wall;
                  ctx.h->set_local_potential(ctx.vf);
@@ -342,8 +485,13 @@ void Ls3dfSolver::record_measured(int f, double seconds) {
 }
 
 bool Ls3dfSolver::mixed_precision_available() const {
+  // Keyed on options and the global fragment count, NOT on batches_:
+  // under SPMD a rank may own zero fragments (empty batches_) while
+  // others don't, and a per-rank answer here would desynchronize the
+  // precision policy — and with it the convergence latch — across ranks.
+  // Outside SPMD the condition is equivalent to the old batches_.empty().
   return opt_.precision == Precision::kMixed && opt_.all_band &&
-         opt_.batch_width > 0 && !batches_.empty();
+         opt_.batch_width > 0 && !contexts_.empty();
 }
 
 void Ls3dfSolver::update_precision_policy(
@@ -373,19 +521,20 @@ long Ls3dfSolver::donated_lane_events() const {
 }
 
 void Ls3dfSolver::petot_f() {
-  const int n_frag = static_cast<int>(contexts_.size());
-  if (n_frag == 0) return;
+  const int n_own = own_end_ - own_begin_;
+  if (n_own == 0) return;
   if (opt_.batch_width > 0 && !batches_.empty()) {
     petot_f_batched(
         std::max(1, std::min(opt_.n_workers,
                              static_cast<int>(batches_.size()))));
   } else {
-    petot_f_per_fragment(std::max(1, std::min(opt_.n_workers, n_frag)));
+    petot_f_per_fragment(std::max(1, std::min(opt_.n_workers, n_own)));
   }
 }
 
 void Ls3dfSolver::petot_f_per_fragment(int n_groups) {
   const int n_frag = static_cast<int>(contexts_.size());
+  const int n_own = own_end_ - own_begin_;
   // The paper's dispatch, in miniature: LPT-schedule fragments onto
   // Ng = min(n_workers, n_frag) groups using the same cost model the
   // performance simulator uses, then run one engine task per group.
@@ -393,25 +542,29 @@ void Ls3dfSolver::petot_f_per_fragment(int n_groups) {
   // persistent arena; a fragment's solve depends only on the fragment
   // state, so the grouping (and hence the worker count) cannot change
   // the numbers.
-  assignment_ = assign_fragments(fragment_costs(), n_groups);
+  std::vector<double> costs = fragment_costs();
+  if (spmd_)
+    costs.assign(costs.begin() + own_begin_, costs.begin() + own_end_);
+  assignment_ = assign_fragments(costs, n_groups);
   executed_group_of_.assign(n_frag, -1);
   if (static_cast<int>(workspaces_.size()) < n_groups)
     workspaces_.resize(n_groups);
 
-  // Presize every arena to the largest fragment: once measured costs
-  // feed the scheduler, any fragment may land on any group in a later
-  // iteration, and the steady state must still allocate nothing.
+  // Presize every arena to the largest owned fragment: once measured
+  // costs feed the scheduler, any owned fragment may land on any group
+  // in a later iteration, and the steady state must still allocate
+  // nothing.
   int ng_max = 0, nb_max = 0;
-  for (const auto& ctx : contexts_) {
-    ng_max = std::max(ng_max, ctx->h->basis().count());
-    nb_max = std::max(nb_max, ctx->n_bands);
+  for (int f = own_begin_; f < own_end_; ++f) {
+    ng_max = std::max(ng_max, contexts_[f]->n_basis);
+    nb_max = std::max(nb_max, contexts_[f]->n_bands);
   }
   for (EigenWorkspace& ws : workspaces_)
     ws.reserve(ng_max, nb_max, opt_.all_band);
 
   std::vector<std::vector<int>> members(n_groups);
-  for (int f = 0; f < n_frag; ++f)
-    members[assignment_.group_of[f]].push_back(f);
+  for (int i = 0; i < n_own; ++i)
+    members[assignment_.group_of[i]].push_back(own_begin_ + i);
 
   std::vector<double> busy(n_groups, 0.0);
   const auto run_group = [&](int g) {
@@ -581,7 +734,8 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
 FieldR Ls3dfSolver::gen_dens() const {
   if (shards_) {
     gen_dens_sharded();
-    return shards_->rho.to_dense();
+    return spmd_ ? gather_dense(shards_->rho, shards_->comm)
+                 : shards_->rho.to_dense();
   }
   FieldR rho(global_grid_);
   const int p = opt_.points_per_cell;
@@ -611,6 +765,18 @@ FieldR Ls3dfSolver::gen_dens() const {
 void Ls3dfSolver::gen_dens_sharded() const {
   ShardState& s = *shards_;
   const int p = opt_.points_per_cell;
+  if (spmd_) {
+    // Rank-local patching: ship the RAW interior-window values of this
+    // rank's owned fragments (not pre-folded partials) and let each
+    // destination fold them locally in ascending global fragment order —
+    // exactly the dense accumulate order, so the patched density is
+    // bit-identical to every other path (see spmd_apply_windows).
+    spmd_size_window_lanes();
+    for (int f = own_begin_; f < own_end_; ++f) spmd_pack_fragment(f);
+    s.comm.transport().alltoallv();
+    spmd_apply_windows();
+    return;
+  }
   // Owner-computes patching: each shard scans the fragment list and
   // accumulates every window restricted to its slab, in fragment order —
   // the same per-point arithmetic as the dense slab split, so the
@@ -652,12 +818,28 @@ FieldR Ls3dfSolver::genpot(const FieldR& rho) const {
     ShardState& s = *shards_;
     s.rho.from_dense(rho);
     genpot_sharded(s.rho, s.v_scratch);
-    return s.v_scratch.to_dense();
+    return spmd_ ? gather_dense(s.v_scratch, s.comm)
+                 : s.v_scratch.to_dense();
   }
   return effective_potential(vion_, rho, structure_.lattice());
 }
 
 void Ls3dfSolver::gen_vf_sharded(const ShardedFieldR& v) {
+  if (spmd_) {
+    // The field holds one resident slab; pull the off-rank planes owned
+    // fragments straddle into the halo buffer first, then restrict each
+    // owned fragment from (own slab + halo). Plane copies only — the
+    // restricted values are bit-identical to dense extract_into.
+    spmd_fill_halo(v);
+    parallel_for(own_end_ - own_begin_, opt_.n_workers,
+                 [&](int i, int /*worker*/) {
+                   FragmentContext& ctx = *contexts_[own_begin_ + i];
+                   spmd_extract(v, ctx.global_offset, ctx.vf);
+                   ctx.vf += ctx.wall;
+                   ctx.h->set_local_potential(ctx.vf);
+                 });
+    return;
+  }
   // Fragment boxes straddle shard boundaries, so the restriction gathers
   // rows from every slab it overlaps (the halo seam); reads only, so the
   // fragment fan-out runs concurrently against the shared slabs.
@@ -668,6 +850,163 @@ void Ls3dfSolver::gen_vf_sharded(const ShardedFieldR& v) {
                  ctx.vf += ctx.wall;
                  ctx.h->set_local_potential(ctx.vf);
                });
+}
+
+int Ls3dfSolver::fragment_owner(int f) const {
+  if (!spmd_) return 0;
+  // frag_rank_begin_ is nondecreasing; the owner is the last rank whose
+  // range start is <= f.
+  const auto it = std::upper_bound(frag_rank_begin_.begin(),
+                                   frag_rank_begin_.end(), f);
+  return static_cast<int>(it - frag_rank_begin_.begin()) - 1;
+}
+
+void Ls3dfSolver::spmd_fill_halo(const ShardedFieldR& v) const {
+  ShardState& s = *shards_;
+  ShardState::Spmd& sp = *s.spmd;
+  ShardComm& comm = s.comm;
+  const int n = comm.n_ranks();
+  const int self = comm.local_rank();
+  const std::size_t plane =
+      static_cast<std::size_t>(global_grid_.y) * global_grid_.z;
+  const FieldR& slab = v.slab(self);
+  const int xb = v.x0(self);
+  // Doubles ride in the complex lanes; receivers recompute the double
+  // counts from the (shared, deterministic) plan, never from box_size.
+  // Every lane is sized each round, zero included — lanes are shared
+  // with the other exchange phases.
+  for (int dst = 0; dst < n; ++dst) {
+    const std::size_t n_d = sp.halo_send[dst].size() * plane;
+    double* out = reinterpret_cast<double*>(
+        comm.send_box(self, dst, (n_d + 1) / 2));
+    for (int gx : sp.halo_send[dst]) {
+      std::memcpy(out, &slab(gx - xb, 0, 0), plane * sizeof(double));
+      out += plane;
+    }
+  }
+  comm.transport().alltoallv();
+  // src sent exactly the halo planes of ours inside its slab, ascending
+  // gx — the subset of halo_need in [x0(src), x1(src)).
+  for (int src = 0; src < n; ++src) {
+    const double* in =
+        reinterpret_cast<const double*>(comm.recv_box(src, self));
+    for (std::size_t j = 0; j < sp.halo_need.size(); ++j) {
+      const int gx = sp.halo_need[j];
+      if (gx < v.x0(src) || gx >= v.x1(src)) continue;
+      std::memcpy(&sp.halo(static_cast<int>(j), 0, 0), in,
+                  plane * sizeof(double));
+      in += plane;
+    }
+  }
+}
+
+void Ls3dfSolver::spmd_extract(const ShardedFieldR& v, Vec3i offset,
+                               FieldR& out) const {
+  const ShardState& s = *shards_;
+  const ShardState::Spmd& sp = *s.spmd;
+  const int self = s.comm.local_rank();
+  const FieldR& slab = v.slab(self);
+  const int xb = v.x0(self), xe = v.x1(self);
+  const Vec3i g = global_grid_;
+  const Vec3i sub = out.shape();
+  // Same loops and pmod arithmetic as ShardedField3D::extract_into, with
+  // the source row resolved to the resident slab or the halo buffer — a
+  // pure copy either way.
+  for (int ix = 0; ix < sub.x; ++ix) {
+    const int gx = pmod(offset.x + ix, g.x);
+    const double* row;
+    if (gx >= xb && gx < xe) {
+      row = &slab(gx - xb, 0, 0);
+    } else {
+      if (sp.halo_row[gx] < 0)
+        throw std::logic_error(
+            "spmd_extract: global plane missing from the halo plan");
+      row = &sp.halo(sp.halo_row[gx], 0, 0);
+    }
+    for (int iy = 0; iy < sub.y; ++iy) {
+      const int gy = pmod(offset.y + iy, g.y);
+      const double* line = row + static_cast<std::size_t>(gy) * g.z;
+      for (int iz = 0; iz < sub.z; ++iz)
+        out(ix, iy, iz) = line[pmod(offset.z + iz, g.z)];
+    }
+  }
+}
+
+void Ls3dfSolver::spmd_size_window_lanes() const {
+  ShardState& s = *shards_;
+  ShardState::Spmd& sp = *s.spmd;
+  const int n = s.comm.n_ranks();
+  const int self = s.comm.local_rank();
+  // Size every lane once, then cache raw pointers: the overlapped driver
+  // packs fragments from concurrent pool tasks, and send_box itself is
+  // not concurrency-safe. Pack targets are disjoint geometry-fixed
+  // offsets (win_off), so concurrent packs never touch the same bytes.
+  for (int dst = 0; dst < n; ++dst)
+    sp.win_lane[dst] = reinterpret_cast<double*>(
+        s.comm.send_box(self, dst, (sp.win_send_doubles[dst] + 1) / 2));
+}
+
+void Ls3dfSolver::spmd_pack_fragment(int f) const {
+  const ShardState& s = *shards_;
+  const ShardState::Spmd& sp = *s.spmd;
+  const FragmentContext& ctx = *contexts_[f];
+  const int p = opt_.points_per_cell;
+  const int nx = global_grid_.x;
+  const Vec3i region{ctx.frag.size.x * p, ctx.frag.size.y * p,
+                     ctx.frag.size.z * p};
+  const std::size_t plane_d =
+      static_cast<std::size_t>(region.y) * region.z;
+  // Raw window values on the wire (the sign is applied by the receiving
+  // fold — pre-folding would change the summation order).
+  std::vector<std::size_t> off = sp.win_off[f - own_begin_];
+  for (int ix = 0; ix < region.x; ++ix) {
+    const int gx = pmod(ctx.frag.corner.x * p + ix, nx);
+    const int dst = s.rho.owner_of(gx);
+    double* out = sp.win_lane[dst] + off[dst];
+    off[dst] += plane_d;
+    for (int iy = 0; iy < region.y; ++iy)
+      for (int iz = 0; iz < region.z; ++iz)
+        *out++ = ctx.rho(ctx.buffer.x + ix, ctx.buffer.y + iy,
+                         ctx.buffer.z + iz);
+  }
+}
+
+void Ls3dfSolver::spmd_apply_windows() const {
+  ShardState& s = *shards_;
+  ShardComm& comm = s.comm;
+  const int n = comm.n_ranks();
+  const int self = comm.local_rank();
+  const int p = opt_.points_per_cell;
+  const Vec3i g = global_grid_;
+  FieldR& slab = s.rho.slab(self);
+  slab.fill(0.0);
+  const int xb = s.rho.x0(self);
+  // Fold in ascending global fragment order (contiguous ownership makes
+  // src-ascending + fragment-ascending-within-src exactly that), and
+  // within a fragment in ascending (ix, iy, iz) — the same order and the
+  // same `+= sign * value` arithmetic as accumulate_window_shard on the
+  // dense-per-process path, hence bit-identical patching.
+  for (int src = 0; src < n; ++src) {
+    const double* ptr =
+        reinterpret_cast<const double*>(comm.recv_box(src, self));
+    for (int f = frag_rank_begin_[src]; f < frag_rank_begin_[src + 1];
+         ++f) {
+      const FragmentContext& ctx = *contexts_[f];
+      const double sign = static_cast<double>(ctx.frag.sign);
+      const Vec3i region{ctx.frag.size.x * p, ctx.frag.size.y * p,
+                         ctx.frag.size.z * p};
+      const int cy = ctx.frag.corner.y * p, cz = ctx.frag.corner.z * p;
+      for (int ix = 0; ix < region.x; ++ix) {
+        const int gx = pmod(ctx.frag.corner.x * p + ix, g.x);
+        if (s.rho.owner_of(gx) != self) continue;  // not in src's lane to us
+        for (int iy = 0; iy < region.y; ++iy) {
+          const int gy = pmod(cy + iy, g.y);
+          for (int iz = 0; iz < region.z; ++iz)
+            slab(gx - xb, gy, pmod(cz + iz, g.z)) += sign * (*ptr++);
+        }
+      }
+    }
+  }
 }
 
 int Ls3dfSolver::active_shards() const {
@@ -687,12 +1026,12 @@ Transport* Ls3dfSolver::shard_transport_object() const {
 }
 
 bool Ls3dfSolver::overlap_active() const {
-  // The chains' schedulable unit is the batch, and the overlapped
-  // drivers touch slabs from arbitrary pool threads — an SPMD transport
-  // (one process per rank) cannot do that, so it keeps the phased loop.
-  if (!opt_.overlap || batches_.empty()) return false;
-  if (shards_ && shards_->comm.transport().spmd()) return false;
-  return true;
+  // Rank-uniform by construction: under SPMD every rank must take the
+  // same driver (collectives pair up positionally), and batches_.empty()
+  // differs per rank (a rank may own zero fragments) — so the decision
+  // keys on options and the global fragment count only. Outside SPMD
+  // this is equivalent to the old batches_.empty() test.
+  return opt_.overlap && opt_.batch_width > 0 && !contexts_.empty();
 }
 
 bool Ls3dfSolver::fragment_touches_planes(int f, int x_begin,
@@ -716,7 +1055,14 @@ std::size_t Ls3dfSolver::shard_rank_footprint(int r) const {
   // Double-equivalents held by rank r across the persistent sharded
   // state: real field slabs, the FFT's complex slab/pencil/line scratch,
   // and the transport lanes destined for r. Every term is proportional
-  // to global/N — the sharded pipeline's memory contract.
+  // to global/N — the sharded pipeline's memory contract. Under SPMD a
+  // process holds only its own rank's state, so only the local rank's
+  // footprint is answerable (true resident bytes, including the halo
+  // buffer the rank-local Gen_VF adds).
+  if (spmd_ && r != s.comm.local_rank())
+    throw std::logic_error(
+        "shard_rank_footprint: only the local rank is resident under an "
+        "SPMD transport");
   std::size_t doubles = 0;
   const ShardedFieldR* fields[] = {&s.vion, &s.rho,  &s.vh,   &s.vxc,
                                    &s.v_scratch, &s.v_in, &s.v_out};
@@ -724,18 +1070,49 @@ std::size_t Ls3dfSolver::shard_rank_footprint(int r) const {
   doubles += 2 * (s.fft.slab_size(r) + s.fft.pencil_size(r) +
                   s.fft.scratch_size(r));
   doubles += 2 * s.comm.rank_box_elements(r);
+  if (s.spmd) doubles += s.spmd->halo.size();
   return doubles;
+}
+
+double Ls3dfSolver::fold_fragment_sum(const std::vector<double>& part) const {
+  // Signed per-fragment terms folded in ascending global fragment order
+  // — worker-count invariant, and under SPMD also rank-count invariant:
+  // the allgatherv table concatenates rank blocks in rank order, and
+  // contiguous ownership makes that exactly ascending fragment order, so
+  // every rank folds the same values in the same order as the dense
+  // paths do.
+  if (spmd_) {
+    ShardComm& comm = shards_->comm;
+    const int n = comm.n_ranks();
+    std::vector<int> counts(n);
+    for (int r = 0; r < n; ++r)
+      counts[r] = frag_rank_begin_[r + 1] - frag_rank_begin_[r];
+    const ShardComm::GatherView view =
+        comm.all_gather(counts, [&](int /*rank*/, double* block) {
+          for (int f = own_begin_; f < own_end_; ++f)
+            block[f - own_begin_] = part[f];
+        });
+    const double* all = view.data();
+    double total = 0;
+    for (std::size_t f = 0; f < part.size(); ++f) total += all[f];
+    return total;
+  }
+  double total = 0;
+  for (double t : part) total += t;
+  return total;
 }
 
 double Ls3dfSolver::patched_kinetic_energy() const {
   const int p = opt_.points_per_cell;
   const double point_vol = structure_.lattice().volume() /
                            static_cast<double>(vion_.size());
-  // Per-fragment terms fan out on the engine; the signed sum runs in
-  // fragment order afterwards so the result is worker-count invariant.
+  // Per-fragment terms fan out on the engine (owned fragments only); the
+  // signed sum runs in fragment order afterwards so the result is
+  // worker-count invariant.
   std::vector<double> part(contexts_.size(), 0.0);
-  parallel_for(static_cast<int>(contexts_.size()), opt_.n_workers,
-               [&](int f, int /*worker*/) {
+  parallel_for(own_end_ - own_begin_, opt_.n_workers,
+               [&](int i, int /*worker*/) {
+                 const int f = own_begin_ + i;
                  const FragmentContext& ctx = *contexts_[f];
                  FieldR tau =
                      ctx.h->kinetic_energy_density(ctx.psi, ctx.occ);
@@ -747,15 +1124,14 @@ double Ls3dfSolver::patched_kinetic_energy() const {
                                        ctx.buffer.z + iz);
                  part[f] = ctx.frag.sign * interior * point_vol;
                });
-  double total = 0;
-  for (double t : part) total += t;
-  return total;
+  return fold_fragment_sum(part);
 }
 
 double Ls3dfSolver::patched_nonlocal_energy() const {
   std::vector<double> part(contexts_.size(), 0.0);
-  parallel_for(static_cast<int>(contexts_.size()), opt_.n_workers,
-               [&](int f, int /*worker*/) {
+  parallel_for(own_end_ - own_begin_, opt_.n_workers,
+               [&](int i, int /*worker*/) {
+                 const int f = own_begin_ + i;
                  const FragmentContext& ctx = *contexts_[f];
                  const auto per_atom =
                      ctx.h->nonlocal().energy_per_atom(ctx.psi, ctx.occ);
@@ -763,9 +1139,7 @@ double Ls3dfSolver::patched_nonlocal_energy() const {
                  for (int a : ctx.owned_local) owned += per_atom[a];
                  part[f] = ctx.frag.sign * owned;
                });
-  double total = 0;
-  for (double t : part) total += t;
-  return total;
+  return fold_fragment_sum(part);
 }
 
 long Ls3dfSolver::workspace_allocations() const {
@@ -779,7 +1153,10 @@ std::vector<double> Ls3dfSolver::analytic_costs() const {
   std::vector<double> costs;
   costs.reserve(contexts_.size());
   for (const auto& ctx : contexts_) {
-    const double ng = ctx->h->basis().count();
+    // n_basis, not h->basis().count(): the Hamiltonian exists only for
+    // owned fragments, and the cost model must cover all of them (the
+    // SPMD fragment partition is computed from these costs).
+    const double ng = ctx->n_basis;
     const double nb = ctx->n_bands;
     // Dominant terms of one all-band iteration: subspace gemms + FFTs.
     costs.push_back(ng * nb * nb + ng * std::log2(std::max(2.0, ng)) * nb);
@@ -882,7 +1259,15 @@ void Ls3dfSolver::maybe_write_checkpoint(
   if (!result.converged && result.iterations % every != 0) return;
 
   ScopedPhase sp(profile_, "Checkpoint");
-  SnapshotWriter w(ck.path, state_fingerprint(), ck.fault);
+  // Under SPMD only rank 0 owns the snapshot file; every rank still
+  // drives the record gathers below (they are collectives), and the file
+  // rank 0 writes is byte-identical to the one a dense-per-process run
+  // with the same shard count writes — snapshots are portable across
+  // transports.
+  std::unique_ptr<SnapshotWriter> w;
+  if (!spmd_ || shards_->comm.local_rank() == 0)
+    w = std::make_unique<SnapshotWriter>(ck.path, state_fingerprint(),
+                                         ck.fault);
 
   const std::size_t depth =
       shards_ ? mixer_s->v_history().size() : mixer_d->v_history().size();
@@ -895,44 +1280,75 @@ void Ls3dfSolver::maybe_write_checkpoint(
       static_cast<std::uint64_t>(active_shards()),
       static_cast<std::uint64_t>(depth),
       result.conv_history.size()};
-  w.add_u64("meta", meta, 8);
-  const Rng::State rng_state = rng_.state();
-  w.add_u64("rng", rng_state.data(), rng_state.size());
-  w.add_f64("conv_history", result.conv_history.data(),
-            result.conv_history.size());
-  w.add_f64("charge_patch_error", &result.charge_patch_error, 1);
+  if (w) {
+    w->add_u64("meta", meta, 8);
+    const Rng::State rng_state = rng_.state();
+    w->add_u64("rng", rng_state.data(), rng_state.size());
+    w->add_f64("conv_history", result.conv_history.data(),
+               result.conv_history.size());
+    w->add_f64("charge_patch_error", &result.charge_patch_error, 1);
+  }
 
   // Fragment wavefunctions and occupations: PEtot_F warm-starts from
   // psi, so the continued trajectory needs exactly the bits the
-  // interrupted run would have carried into its next iteration.
+  // interrupted run would have carried into its next iteration. Under
+  // SPMD each fragment's records route through one gather_one from the
+  // owning rank — at most one fragment's psi of staging is ever live.
   for (std::size_t f = 0; f < contexts_.size(); ++f) {
     const FragmentContext& ctx = *contexts_[f];
-    w.add("psi/" + std::to_string(f), RecordKind::kC128, ctx.psi.data(),
-          ctx.psi.size() * sizeof(std::complex<double>));
-    w.add_f64("occ/" + std::to_string(f), ctx.occ.data(), ctx.occ.size());
+    if (spmd_) {
+      ShardComm& comm = shards_->comm;
+      const int owner = fragment_owner(static_cast<int>(f));
+      const std::size_t n_d =
+          2 * static_cast<std::size_t>(ctx.n_basis) * ctx.n_bands;
+      {
+        const ShardComm::GatherView view =
+            comm.gather_one(owner, n_d, [&](double* block) {
+              std::memcpy(block, ctx.psi.data(), n_d * sizeof(double));
+            });
+        if (w)
+          w->add("psi/" + std::to_string(f), RecordKind::kC128,
+                 view.data(), n_d * sizeof(double));
+      }
+      {
+        const ShardComm::GatherView view = comm.gather_one(
+            owner, static_cast<std::size_t>(ctx.n_bands),
+            [&](double* block) {
+              std::memcpy(block, ctx.occ.data(),
+                          ctx.occ.size() * sizeof(double));
+            });
+        if (w)
+          w->add_f64("occ/" + std::to_string(f), view.data(),
+                     static_cast<std::size_t>(ctx.n_bands));
+      }
+      continue;
+    }
+    w->add("psi/" + std::to_string(f), RecordKind::kC128, ctx.psi.data(),
+           ctx.psi.size() * sizeof(std::complex<double>));
+    w->add_f64("occ/" + std::to_string(f), ctx.occ.data(), ctx.occ.size());
   }
 
   if (shards_) {
     ShardState& s = *shards_;
-    write_sharded_field(w, "v_in", s.v_in, s.comm);
-    write_sharded_field(w, "rho", s.rho, s.comm);
+    write_sharded_field(w.get(), "v_in", s.v_in, s.comm);
+    write_sharded_field(w.get(), "rho", s.rho, s.comm);
     for (std::size_t i = 0; i < depth; ++i) {
-      write_sharded_field(w, "mixer/v" + std::to_string(i),
+      write_sharded_field(w.get(), "mixer/v" + std::to_string(i),
                           mixer_s->v_history()[i], s.comm);
-      write_sharded_field(w, "mixer/r" + std::to_string(i),
+      write_sharded_field(w.get(), "mixer/r" + std::to_string(i),
                           mixer_s->r_history()[i], s.comm);
     }
   } else {
-    write_dense_field(w, "v_in", *v_in_dense);
-    write_dense_field(w, "rho", result.rho);
+    write_dense_field(*w, "v_in", *v_in_dense);
+    write_dense_field(*w, "rho", result.rho);
     for (std::size_t i = 0; i < depth; ++i) {
-      write_dense_field(w, "mixer/v" + std::to_string(i),
+      write_dense_field(*w, "mixer/v" + std::to_string(i),
                         mixer_d->v_history()[i]);
-      write_dense_field(w, "mixer/r" + std::to_string(i),
+      write_dense_field(*w, "mixer/r" + std::to_string(i),
                         mixer_d->r_history()[i]);
     }
   }
-  w.commit();
+  if (w) w->commit();
 }
 
 void Ls3dfSolver::load_resume(const SnapshotReader& r) {
@@ -968,11 +1384,17 @@ void Ls3dfSolver::load_resume(const SnapshotReader& r) {
   for (std::size_t f = 0; f < contexts_.size(); ++f) {
     FragmentContext& ctx = *contexts_[f];
     const auto& bytes = r.payload("psi/" + std::to_string(f));
-    if (bytes.size() != ctx.psi.size() * sizeof(std::complex<double>))
+    // Validate against pass-1 extents (psi itself is empty for fragments
+    // other ranks own under SPMD); restore only owned solve state.
+    const std::size_t want = static_cast<std::size_t>(ctx.n_basis) *
+                             ctx.n_bands * sizeof(std::complex<double>);
+    if (bytes.size() != want)
       throw SnapshotError(
           SnapshotErrorCode::kFormat,
           "snapshot record 'psi/" + std::to_string(f) +
               "' does not match this solver's wavefunction extents");
+    if (static_cast<int>(f) < own_begin_ || static_cast<int>(f) >= own_end_)
+      continue;
     std::memcpy(ctx.psi.data(), bytes.data(), bytes.size());
     r.read_f64("occ/" + std::to_string(f), ctx.occ.data(), ctx.occ.size());
   }
@@ -983,7 +1405,8 @@ void Ls3dfSolver::load_resume(const SnapshotReader& r) {
     read_sharded_field(r, "rho", s.rho);
     const int n = s.comm.n_ranks();
     for (std::size_t i = 0; i < depth; ++i) {
-      ShardedFieldR v(global_grid_, n), res(global_grid_, n);
+      ShardedFieldR v(global_grid_, n, s.comm.local_rank()),
+          res(global_grid_, n, s.comm.local_rank());
       read_sharded_field(r, "mixer/v" + std::to_string(i), v);
       read_sharded_field(r, "mixer/r" + std::to_string(i), res);
       rs->mix_v_s.push_back(std::move(v));
@@ -1026,8 +1449,10 @@ Ls3dfResult Ls3dfSolver::resume(const std::string& snapshot_path) {
     result.conv_history = std::move(resume_->conv_history);
     result.charge_patch_error = resume_->charge_patch_error;
     if (shards_) {
-      result.v_eff = shards_->v_in.to_dense();
-      result.rho = shards_->rho.to_dense();
+      result.v_eff = spmd_ ? gather_dense(shards_->v_in, shards_->comm)
+                           : shards_->v_in.to_dense();
+      result.rho = spmd_ ? gather_dense(shards_->rho, shards_->comm)
+                         : shards_->rho.to_dense();
     } else {
       result.v_eff = std::move(resume_->v_in);
       result.rho = std::move(resume_->rho);
@@ -1204,8 +1629,10 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
     maybe_write_checkpoint(result, nullptr, nullptr, &mixer);
     if (result.converged) break;
   }
-  result.v_eff = v_in.to_dense();
-  if (result.iterations > 0) result.rho = s.rho.to_dense();
+  result.v_eff =
+      spmd_ ? gather_dense(v_in, s.comm) : v_in.to_dense();
+  if (result.iterations > 0)
+    result.rho = spmd_ ? gather_dense(s.rho, s.comm) : s.rho.to_dense();
 
   if (opt_.compute_energy) compute_patched_energy(result);
   result.profile = profile_;
@@ -1336,21 +1763,44 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     return id;
   };
 
+  // SPMD: one halo node heads every chain — it runs the Gen_VF plane
+  // alltoallv and sizes (and caches) the window send lanes for this
+  // iteration, so the per-batch nodes below never touch the transport's
+  // lane table concurrently. Every collective in the graph sits on the
+  // single spine halo -> exch -> apply -> norm -> hartree -> mix, so all
+  // ranks execute the identical collective sequence.
+  int halo_node = -1;
+  if (sh && spmd_) {
+    halo_node = tag(g.add([this, sh]() {
+                      spmd_fill_halo(sh->v_in);
+                      spmd_size_window_lanes();
+                    }),
+                    kGenVf, -1);
+  }
+
   // restrict -> solve chain heads.
   std::vector<int> solve_node(n_batches, -1);
   for (int b = 0; b < n_batches; ++b) {
-    const int rb = tag(g.add([this, b, sh, &v_in_d]() {
-                         for (int f : batches_[b].members) {
-                           FragmentContext& ctx = *contexts_[f];
-                           if (sh)
-                             sh->v_in.extract_into(ctx.global_offset,
-                                                   ctx.vf);
-                           else
-                             v_in_d.extract_into(ctx.global_offset, ctx.vf);
-                           ctx.vf += ctx.wall;
-                           ctx.h->set_local_potential(ctx.vf);
-                         }
-                       }),
+    std::vector<int> rdeps;
+    if (halo_node >= 0) rdeps.push_back(halo_node);
+    const int rb = tag(g.add(
+                           [this, b, sh, &v_in_d]() {
+                             for (int f : batches_[b].members) {
+                               FragmentContext& ctx = *contexts_[f];
+                               if (sh && spmd_)
+                                 spmd_extract(sh->v_in, ctx.global_offset,
+                                              ctx.vf);
+                               else if (sh)
+                                 sh->v_in.extract_into(ctx.global_offset,
+                                                       ctx.vf);
+                               else
+                                 v_in_d.extract_into(ctx.global_offset,
+                                                     ctx.vf);
+                               ctx.vf += ctx.wall;
+                               ctx.h->set_local_potential(ctx.vf);
+                             }
+                           },
+                           rdeps),
                        kGenVf, b);
     solve_node[b] =
         tag(g.add([this, b, inner, &analytic]() {
@@ -1364,105 +1814,147 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
             kPetot, b);
   }
 
-  // Ordered patch commits: per slab, one node per touching fragment,
-  // chained in ascending fragment order (the determinism rule). The
-  // solve edge is per fragment, so a slab whose owed batches finished
-  // early commits while other chains still solve.
-  std::vector<int> chain_tail;  // per-slab last commit (or zero) node
-  for (int si = 0; si < n_slabs; ++si) {
-    const Slab sl = slabs[si];
-    int prev = -1;
-    for (int f = 0; f < n_frag; ++f) {
-      if (!fragment_touches_planes(f, sl.x0, sl.x1)) continue;
-      std::vector<int> deps{solve_node[batch_of[f]]};
-      if (prev >= 0) deps.push_back(prev);
-      const bool zero_first = prev < 0 && sh != nullptr;
-      prev = tag(g.add(
-                     [this, sh, sl, f, p, zero_first, &rho_d]() {
-                       FragmentContext& ctx = *contexts_[f];
-                       const Vec3i corner{ctx.frag.corner.x * p,
-                                          ctx.frag.corner.y * p,
-                                          ctx.frag.corner.z * p};
-                       const Vec3i region{ctx.frag.size.x * p,
-                                          ctx.frag.size.y * p,
-                                          ctx.frag.size.z * p};
-                       const double w =
-                           static_cast<double>(ctx.frag.sign);
-                       if (sh) {
-                         if (zero_first) sh->rho.slab(sl.rank).fill(0.0);
-                         sh->rho.accumulate_window_shard(
-                             sl.rank, corner, ctx.rho, ctx.buffer, region,
-                             w);
-                       } else {
-                         rho_d.accumulate_window_slab(corner, ctx.rho,
-                                                      ctx.buffer, region,
-                                                      w, sl.x0, sl.x1);
-                       }
-                     },
-                     deps),
-                 kGenDens, batch_of[f]);
-    }
-    if (prev < 0 && sh) {
-      // No fragment window touches this slab (cannot happen for a
-      // covering decomposition, but keep the zero): clear it anyway.
-      prev = tag(g.add([sh, sl]() { sh->rho.slab(sl.rank).fill(0.0); }),
-                 kGenDens, -1);
-    }
-    if (prev >= 0) chain_tail.push_back(prev);
-  }
-
-  // Per-rank plane partials, armed as each slab finishes patching.
-  std::vector<int> norm_deps;
-  if (sh) {
+  int norm = -1;
+  if (sh && spmd_) {
+    // Rank-local Gen_dens: per batch, one pack node writes its members'
+    // raw windows at geometry-fixed lane offsets as the solves retire
+    // (concurrently safe — disjoint ranges of lanes sized by the halo
+    // node); one exchange ships them; the apply node folds this rank's
+    // slab in ascending global fragment order. Commit order is enforced
+    // by the fold, not by node chaining, so the graph shape stays
+    // batch-parallel.
+    std::vector<int> packs;
+    for (int b = 0; b < n_batches; ++b)
+      packs.push_back(tag(g.add(
+                              [this, b]() {
+                                for (int f : batches_[b].members)
+                                  spmd_pack_fragment(f);
+                              },
+                              {solve_node[b]}),
+                          kGenDens, b));
+    std::vector<int> edeps = packs;
+    edeps.push_back(halo_node);  // lanes sized there (zero-owned ranks)
+    const int exch =
+        tag(g.add([sh]() { sh->comm.transport().alltoallv(); }, edeps),
+            kGenDens, -1);
+    const int apply =
+        tag(g.add([this]() { spmd_apply_windows(); }, {exch}), kGenDens,
+            -1);
+    norm = tag(g.add(
+                   [this, sh, point_vol, n_electrons, &result]() {
+                     const double total =
+                         plane_sum(sh->rho, sh->comm) * point_vol;
+                     result.charge_patch_error =
+                         std::abs(total - n_electrons);
+                     if (total > 0) {
+                       const double scale = n_electrons / total;
+                       sh->comm.each_rank(
+                           [&](int r) { sh->rho.slab(r) *= scale; });
+                     }
+                   },
+                   {apply}),
+               kGenDens, -1);
+  } else {
+    // Ordered patch commits: per slab, one node per touching fragment,
+    // chained in ascending fragment order (the determinism rule). The
+    // solve edge is per fragment, so a slab whose owed batches finished
+    // early commits while other chains still solve.
+    std::vector<int> chain_tail;  // per-slab last commit (or zero) node
     for (int si = 0; si < n_slabs; ++si) {
       const Slab sl = slabs[si];
-      norm_deps.push_back(
-          tag(g.add([this, sh, sl, &plane_partials]() {
-                const FieldR& slab = sh->rho.slab(sl.rank);
-                const std::size_t plane =
-                    static_cast<std::size_t>(global_grid_.y) *
-                    global_grid_.z;
-                for (int lx = 0; lx < sl.x1 - sl.x0; ++lx) {
-                  const double* base =
-                      slab.data() + static_cast<std::size_t>(lx) * plane;
-                  double acc = 0;
-                  for (std::size_t i = 0; i < plane; ++i) acc += base[i];
-                  plane_partials[sl.x0 + lx] = acc;
-                }
-              },
-                    {chain_tail[si]}),
-              kGenDens, -1));
+      int prev = -1;
+      for (int f = 0; f < n_frag; ++f) {
+        if (!fragment_touches_planes(f, sl.x0, sl.x1)) continue;
+        std::vector<int> deps{solve_node[batch_of[f]]};
+        if (prev >= 0) deps.push_back(prev);
+        const bool zero_first = prev < 0 && sh != nullptr;
+        prev = tag(g.add(
+                       [this, sh, sl, f, p, zero_first, &rho_d]() {
+                         FragmentContext& ctx = *contexts_[f];
+                         const Vec3i corner{ctx.frag.corner.x * p,
+                                            ctx.frag.corner.y * p,
+                                            ctx.frag.corner.z * p};
+                         const Vec3i region{ctx.frag.size.x * p,
+                                            ctx.frag.size.y * p,
+                                            ctx.frag.size.z * p};
+                         const double w =
+                             static_cast<double>(ctx.frag.sign);
+                         if (sh) {
+                           if (zero_first) sh->rho.slab(sl.rank).fill(0.0);
+                           sh->rho.accumulate_window_shard(
+                               sl.rank, corner, ctx.rho, ctx.buffer, region,
+                               w);
+                         } else {
+                           rho_d.accumulate_window_slab(corner, ctx.rho,
+                                                        ctx.buffer, region,
+                                                        w, sl.x0, sl.x1);
+                         }
+                       },
+                       deps),
+                   kGenDens, batch_of[f]);
+      }
+      if (prev < 0 && sh) {
+        // No fragment window touches this slab (cannot happen for a
+        // covering decomposition, but keep the zero): clear it anyway.
+        prev = tag(g.add([sh, sl]() { sh->rho.slab(sl.rank).fill(0.0); }),
+                   kGenDens, -1);
+      }
+      if (prev >= 0) chain_tail.push_back(prev);
     }
-  } else {
-    norm_deps = chain_tail;
-  }
 
-  // Normalize: the global sequence point (needs every slab's planes).
-  const int norm = tag(
-      g.add(
-          [this, sh, point_vol, n_electrons, &plane_partials, &rho_d,
-           &result]() {
-            double total;
-            if (sh) {
-              double acc = 0;
-              for (int ix = 0; ix < global_grid_.x; ++ix)
-                acc += plane_partials[ix];
-              total = acc * point_vol;
-            } else {
-              total = plane_sum(rho_d) * point_vol;
-            }
-            result.charge_patch_error = std::abs(total - n_electrons);
-            if (total > 0) {
-              const double scale = n_electrons / total;
-              if (sh)
-                sh->comm.each_rank(
-                    [&](int r) { sh->rho.slab(r) *= scale; });
-              else
-                rho_d *= scale;
-            }
-          },
-          norm_deps),
-      kGenDens, -1);
+    // Per-rank plane partials, armed as each slab finishes patching.
+    std::vector<int> norm_deps;
+    if (sh) {
+      for (int si = 0; si < n_slabs; ++si) {
+        const Slab sl = slabs[si];
+        norm_deps.push_back(
+            tag(g.add([this, sh, sl, &plane_partials]() {
+                  const FieldR& slab = sh->rho.slab(sl.rank);
+                  const std::size_t plane =
+                      static_cast<std::size_t>(global_grid_.y) *
+                      global_grid_.z;
+                  for (int lx = 0; lx < sl.x1 - sl.x0; ++lx) {
+                    const double* base =
+                        slab.data() + static_cast<std::size_t>(lx) * plane;
+                    double acc = 0;
+                    for (std::size_t i = 0; i < plane; ++i) acc += base[i];
+                    plane_partials[sl.x0 + lx] = acc;
+                  }
+                },
+                      {chain_tail[si]}),
+                kGenDens, -1));
+      }
+    } else {
+      norm_deps = chain_tail;
+    }
+
+    // Normalize: the global sequence point (needs every slab's planes).
+    norm = tag(
+        g.add(
+            [this, sh, point_vol, n_electrons, &plane_partials, &rho_d,
+             &result]() {
+              double total;
+              if (sh) {
+                double acc = 0;
+                for (int ix = 0; ix < global_grid_.x; ++ix)
+                  acc += plane_partials[ix];
+                total = acc * point_vol;
+              } else {
+                total = plane_sum(rho_d) * point_vol;
+              }
+              result.charge_patch_error = std::abs(total - n_electrons);
+              if (total > 0) {
+                const double scale = n_electrons / total;
+                if (sh)
+                  sh->comm.each_rank(
+                      [&](int r) { sh->rho.slab(r) *= scale; });
+                else
+                  rho_d *= scale;
+              }
+            },
+            norm_deps),
+        kGenDens, -1);
+  }
 
   // GENPOT over ShardComm's phased collectives (forward + Coulomb
   // kernel + inverse, then the slab-local xc assembly), or the dense
@@ -1532,7 +2024,7 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     // Arm the lane budget for this round: every solve chain is a holder,
     // opening at allowance == n_workers / min(n_batches, n_workers) ==
     // the fixed `inner` above, widening as chains retire.
-    lane_budget_.reset(opt_.n_workers, n_batches);
+    lane_budget_.reset(opt_.n_workers, std::max(1, n_batches));
     Timer iter_timer;
     if (!sh) rho_d = FieldR(global_grid_);  // fresh (zeroed) patch target
     std::fill(times.begin(), times.end(), std::make_pair(0.0, -1.0));
@@ -1605,8 +2097,11 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   if (result.iterations > 0)
     result.overlap_fraction = overlap_sum / result.iterations;
   if (sh) {
-    result.v_eff = sh->v_in.to_dense();
-    if (result.iterations > 0) result.rho = sh->rho.to_dense();
+    result.v_eff =
+        spmd_ ? gather_dense(sh->v_in, sh->comm) : sh->v_in.to_dense();
+    if (result.iterations > 0)
+      result.rho =
+          spmd_ ? gather_dense(sh->rho, sh->comm) : sh->rho.to_dense();
   } else {
     result.v_eff = v_in_d;
   }

@@ -216,6 +216,17 @@ struct Ls3dfOptions {
   // clean latched error from solve(); the failure-propagation suite uses
   // it to inject eigensolver faults and worker kills. Null in production.
   std::function<void(int batch)> on_batch_solve;
+  // SPMD seam: when set, the sharded state adopts this caller-built
+  // transport instead of make_transport(transport). This is how a
+  // thread-SPMD rank receives its instance of a make_thread_spmd_group
+  // (transport/thread_transport.h) and how tests hand in custom MPI
+  // communicators. The factory is called once, with the clamped shard
+  // count, the worker count and the solver's arena-size hint; the
+  // returned transport's n_ranks must match. A bit-invariant execution
+  // knob — never part of the state fingerprint.
+  std::function<std::unique_ptr<Transport>(int n_ranks, int n_workers,
+                                           std::size_t arena_bytes)>
+      transport_factory;
   // Checkpoint/restart snapshots (see CheckpointOptions above). Off by
   // default; an execution knob, never part of the state fingerprint.
   CheckpointOptions checkpoint;
@@ -420,6 +431,34 @@ class Ls3dfSolver {
   void gen_vf_sharded(const ShardedFieldR& v);
   void gen_dens_sharded() const;
   void genpot_sharded(const ShardedFieldR& rho, ShardedFieldR& v_out) const;
+  // --- rank-local (SPMD) phase bodies -----------------------------------
+  // Under an SPMD transport each rank holds one slab and owns the
+  // contiguous fragment range [own_begin_, own_end_); the cross-rank
+  // reads the dense-per-process phases do implicitly become two explicit
+  // exchanges (both bit-identical to their dense counterparts):
+  //   Gen_VF  halo: every rank receives the global x planes its owned
+  //           fragment boxes need beyond its own slab (one alltoallv),
+  //           then extracts fragment boxes from slab + halo — a pure
+  //           copy, so the restriction matches extract_into bitwise.
+  //   Gen_dens windows: every owned fragment's interior window is sent
+  //           raw to the slabs it lands in (one alltoallv); the owning
+  //           rank applies `+= sign * value` in ascending global
+  //           fragment order, then ascending (ix, iy, iz) — exactly the
+  //           dense accumulation order, which is what keeps the patched
+  //           density bit-identical across the rank boundary.
+  int fragment_owner(int f) const;  // rank owning fragment f (SPMD)
+  void spmd_fill_halo(const ShardedFieldR& v) const;
+  void spmd_extract(const ShardedFieldR& v, Vec3i offset, FieldR& out) const;
+  // Window exchange, split for the overlapped driver: size (and cache)
+  // the send lanes once per iteration, pack fragments as their solves
+  // retire, exchange, apply in order. The phased path calls them
+  // back-to-back.
+  void spmd_size_window_lanes() const;
+  void spmd_pack_fragment(int f) const;
+  void spmd_apply_windows() const;
+  // Signed per-fragment sum folded in ascending global fragment order
+  // (allgatherv of the owned block under SPMD).
+  double fold_fragment_sum(const std::vector<double>& part) const;
   // Patched-energy epilogue shared by both drivers (uses result.rho).
   void compute_patched_energy(Ls3dfResult& result) const;
 
@@ -474,6 +513,19 @@ class Ls3dfSolver {
   // persistent sharded fields. Scratch inside is reused across phases and
   // iterations; only the first exchange grows buffers.
   std::unique_ptr<ShardState> shards_;
+  // SPMD fragment ownership (rank-local transports only). Fragments are
+  // partitioned into contiguous cost-balanced ranges — rank r owns
+  // [frag_rank_begin_[r], frag_rank_begin_[r+1]) — computed identically
+  // on every rank from the analytic cost model over light pass-1
+  // metadata, so all ranks agree on the exchange layouts without
+  // communicating. Contiguity is load-bearing: scanning source ranks in
+  // ascending order and fragments in ascending order within each source
+  // visits fragments in ascending *global* order, which is the Gen_dens
+  // bit-identity requirement. On non-SPMD paths own_* span all
+  // fragments and frag_rank_begin_ is empty.
+  bool spmd_ = false;
+  int own_begin_ = 0, own_end_ = 0;
+  std::vector<int> frag_rank_begin_;
   // Solver-level RNG stream, seeded from opt.seed. Part of the snapshot
   // contract (saved and restored bit-exactly) so any stochastic feature
   // drawing from it — and the determinism probes that do today —

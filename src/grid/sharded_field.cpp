@@ -47,13 +47,13 @@ double sharded_planes(const ShardedFieldR& f, ShardComm& comm,
   const std::size_t plane = static_cast<std::size_t>(shape.y) * shape.z;
   std::vector<int> counts(comm.n_ranks());
   for (int r = 0; r < comm.n_ranks(); ++r) counts[r] = f.x1(r) - f.x0(r);
-  const double* table =
+  const ShardComm::GatherView table =
       comm.all_gather(counts, [&](int r, double* block) {
         for (int lx = 0; lx < counts[r]; ++lx)
           block[lx] =
               partial(r, static_cast<std::size_t>(lx) * plane, plane);
       });
-  return combine(table, static_cast<std::size_t>(shape.x));
+  return combine(table.data(), static_cast<std::size_t>(shape.x));
 }
 
 }  // namespace
@@ -100,6 +100,25 @@ double plane_l1(const ShardedFieldR& a, const ShardedFieldR& b,
     return plane_partial_l1(a.slab(r).data() + off, b.slab(r).data() + off,
                             n);
   });
+}
+
+FieldR gather_dense(const ShardedFieldR& f, ShardComm& comm) {
+  FieldR dense(f.global_shape());
+  const std::size_t plane =
+      static_cast<std::size_t>(f.global_shape().y) * f.global_shape().z;
+  for (int r = 0; r < comm.n_ranks(); ++r) {
+    const std::size_t n = f.slab_elements(r);
+    // The fill runs only on the owning rank (each rank sees its own
+    // slab); every rank then reads the assembled one-slab table.
+    const ShardComm::GatherView view =
+        comm.gather_one(r, n, [&](double* block) {
+          const double* src = f.slab(r).data();
+          std::copy(src, src + n, block);
+        });
+    std::copy(view.data(), view.data() + n,
+              dense.data() + static_cast<std::size_t>(f.x0(r)) * plane);
+  }
+  return dense;
 }
 
 }  // namespace ls3df

@@ -8,9 +8,27 @@
 // densities accumulate straight into owning shards. Each slab is an
 // ordinary Field3D of shape (x1-x0, ny, nz) with the same z-fastest
 // layout as the dense grid: global point (gx, iy, iz) lives in slab
-// owner_of(gx) at local (gx - x0, iy, iz). No method here ever
-// materializes the full grid except the explicit to_dense()/from_dense()
-// converters used at setup and result-gather time.
+// owner_of(gx) at local (gx - x0, iy, iz).
+//
+// == Storage modes (who owns which slabs) ==
+//
+// Dense-per-process (local_rank() == -1, the in-process transports):
+// one object holds all N slabs; rank bodies fan out over the shared
+// pool and touch only rank-owned slabs. to_dense()/from_dense() convert
+// the whole field at setup and result-gather time.
+//
+// Rank-local (local_rank() >= 0, SPMD transports — threads, MPI): the
+// object allocates ONLY the local rank's slab; every other slot is an
+// empty Field3D, so resident bytes are ~global/N. slab(r) for a
+// non-resident r, to_dense(), and extract_into() throw std::logic_error
+// — cross-rank reads must go through explicit collectives:
+// gather_dense() below (an allgatherv route, one slab of staging at a
+// time) rebuilds the dense field on every rank at public-API/snapshot
+// boundaries, and the solver's halo/window exchanges
+// (fragment/ls3df.cpp) move slab data inside the iteration. from_dense
+// stays legal and copies only the local slab (each rank restricts the
+// same dense source). Layout queries (x0/x1/owner_of/slab_elements)
+// never touch payload and work in both modes.
 //
 // Dataflow through one sharded GENPOT step (fragment/ls3df.cpp):
 //   Gen_dens   each rank scans the fragment list and accumulates every
@@ -34,6 +52,7 @@
 #pragma once
 
 #include <cassert>
+#include <stdexcept>
 
 #include "grid/field3d.h"
 #include "parallel/shard_comm.h"
@@ -44,16 +63,27 @@ template <typename T>
 class ShardedField3D {
  public:
   ShardedField3D() = default;
-  ShardedField3D(Vec3i global_shape, int n_shards)
-      : global_(global_shape), n_shards_(n_shards) {
+  // local_rank == -1: dense-per-process, all N slabs resident.
+  // local_rank >= 0: rank-local, only that slab is allocated (SPMD;
+  // pass ShardComm::local_rank()).
+  ShardedField3D(Vec3i global_shape, int n_shards, int local_rank = -1)
+      : global_(global_shape), n_shards_(n_shards), local_(local_rank) {
     assert(n_shards >= 1 && n_shards <= global_shape.x);
+    assert(local_rank < n_shards);
     slabs_.reserve(n_shards);
-    for (int r = 0; r < n_shards; ++r)
-      slabs_.emplace_back(Vec3i{x1(r) - x0(r), global_.y, global_.z});
+    for (int r = 0; r < n_shards; ++r) {
+      if (local_ >= 0 && r != local_)
+        slabs_.emplace_back();  // non-resident: empty placeholder
+      else
+        slabs_.emplace_back(Vec3i{x1(r) - x0(r), global_.y, global_.z});
+    }
   }
 
   const Vec3i& global_shape() const { return global_; }
   int n_shards() const { return n_shards_; }
+  // -1 in dense-per-process mode; the one resident rank otherwise.
+  int local_rank() const { return local_; }
+  bool has_slab(int r) const { return local_ < 0 || r == local_; }
 
   // Slab extents: rank r owns global x planes [x0(r), x1(r)).
   int x0(int r) const { return shard_begin(global_.x, n_shards_, r); }
@@ -69,20 +99,39 @@ class ShardedField3D {
     return r;
   }
 
-  Field3D<T>& slab(int r) { return slabs_[r]; }
-  const Field3D<T>& slab(int r) const { return slabs_[r]; }
+  Field3D<T>& slab(int r) {
+    check_resident(r);
+    return slabs_[r];
+  }
+  const Field3D<T>& slab(int r) const {
+    check_resident(r);
+    return slabs_[r];
+  }
+  // Layout-only slab size (valid for every rank in both modes).
+  std::size_t slab_elements(int r) const {
+    return static_cast<std::size_t>(x1(r) - x0(r)) * global_.y * global_.z;
+  }
 
   // --- dense <-> sharded (setup / result gather only) -----------------
+  // Rank-local mode copies only the resident slab (each rank restricts
+  // the same dense source).
   void from_dense(const Field3D<T>& dense) {
     assert(dense.shape() == global_);
     const std::size_t plane =
         static_cast<std::size_t>(global_.y) * global_.z;
     for (int r = 0; r < n_shards_; ++r) {
+      if (!has_slab(r)) continue;
       const T* src = dense.data() + static_cast<std::size_t>(x0(r)) * plane;
       std::copy(src, src + slabs_[r].size(), slabs_[r].data());
     }
   }
+  // Dense-per-process mode only: rank-local callers hold one slab and
+  // must gather through the transport (gather_dense below).
   Field3D<T> to_dense() const {
+    if (local_ >= 0)
+      throw std::logic_error(
+          "ShardedField3D::to_dense: rank-local field holds one slab; "
+          "use gather_dense(field, comm)");
     Field3D<T> dense(global_);
     const std::size_t plane =
         static_cast<std::size_t>(global_.y) * global_.z;
@@ -94,8 +143,15 @@ class ShardedField3D {
 
   // --- Gen_VF primitive: periodic sub-box gather across shards --------
   // Identical values to Field3D::extract_into on the dense field; reads
-  // only, so concurrent fragment extractions are safe.
+  // only, so concurrent fragment extractions are safe. Dense-per-process
+  // mode only: rank-local readers cannot see remote slabs, so the SPMD
+  // Gen_VF path assembles fragment boxes from its own slab plus the
+  // halo-exchanged planes instead (fragment/ls3df.cpp).
   void extract_into(Vec3i offset, Field3D<T>& out) const {
+    if (local_ >= 0)
+      throw std::logic_error(
+          "ShardedField3D::extract_into: rank-local field cannot read "
+          "remote slabs; use the solver's halo exchange");
     const Vec3i sub = out.shape();
     for (int ix = 0; ix < sub.x; ++ix) {
       const int gx = pmod(offset.x + ix, global_.x);
@@ -121,7 +177,7 @@ class ShardedField3D {
     assert(sub_offset.x >= 0 && sub_offset.x + region.x <= sub.shape().x);
     assert(sub_offset.y >= 0 && sub_offset.y + region.y <= sub.shape().y);
     assert(sub_offset.z >= 0 && sub_offset.z + region.z <= sub.shape().z);
-    Field3D<T>& s = slabs_[r];
+    Field3D<T>& s = slab(r);
     const int xb = x0(r), xe = x1(r);
     for (int ix = 0; ix < region.x; ++ix) {
       const int gx = pmod(offset.x + ix, global_.x);
@@ -139,8 +195,16 @@ class ShardedField3D {
   }
 
  private:
+  void check_resident(int r) const {
+    if (local_ >= 0 && r != local_)
+      throw std::logic_error(
+          "ShardedField3D::slab: rank-local field does not hold this "
+          "rank's slab");
+  }
+
   Vec3i global_{0, 0, 0};
   int n_shards_ = 0;
+  int local_ = -1;
   std::vector<Field3D<T>> slabs_;
 };
 
@@ -161,5 +225,12 @@ double plane_dot(const ShardedFieldR& a, const ShardedFieldR& b,
                  ShardComm& comm);
 double plane_l1(const ShardedFieldR& a, const ShardedFieldR& b,
                 ShardComm& comm);
+
+// Rebuild the dense field on every rank through the transport, one slab
+// of allgatherv staging at a time (so the transient exchange footprint
+// is bounded by the largest slab, not the global grid). Works in both
+// storage modes — the rank-local replacement for to_dense() at
+// public-API and snapshot boundaries.
+FieldR gather_dense(const ShardedFieldR& f, ShardComm& comm);
 
 }  // namespace ls3df

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "parallel/thread_pool.h"
 
@@ -37,17 +38,33 @@ void ShardComm::all_to_all(const std::function<void(int)>& pack,
   each_rank(unpack);         // receivers read their lanes
 }
 
-const double* ShardComm::all_gather(
+const double* ShardComm::GatherView::data() const {
+  if (stale())
+    throw std::logic_error(
+        "ShardComm::GatherView: stale read — the transport reused the "
+        "gather table for a later all_gather/gather_one; copy the data "
+        "out before the next collective");
+  return comm_->transport_->gather_table();
+}
+
+bool ShardComm::GatherView::stale() const {
+  return generation_ != comm_->gather_generation_;
+}
+
+ShardComm::GatherView ShardComm::all_gather(
     const std::vector<int>& counts,
     const std::function<void(int rank, double* block)>& fill) {
   assert(static_cast<int>(counts.size()) == n_ranks_);
+  ++gather_generation_;  // views from earlier gathers latch stale now
+  std::size_t total = 0;
+  for (int c : counts) total += static_cast<std::size_t>(c);
   transport_->gather_layout(counts);
   each_rank([&](int r) { fill(r, transport_->gather_block(r)); });
   transport_->allgatherv();
-  return transport_->gather_table();
+  return GatherView(this, gather_generation_, total);
 }
 
-const double* ShardComm::gather_one(
+ShardComm::GatherView ShardComm::gather_one(
     int owner, std::size_t count,
     const std::function<void(double* block)>& fill) {
   assert(owner >= 0 && owner < n_ranks_);

@@ -40,10 +40,13 @@
 //
 // Backends: in-process logical ranks (zero-copy, the default), forked
 // worker processes over POSIX shared memory (true multi-process LS3DF on
-// one node), and MPI under LS3DF_WITH_MPI. The in-process backends are
-// bit-identical to each other and to the dense path. Under an SPMD
-// transport (MPI) each process owns one rank, and each_rank runs the
-// body only for the local rank.
+// one node), a thread-SPMD group (transport/thread_transport.h), and MPI
+// under LS3DF_WITH_MPI. All backends are bit-identical to each other and
+// to the dense path (the ordered-reduction contract in
+// transport/transport.h). Under an SPMD transport (threads, MPI) each
+// process/thread owns one rank: each_rank runs the body only for the
+// local rank (local_rank() >= 0), and distributed containers allocate
+// only the local rank's slabs.
 //
 // All exchange buffers are transport-owned, grow-only, and persist
 // across calls; allocations() counts capacity-growth events uniformly
@@ -53,6 +56,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -63,6 +67,31 @@ namespace ls3df {
 
 class ShardComm {
  public:
+  // Handle to the transport-owned gather table returned by all_gather /
+  // gather_one. The table's storage belongs to the transport and is
+  // reused by the NEXT gather on this communicator: a view is valid from
+  // the gather that produced it until the next all_gather/gather_one
+  // call, after which data() throws std::logic_error (a latched,
+  // deterministic error — never a silent read of recycled storage).
+  // Views are cheap value types; callers that need the data past the
+  // next collective must copy it out while the view is fresh.
+  class GatherView {
+   public:
+    // The assembled rank-ordered table (layout per the counts passed to
+    // the producing gather). Throws std::logic_error once stale.
+    const double* data() const;
+    std::size_t size() const { return size_; }
+    bool stale() const;
+
+   private:
+    friend class ShardComm;
+    GatherView(const ShardComm* comm, std::uint64_t generation,
+               std::size_t size)
+        : comm_(comm), generation_(generation), size_(size) {}
+    const ShardComm* comm_;
+    std::uint64_t generation_;
+    std::size_t size_;
+  };
   // n_ranks logical ranks; phases fan out over min(n_workers, n_ranks)
   // lanes of the shared pool. The transport kind selects the exchange
   // backend (Ls3dfOptions::transport at the solver level).
@@ -80,6 +109,14 @@ class ShardComm {
   int n_workers() const { return n_workers_; }
   Transport& transport() const { return *transport_; }
   TransportKind transport_kind() const { return transport_->kind(); }
+
+  // The local rank under an SPMD transport (one rank per process or
+  // thread; distributed containers then allocate only this rank's
+  // slabs), or -1 when this process owns every rank (in-process
+  // backends, dense-per-process layout).
+  int local_rank() const {
+    return transport_->spmd() ? transport_->self_rank() : -1;
+  }
 
   // One SPMD phase: run fn(rank) for every rank in parallel on the shared
   // pool; returns when all ranks finished (the phase barrier). Rank
@@ -112,10 +149,12 @@ class ShardComm {
 
   // --- all_gather -----------------------------------------------------
   // Each rank fills its counts[rank] slots of a shared table (rank 0's
-  // block first). Returns the assembled rank-ordered table of
-  // sum(counts) doubles; the pointer stays valid until the next
-  // all_gather on this communicator.
-  const double* all_gather(
+  // block first). Under an SPMD transport the fill runs only for the
+  // local rank; the exchange assembles the full table on every rank.
+  // Returns a GatherView over the assembled rank-ordered table of
+  // sum(counts) doubles — valid until the next all_gather/gather_one on
+  // this communicator, after which data() throws (see GatherView).
+  GatherView all_gather(
       const std::vector<int>& counts,
       const std::function<void(int rank, double* block)>& fill);
 
@@ -124,10 +163,10 @@ class ShardComm {
   // checkpoint writer routes one slab at a time through this — at most
   // one slab of exchange staging is ever live, which is what keeps the
   // snapshot path inside the "no rank materializes the dense grid"
-  // contract. Same validity rule as all_gather: the pointer lasts until
+  // contract. Same validity rule as all_gather: the view lasts until
   // the next gather on this communicator.
-  const double* gather_one(int owner, std::size_t count,
-                           const std::function<void(double* block)>& fill);
+  GatherView gather_one(int owner, std::size_t count,
+                        const std::function<void(double* block)>& fill);
 
   // --- reduce_scatter -------------------------------------------------
   // contribute(rank) returns rank's length-n contribution (valid through
@@ -156,6 +195,10 @@ class ShardComm {
   int n_ranks_;
   int n_workers_;
   std::unique_ptr<Transport> transport_;
+  // Gather-table generation: bumped at the start of every
+  // all_gather/gather_one; GatherViews latch the generation they were
+  // produced under and refuse reads once it moves on.
+  std::uint64_t gather_generation_ = 0;
 };
 
 }  // namespace ls3df

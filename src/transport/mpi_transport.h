@@ -6,13 +6,18 @@
 // This is an SPMD backend (spmd() == true): every process constructs the
 // same ShardComm, but phase bodies run only for self_rank(), buffers are
 // posted only for the local rank, and the exchange is a real MPI
-// collective. The remaining gap to a full multi-node LS3DF is storage,
-// not semantics: ShardedField3D/DistFft3D still allocate every rank's
-// slab in each process (harmless, but O(N) waste); trimming them to
-// rank-local storage is the follow-up item in ROADMAP.md. Note also the
-// reduce_scatter caveat: MPI_SUM's reduction order is implementation-
-// defined, so bit-identity across backends holds for the in-process
-// transports but is not guaranteed under MPI.
+// collective. Distributed containers built on it (ShardedField3D,
+// DistFft3D, mixer history) allocate only the local rank's slabs, so
+// resident bytes per process are ~global/N plus bounded exchange scratch.
+//
+// reduce_scatter does NOT use MPI_Reduce_scatter: MPI_SUM's reduction
+// order is implementation-defined, which would break the cross-backend
+// bit-identity contract. Instead each rank point-to-point-sends owner
+// o's segment of its contribution, receives all N contributions for its
+// own segment, and folds them locally in strictly ascending rank order
+// from a zero accumulator — the exact InProcTransport fold, so the
+// ordered-commit rule (and bit-identity with the dense reference)
+// survives the jump across nodes.
 //
 // Lane sizes are exchanged with MPI_Alltoall before the payload
 // MPI_Alltoallv; payloads travel as MPI_DOUBLE (2 per complex), so a
@@ -84,6 +89,10 @@ class MpiTransport : public Transport {
   std::vector<int> reduce_counts_;
   std::vector<std::size_t> seg_;
   std::vector<double> reduce_self_, reduce_out_;
+  // Point-to-point reduce staging: all N ranks' contributions for the
+  // local segment, folded in ascending rank order (n_ranks * my_n).
+  std::vector<double> reduce_wire_;
+  std::vector<MPI_Request> reduce_reqs_;
   std::vector<long> lane_growths_;
   long growths_ = 0;
 };

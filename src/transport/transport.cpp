@@ -17,6 +17,8 @@ const char* transport_name(TransportKind kind) {
       return "inproc";
     case TransportKind::kProc:
       return "proc";
+    case TransportKind::kThreads:
+      return "threads";
     case TransportKind::kMpi:
       return "mpi";
   }
@@ -38,6 +40,12 @@ std::unique_ptr<Transport> make_transport(TransportKind kind, int n_ranks,
       return std::make_unique<ProcTransport>(
           n_ranks, shm_arena_bytes ? shm_arena_bytes
                                    : ProcTransport::kDefaultArenaBytes);
+    case TransportKind::kThreads:
+      // A thread-SPMD group is N coupled instances sharing one core;
+      // it cannot be built one rank at a time through this factory.
+      throw std::runtime_error(
+          "transport 'threads' is built as a group: use "
+          "make_thread_spmd_group() and Ls3dfOptions::transport_factory");
     case TransportKind::kMpi:
 #ifdef LS3DF_WITH_MPI
       // The communicator defines the rank count; the requested n_ranks

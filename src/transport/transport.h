@@ -21,10 +21,51 @@
 //                     reduce_scatter segment sum) is executed by worker
 //                     process r. See the phase protocol below.
 //
+//   ThreadTransport   N Transport instances over one shared in-process
+//                     core, each bound to a thread that acts as one SPMD
+//                     rank (make_thread_spmd_group). spmd() is true, so
+//                     it exercises the exact rank-local storage layout
+//                     and collective schedule MPI runs — without an MPI
+//                     launcher. Collectives rendezvous on counting
+//                     barriers; payload moves through per-(src,dst)
+//                     shared lanes between two barriers.
+//
 //   MpiTransport      (LS3DF_WITH_MPI only) one MPI process per rank,
-//                     collectives mapped 1:1 onto MPI. spmd() is true:
-//                     phased drivers run rank bodies for self_rank()
-//                     only. See the mapping table below.
+//                     collectives mapped 1:1 onto MPI (reduce_scatter
+//                     excepted; see the ordered-reduction contract).
+//                     spmd() is true: phased drivers run rank bodies for
+//                     self_rank() only. See the mapping table below.
+//
+// == Storage modes ==
+//
+// spmd() == false (inproc, proc): every distributed container —
+// ShardedField3D, DistFft3D, mixer history — holds all N slabs in the
+// one orchestrating process; rank bodies fan out over the shared pool
+// and touch only rank-owned slabs. This is the dense-per-process layout
+// and the bit-exact reference for everything below.
+//
+// spmd() == true (threads, MPI): each process/thread owns exactly one
+// rank and the containers allocate ONLY that rank's slab (plus bounded
+// exchange scratch), so resident bytes per rank are ~global/N. Dense
+// fields cross the boundary only through explicit allgatherv routes
+// (ShardComm::all_gather / gather_one, gather_dense in
+// grid/sharded_field.h) at public-API and snapshot seams; everything in
+// the inner iteration stays rank-local.
+//
+// == Ordered-reduction contract ==
+//
+// Every reduce_scatter implementation must sum item i's per-rank
+// contributions with the same left fold:
+//
+//   acc = 0; for (r = 0; r < n_ranks; ++r) acc += contrib[r][i];
+//
+// i.e. strictly ascending rank order from a zero accumulator. Floating-
+// point addition does not commute in rounding, so this fold IS the
+// bit-identity contract across backends: MpiTransport implements it with
+// point-to-point segment exchange and a local ordered fold rather than
+// MPI_Reduce_scatter(MPI_SUM), whose reduction order is implementation-
+// defined. The same rule is what lets the solver's ordered patch
+// commits survive the jump across nodes.
 //
 // == ProcTransport phase protocol (lock-free) ==
 //
@@ -52,12 +93,10 @@
 //   send_box/alltoallv/recv_box   MPI_Alltoall (lane sizes) +
 //                                 MPI_Alltoallv (payload)
 //   gather_*/allgatherv           MPI_Allgatherv
-//   reduce_*/reduce_scatter       MPI_Reduce_scatter (note: MPI_SUM
-//                                 reduction order is implementation-
-//                                 defined, so cross-backend bit-identity
-//                                 is only guaranteed for the in-process
-//                                 backends; a strictly rank-ordered MPI
-//                                 reduction would use point-to-point)
+//   reduce_*/reduce_scatter       MPI_Isend/Irecv segment exchange +
+//                                 local ascending-rank fold (the
+//                                 ordered-reduction contract above;
+//                                 MPI_SUM is NOT used)
 //   barrier                       MPI_Barrier
 //
 // Under MPI each process owns exactly one rank (spmd() == true), so
@@ -73,7 +112,7 @@
 
 namespace ls3df {
 
-enum class TransportKind { kInProc, kProc, kMpi };
+enum class TransportKind { kInProc, kProc, kThreads, kMpi };
 
 const char* transport_name(TransportKind kind);
 
@@ -85,9 +124,11 @@ class Transport {
   const char* name() const { return transport_name(kind()); }
   virtual int n_ranks() const = 0;
 
-  // True when each process owns exactly one rank (MPI): phased drivers
-  // must run rank bodies only for self_rank(), and per-rank buffer
-  // methods accept only the local rank.
+  // True when each process/thread owns exactly one rank (threads, MPI):
+  // phased drivers must run rank bodies only for self_rank(), per-rank
+  // buffer methods accept only the local rank, and distributed
+  // containers built on this transport allocate only the local rank's
+  // slabs (see the storage-modes block above).
   virtual bool spmd() const { return false; }
   virtual int self_rank() const { return 0; }
 
@@ -156,6 +197,10 @@ int transport_max_ranks(TransportKind kind);
 
 // Factory for ShardComm. n_workers drives the in-process backend's
 // parallel reduction; kMpi throws unless built with LS3DF_WITH_MPI.
+// kThreads always throws here: a thread-SPMD group is N coupled
+// instances, so it cannot be built one-at-a-time — build the group with
+// make_thread_spmd_group (transport/thread_transport.h) and hand each
+// instance to its rank's solver via Ls3dfOptions::transport_factory.
 // shm_arena_bytes sizes the proc backend's shared-memory reservation
 // (0 = its default); callers that know the exchange volume — the solver
 // knows the grid — should pass a bound so large problems cannot exhaust

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <complex>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,6 +21,7 @@
 #include "grid/sharded_field.h"
 #include "parallel/shard_comm.h"
 #include "poisson/sharded_poisson.h"
+#include "transport/thread_transport.h"
 
 namespace ls3df {
 namespace {
@@ -80,10 +82,11 @@ TEST(ShardComm, AllGatherTableIsRankOrdered) {
   for (TransportKind kind : {TransportKind::kInProc, TransportKind::kProc}) {
     ShardComm comm(3, 2, kind);
     const std::vector<int> counts{2, 1, 3};
-    const double* table =
+    const ShardComm::GatherView view =
         comm.all_gather(counts, [&](int r, double* block) {
           for (int k = 0; k < counts[r]; ++k) block[k] = 100.0 * r + k;
         });
+    const double* table = view.data();
     const std::vector<double> want{0, 1, 100, 200, 201, 202};
     for (std::size_t i = 0; i < want.size(); ++i)
       EXPECT_EQ(table[i], want[i]) << transport_name(kind);
@@ -136,6 +139,71 @@ TEST(ShardedField, DenseRoundTripAndPartition) {
     for (std::size_t i = 0; i < dense.size(); ++i)
       ASSERT_EQ(back[i], dense[i]);
   }
+}
+
+TEST(ShardedField, RankLocalModeHoldsOnlyTheLocalSlab) {
+  // The SPMD storage mode: only the local rank's slab is allocated;
+  // cross-rank payload access is a latched logic error, never a silent
+  // read of an empty placeholder. Layout queries stay valid everywhere.
+  const Vec3i shape{10, 4, 5};
+  const FieldR dense = random_field(shape, 101);
+  const int n = 3;
+  for (int local = 0; local < n; ++local) {
+    ShardedFieldR f(shape, n, local);
+    EXPECT_EQ(f.local_rank(), local);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(f.has_slab(r), r == local);
+      EXPECT_EQ(f.x0(r), ShardedFieldR(shape, n).x0(r));
+      EXPECT_EQ(f.slab_elements(r),
+                static_cast<std::size_t>(f.x1(r) - f.x0(r)) * shape.y *
+                    shape.z);
+      if (r != local) EXPECT_THROW(f.slab(r), std::logic_error);
+    }
+    // from_dense restricts the same dense source to the resident slab.
+    f.from_dense(dense);
+    const Field3D<double>& s = f.slab(local);
+    for (int lx = 0; lx < f.x1(local) - f.x0(local); ++lx)
+      for (int iy = 0; iy < shape.y; ++iy)
+        for (int iz = 0; iz < shape.z; ++iz)
+          ASSERT_EQ(s(lx, iy, iz), dense(f.x0(local) + lx, iy, iz));
+    // Dense reads that would touch remote slabs are clean errors.
+    EXPECT_THROW(f.to_dense(), std::logic_error);
+    FieldR box({3, 3, 3});
+    EXPECT_THROW(f.extract_into({0, 0, 0}, box), std::logic_error);
+  }
+}
+
+TEST(ShardedField, GatherDenseRebuildsTheGridInBothModes) {
+  const Vec3i shape{9, 4, 5};
+  const FieldR dense = random_field(shape, 103);
+  const int n = 3;
+  // Dense-per-process: gather_dense must agree with to_dense bitwise.
+  {
+    ShardComm comm(n, 2);
+    ShardedFieldR f(shape, n);
+    f.from_dense(dense);
+    const FieldR got = gather_dense(f, comm);
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      ASSERT_EQ(got[i], dense[i]);
+  }
+  // Rank-local SPMD: each rank holds one slab, yet every rank's gather
+  // reassembles the full dense grid bit-identically.
+  auto group = make_thread_spmd_group(n);
+  std::vector<int> ok(n, 0);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&, r]() {
+      ShardComm comm(n, 1, std::move(group[r]));
+      ShardedFieldR f(shape, n, comm.local_rank());
+      f.from_dense(dense);
+      const FieldR got = gather_dense(f, comm);
+      bool same = got.size() == dense.size();
+      for (std::size_t i = 0; same && i < dense.size(); ++i)
+        same = got[i] == dense[i];
+      ok[r] = same ? 1 : 0;
+    });
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < n; ++r) EXPECT_EQ(ok[r], 1) << r;
 }
 
 TEST(ShardedField, ExtractMatchesDenseBitwise) {

@@ -12,11 +12,13 @@
 #include <complex>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "parallel/shard_comm.h"
 #include "transport/proc_transport.h"
+#include "transport/thread_transport.h"
 #include "transport/transport.h"
 
 namespace ls3df {
@@ -111,11 +113,11 @@ TEST(Transport, SingleRankDegenerateCollectives) {
           EXPECT_EQ(comm.recv_box(0, dst)[0], cplx(1, 2));
           EXPECT_EQ(comm.recv_box(0, dst)[1], cplx(3, 4));
         });
-    const double* table = comm.all_gather(
+    const ShardComm::GatherView view = comm.all_gather(
         {3}, [](int, double* block) { block[0] = 7; block[1] = 8;
                                       block[2] = 9; });
-    EXPECT_EQ(table[0], 7);
-    EXPECT_EQ(table[2], 9);
+    EXPECT_EQ(view.data()[0], 7);
+    EXPECT_EQ(view.data()[2], 9);
     const std::vector<double> contrib{1.5, -2.5};
     comm.reduce_scatter(
         2, {0, 2}, [&](int) { return contrib.data(); },
@@ -227,6 +229,143 @@ TEST(Transport, SteadyStateAllocationsAreFlatPerBackend) {
         [](int) {});
     EXPECT_EQ(comm.allocations(), warm) << transport_name(kind);
   }
+}
+
+TEST(Transport, GatherViewLatchesStaleReads) {
+  // The gather table is transport-owned storage reused by the next
+  // gather; a view held across that boundary must fail loudly, not read
+  // recycled bytes.
+  ShardComm comm(2, 1, TransportKind::kInProc);
+  const ShardComm::GatherView v1 = comm.all_gather(
+      {1, 1}, [](int r, double* block) { block[0] = 10.0 + r; });
+  EXPECT_FALSE(v1.stale());
+  EXPECT_EQ(v1.size(), 2u);
+  EXPECT_EQ(v1.data()[0], 10.0);
+  EXPECT_EQ(v1.data()[1], 11.0);
+  const ShardComm::GatherView v2 = comm.gather_one(
+      1, 2, [](double* block) { block[0] = 5; block[1] = 6; });
+  EXPECT_TRUE(v1.stale());
+  EXPECT_THROW(v1.data(), std::logic_error);
+  EXPECT_FALSE(v2.stale());
+  EXPECT_EQ(v2.data()[0], 5.0);
+  EXPECT_EQ(v2.data()[1], 6.0);
+}
+
+TEST(ThreadTransport, GroupIsSpmdWithOneRankPerInstance) {
+  auto group = make_thread_spmd_group(3);
+  ASSERT_EQ(group.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(group[r]->kind(), TransportKind::kThreads);
+    EXPECT_TRUE(group[r]->spmd());
+    EXPECT_EQ(group[r]->self_rank(), r);
+    EXPECT_EQ(group[r]->n_ranks(), 3);
+  }
+  // kThreads has no single-instance construction — the factory points at
+  // make_thread_spmd_group instead of faking an SPMD group.
+  EXPECT_THROW(make_transport(TransportKind::kThreads, 2, 1),
+               std::runtime_error);
+}
+
+TEST(ThreadTransport, CollectivesBitIdenticalToInProc) {
+  // The SPMD leg of the cross-backend contract: N OS threads, each
+  // driving its own Transport instance through the same posts the
+  // dense-per-process in-proc communicator runs, must read the same
+  // bits out of every collective.
+  const int n = 3;
+  Rng rng(17);
+  std::vector<std::vector<cplx>> payload(n * n);
+  for (int src = 0; src < n; ++src)
+    for (int dst = 0; dst < n; ++dst) {
+      auto& lane = payload[src * n + dst];
+      lane.resize(static_cast<std::size_t>(1 + (src + 2 * dst) % 4));
+      for (cplx& v : lane) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+  const std::size_t items = 9;
+  std::vector<std::vector<double>> contrib(n, std::vector<double>(items));
+  for (auto& c : contrib)
+    for (double& v : c) v = rng.uniform(-1, 1);
+  const std::vector<std::size_t> seg{0, 4, 6, 9};
+  const std::vector<int> gcounts{2, 1, 3};
+
+  // One round of all three collectives through a communicator. Under an
+  // SPMD transport pack/fill/contribute run only for the local rank;
+  // every writer targets disjoint slots, so the shared outputs need no
+  // locking.
+  const auto round = [&](ShardComm& comm, std::vector<std::vector<cplx>>& got,
+                         std::vector<std::vector<double>>& table,
+                         std::vector<double>& red) {
+    comm.all_to_all(
+        [&](int src) {
+          for (int dst = 0; dst < n; ++dst) {
+            const auto& lane = payload[src * n + dst];
+            cplx* box = comm.send_box(src, dst, lane.size());
+            for (std::size_t k = 0; k < lane.size(); ++k) box[k] = lane[k];
+          }
+        },
+        [&](int dst) {
+          for (int src = 0; src < n; ++src) {
+            const cplx* box = comm.recv_box(src, dst);
+            got[src * n + dst].assign(box, box + comm.box_size(src, dst));
+          }
+        });
+    const ShardComm::GatherView view = comm.all_gather(
+        gcounts, [&](int r, double* block) {
+          for (int k = 0; k < gcounts[r]; ++k)
+            block[k] = 100.0 * r + k + 0.25;
+        });
+    const int local = comm.local_rank();
+    for (int r = 0; r < n; ++r)
+      if (local < 0 || r == local)
+        table[r].assign(view.data(), view.data() + view.size());
+    comm.reduce_scatter(
+        items, seg, [&](int r) { return contrib[r].data(); },
+        [&](int owner, const double* vals) {
+          for (std::size_t i = seg[owner]; i < seg[owner + 1]; ++i)
+            red[i] = vals[i - seg[owner]];
+        });
+    comm.barrier();
+  };
+
+  // Reference: the dense-per-process in-proc backend.
+  ShardComm ref(n, 2, TransportKind::kInProc);
+  std::vector<std::vector<cplx>> got_ref(n * n);
+  std::vector<std::vector<double>> tab_ref(n);
+  std::vector<double> red_ref(items);
+  round(ref, got_ref, tab_ref, red_ref);
+
+  // Thread-SPMD group: each rank's thread adopts its instance into a
+  // rank-local ShardComm and runs the identical round.
+  auto group = make_thread_spmd_group(n);
+  std::vector<std::vector<cplx>> got_thr(n * n);
+  std::vector<std::vector<double>> tab_thr(n);
+  std::vector<double> red_thr(items);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([&, r]() {
+      ShardComm comm(n, 1, std::move(group[r]));
+      ASSERT_EQ(comm.local_rank(), r);
+      round(comm, got_thr, tab_thr, red_thr);
+    });
+  for (auto& t : threads) t.join();
+
+  // Each SPMD rank read only its own recv lanes / reduce segment; the
+  // union must match the reference bitwise, and the gather table must be
+  // the full rank-ordered assembly on every rank.
+  for (int src = 0; src < n; ++src)
+    for (int dst = 0; dst < n; ++dst) {
+      const auto& a = got_ref[src * n + dst];
+      const auto& b = got_thr[src * n + dst];
+      ASSERT_EQ(a.size(), b.size()) << src << "->" << dst;
+      for (std::size_t k = 0; k < a.size(); ++k)
+        ASSERT_EQ(a[k], b[k]) << src << "->" << dst;
+    }
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(tab_thr[r].size(), tab_ref[0].size()) << r;
+    for (std::size_t k = 0; k < tab_thr[r].size(); ++k)
+      ASSERT_EQ(tab_thr[r][k], tab_ref[0][k]) << r;
+  }
+  for (std::size_t i = 0; i < items; ++i)
+    ASSERT_EQ(red_ref[i], red_thr[i]) << i;
 }
 
 TEST(ProcTransport, WorkerCrashIsDetectedNotHung) {
