@@ -58,6 +58,8 @@
 #include "fragment/ls3df.h"
 #include "grid/sharded_field.h"
 #include "linalg/blas.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/shard_comm.h"
 #include "parallel/thread_pool.h"
 
@@ -872,6 +874,110 @@ std::vector<JsonEntry> kernel_summary() {
                    static_cast<double>(mixed.iterations - ref.iterations),
                    0});
     out.push_back({"mixed_precision_energy_delta", de, 0});
+  }
+
+  {
+    // Tracing overhead + coverage on the skewed 1x1x4 division, with the
+    // barrier-free overlapped driver (the densest span stream: node
+    // spans from the TaskGraph observer, pool lane spans, Davidson
+    // sweeps). Tracing is an A/B toggle over bit-identical arithmetic,
+    // so CI asserts overhead < 2% (interleaved best-of-4 over identical
+    // deterministic work), the bit-identity flag, and that the union of
+    // non-iteration spans covers >= 95% of the iteration wall. The
+    // sharded overlapped solve also exports the CI artifacts:
+    // BENCH_trace.json (per-rank-attributed Chrome trace, validated by
+    // tools/trace_merge) and BENCH_metrics.json (the solve's metrics
+    // snapshot, schema ls3df-metrics-v1).
+    Structure s = petot_structure();
+    Ls3dfOptions lo = petot_options(std::min(4, default_workers()), 4);
+    lo.max_iterations = 2;
+    lo.l1_tol = 0.0;
+    lo.compute_energy = false;
+    lo.overlap = true;
+
+    Ls3dfSolver plain(s, lo);
+    TraceRecorder rec(std::size_t{1} << 18);
+    Ls3dfOptions lt = lo;
+    lt.trace = &rec;
+    Ls3dfSolver traced(s, lt);
+    // Warm pass (arenas, FFT plans) doubles as the fidelity reference.
+    const Ls3dfResult r_plain = plain.solve();
+    const Ls3dfResult r_traced = traced.solve();
+    double plain_ms = 1e300, traced_ms = 1e300;
+    for (int rep = 0; rep < 4; ++rep) {
+      Timer tp;
+      benchmark::DoNotOptimize(plain.solve().iterations);
+      plain_ms = std::min(plain_ms, tp.seconds() * 1e3);
+      rec.clear();
+      Timer tt;
+      benchmark::DoNotOptimize(traced.solve().iterations);
+      traced_ms = std::min(traced_ms, tt.seconds() * 1e3);
+    }
+    const double overhead =
+        plain_ms > 0 ? std::max(0.0, traced_ms / plain_ms - 1.0) : 0.0;
+    bool identical =
+        r_plain.conv_history.size() == r_traced.conv_history.size() &&
+        r_plain.rho.size() == r_traced.rho.size();
+    for (std::size_t i = 0; identical && i < r_plain.conv_history.size();
+         ++i)
+      identical = r_plain.conv_history[i] == r_traced.conv_history[i];
+    for (std::size_t i = 0; identical && i < r_plain.rho.size(); ++i)
+      identical = r_plain.rho[i] == r_traced.rho[i];
+
+    // The sharded overlapped traced solve: artifacts + span coverage.
+    TraceRecorder rec_sh(std::size_t{1} << 18);
+    Ls3dfOptions ls = lo;
+    ls.n_shards = 2;
+    ls.trace = &rec_sh;
+    Ls3dfSolver sharded(s, ls);
+    const Ls3dfResult r_sh = sharded.solve();
+
+    // Coverage: fraction of the "iter" spans' wall covered by the union
+    // (across all lanes) of every other span, clipped to the window.
+    std::vector<TraceEvent> all;
+    for (int t = 0; t < rec_sh.lane_count(); ++t)
+      for (const TraceEvent& ev : rec_sh.lane_events(t)) all.push_back(ev);
+    double iter_wall = 0, covered = 0;
+    for (const TraceEvent& it : all) {
+      if (std::strcmp(it.name, "iter") != 0) continue;
+      iter_wall += static_cast<double>(it.t1_us - it.t0_us);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> iv;
+      for (const TraceEvent& ev : all) {
+        if (std::strcmp(ev.name, "iter") == 0) continue;
+        const std::uint32_t lo32 = std::max(ev.t0_us, it.t0_us);
+        const std::uint32_t hi32 = std::min(ev.t1_us, it.t1_us);
+        if (hi32 > lo32) iv.emplace_back(lo32, hi32);
+      }
+      std::sort(iv.begin(), iv.end());
+      std::uint32_t cur_lo = 0, cur_hi = 0;
+      bool open = false;
+      for (const auto& w : iv) {
+        if (!open || w.first > cur_hi) {
+          if (open) covered += static_cast<double>(cur_hi - cur_lo);
+          cur_lo = w.first;
+          cur_hi = w.second;
+          open = true;
+        } else {
+          cur_hi = std::max(cur_hi, w.second);
+        }
+      }
+      if (open) covered += static_cast<double>(cur_hi - cur_lo);
+    }
+    const double coverage = iter_wall > 0 ? covered / iter_wall : 0.0;
+
+    rec_sh.write_chrome_json_file("BENCH_trace.json");
+    r_sh.metrics.write_json_file("BENCH_metrics.json");
+
+    out.push_back({"ls3df_solve_untraced_1x1x4", plain_ms, 0});
+    out.push_back({"ls3df_solve_traced_1x1x4", traced_ms, 0});
+    out.push_back({"ls3df_tracing_overhead_1x1x4", overhead, 0});
+    out.push_back(
+        {"trace_bit_identical_to_untraced", identical ? 1.0 : 0.0, 0});
+    out.push_back({"ls3df_trace_coverage_1x1x4", coverage, 0});
+    out.push_back({"ls3df_trace_events",
+                   static_cast<double>(rec_sh.total_events()), 0});
+    out.push_back({"ls3df_trace_dropped",
+                   static_cast<double>(rec_sh.dropped()), 0});
   }
   return out;
 }

@@ -134,6 +134,14 @@ class SnapshotWriter {
   // place. Throws SnapshotError(kIo) on any filesystem failure.
   void commit();
 
+  // Total record payload buffered so far (checkpoint-size metrics; the
+  // on-disk file adds fixed framing per record on top of this).
+  std::size_t payload_bytes() const {
+    std::size_t total = 0;
+    for (const Record& r : records_) total += r.payload.size();
+    return total;
+  }
+
  private:
   struct Record {
     std::string name;

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "linalg/blas.h"
 #include "linalg/eigen.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace ls3df {
@@ -350,6 +351,7 @@ EigensolverResult solve_all_band(const Hamiltonian& h, MatC& psi,
   };
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    TraceSpan sweep("davidson.sweep", TraceCat::kSolver, 1);
     result.iterations = iter + 1;
 
     // Rayleigh-Ritz in span(V).
@@ -509,6 +511,7 @@ std::vector<EigensolverResult> solve_all_band_batched(
   batched_apply(active);
 
   for (int iter = 0; iter < opt.max_iterations && !active.empty(); ++iter) {
+    TraceSpan sweep("davidson.sweep", TraceCat::kSolver, active.size());
     for (int i : active) results[i].iterations = iter + 1;
 
     rayleigh_ritz(active);
@@ -707,6 +710,7 @@ std::vector<EigensolverResult> solve_all_band_batched_f32(
   batched_apply(active);
 
   for (int iter = 0; iter < opt.max_iterations && !active.empty(); ++iter) {
+    TraceSpan sweep("davidson.sweep.f32", TraceCat::kSolver, active.size());
     for (int i : active) results[i].iterations = iter + 1;
 
     rayleigh_ritz(active);

@@ -14,6 +14,7 @@
 #include "fft/dist_fft3d.h"
 #include "fft/fft.h"
 #include "grid/sharded_field.h"
+#include "obs/trace.h"
 #include "parallel/shard_comm.h"
 #include "parallel/task_graph.h"
 #include "parallel/thread_pool.h"
@@ -156,6 +157,9 @@ int smooth_uniform_buffer(int p, int m, int b_max) {
 
 Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
     : structure_(s), opt_(opt), decomp_(opt.division), rng_(opt.seed) {
+  // Route all construction work (potential setup FFTs, shard state)
+  // through this instance's observability context.
+  ObsContextScope obs_scope(obs_ctx());
   const Vec3i m = opt.division;
   // A division of exactly 2 along an axis is structurally degenerate: the
   // size-2 fragments wrap the whole axis and carry no artificial boundary,
@@ -441,6 +445,7 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
 Ls3dfSolver::~Ls3dfSolver() = default;
 
 void Ls3dfSolver::gen_vf(const FieldR& v_global) {
+  ObsContextScope obs_scope(obs_ctx());
   assert(v_global.shape() == global_grid_);
   // Fragment restrictions are independent: fan out on the engine. Owned
   // fragments only — the rest have no solve state on this rank.
@@ -512,8 +517,10 @@ void Ls3dfSolver::update_precision_policy(
   use_fp32_iter_ = mixed_precision_available() &&
                    (conv_history.empty() || conv_history.back() > threshold);
   if (!use_fp32_iter_ && mixed_precision_available() &&
-      !conv_history.empty())
+      !conv_history.empty()) {
     fp64_promoted_ = true;
+    metrics_.add("solver.fp64_promotions");
+  }
 }
 
 long Ls3dfSolver::donated_lane_events() const {
@@ -521,6 +528,7 @@ long Ls3dfSolver::donated_lane_events() const {
 }
 
 void Ls3dfSolver::petot_f() {
+  ObsContextScope obs_scope(obs_ctx());
   const int n_own = own_end_ - own_begin_;
   if (n_own == 0) return;
   if (opt_.batch_width > 0 && !batches_.empty()) {
@@ -1259,6 +1267,8 @@ void Ls3dfSolver::maybe_write_checkpoint(
   if (!result.converged && result.iterations % every != 0) return;
 
   ScopedPhase sp(profile_, "Checkpoint");
+  TraceSpan ck_span("Checkpoint", TraceCat::kCheckpoint);
+  Timer ck_timer;
   // Under SPMD only rank 0 owns the snapshot file; every rank still
   // drives the record gathers below (they are collectives), and the file
   // rank 0 writes is byte-identical to the one a dense-per-process run
@@ -1348,7 +1358,14 @@ void Ls3dfSolver::maybe_write_checkpoint(
                         mixer_d->r_history()[i]);
     }
   }
-  if (w) w->commit();
+  if (w) {
+    w->commit();
+    ck_span.set_arg(w->payload_bytes());
+    metrics_.add("checkpoint.writes");
+    metrics_.add("checkpoint.bytes",
+                 static_cast<double>(w->payload_bytes()));
+    metrics_.observe("checkpoint.write_s", ck_timer.seconds());
+  }
 }
 
 void Ls3dfSolver::load_resume(const SnapshotReader& r) {
@@ -1435,6 +1452,7 @@ void Ls3dfSolver::load_resume(const SnapshotReader& r) {
 }
 
 Ls3dfResult Ls3dfSolver::resume(const std::string& snapshot_path) {
+  ObsContextScope obs_scope(obs_ctx());
   std::unique_ptr<SnapshotReader> reader =
       open_snapshot_with_fallback(snapshot_path);
   load_resume(*reader);
@@ -1459,6 +1477,7 @@ Ls3dfResult Ls3dfSolver::resume(const std::string& snapshot_path) {
     }
     resume_.reset();
     if (opt_.compute_energy) compute_patched_energy(result);
+    finalize_observability(result);
     result.profile = profile_;
     return result;
   }
@@ -1468,10 +1487,92 @@ Ls3dfResult Ls3dfSolver::resume(const std::string& snapshot_path) {
 }
 
 Ls3dfResult Ls3dfSolver::solve() {
+  ObsContextScope obs_scope(obs_ctx());
   fp64_promoted_ = false;  // re-arm the kMixed promotion latch
   resume_.reset();         // a plain solve never consumes stale resume state
   if (overlap_active()) return solve_overlap();
   return shards_ ? solve_sharded() : solve_dense();
+}
+
+// The observability context this solver installs around every entry
+// point: its own trace recorder (user-supplied), metrics registry and
+// FFT plan cache, plus the rank every span/metric should attribute to.
+// Per-instance routing is what makes concurrent solvers in one process
+// (the SolverService direction) observable without cross-talk.
+ObsContext Ls3dfSolver::obs_ctx() const {
+  ObsContext ctx;
+  ctx.trace = opt_.trace;
+  ctx.metrics = &metrics_;
+  ctx.plans = &plan_cache_;
+  ctx.rank = shards_ ? std::max(shards_->comm.local_rank(), 0) : 0;
+  return ctx;
+}
+
+// Per-outer-iteration bookkeeping shared by all three drivers: metric
+// series, iteration counters, and the user progress callback. The band
+// energy is the RANK-LOCAL signed partial sum over owned fragments
+// (sum_f sign_F * sum_b occ_b * eps_b) — deliberately communication-
+// free, so per-rank observability can never desynchronize the SPMD
+// collective sequence (see Ls3dfProgress in ls3df.h).
+void Ls3dfSolver::record_iteration(const Ls3dfResult& result, double l1,
+                                   double wall_s, bool fp32,
+                                   const std::map<std::string, double>& prof0) {
+  double band_e = 0;
+  for (int f = own_begin_; f < own_end_; ++f) {
+    const FragmentContext& ctx = *contexts_[f];
+    const std::size_t nb =
+        std::min(ctx.occ.size(), ctx.eigenvalues.size());
+    double acc = 0;
+    for (std::size_t b = 0; b < nb; ++b)
+      acc += ctx.occ[b] * ctx.eigenvalues[b];
+    band_e += static_cast<double>(ctx.frag.sign) * acc;
+  }
+  metrics_.push("iter.residual", l1);
+  metrics_.push("iter.band_energy", band_e);
+  metrics_.push("iter.wall_s", wall_s);
+  metrics_.add("solver.iterations");
+  if (fp32) metrics_.add("solver.fp32_iterations");
+  if (!opt_.progress) return;
+
+  const std::map<std::string, double>& now = profile_.totals();
+  const auto delta = [&](const char* key) {
+    const auto a = now.find(key);
+    if (a == now.end()) return 0.0;
+    const auto b = prof0.find(key);
+    return a->second - (b == prof0.end() ? 0.0 : b->second);
+  };
+  Ls3dfProgress prog;
+  prog.iteration = result.iterations;
+  prog.residual = l1;
+  prog.band_energy = band_e;
+  prog.fp32 = fp32;
+  prog.wall_s = wall_s;
+  prog.gen_vf_s = delta("Gen_VF");
+  prog.petot_s = delta("PEtot_F");
+  prog.gen_dens_s = delta("Gen_dens");
+  prog.genpot_s = delta("GENPOT");
+  prog.mix_s = delta("Mix");
+  prog.checkpoint_s = delta("Checkpoint");
+  opt_.progress(prog);
+}
+
+// End-of-solve gauges + the result's metrics snapshot. Called by every
+// driver (and the resume short-circuit) just before the result returns.
+void Ls3dfSolver::finalize_observability(Ls3dfResult& result) {
+  metrics_.set("solver.donated_lane_events",
+               static_cast<double>(donated_lane_events()));
+  metrics_.set("solver.overlap_fraction", result.overlap_fraction);
+  metrics_.set("solver.fp64_promoted", fp64_promoted_ ? 1.0 : 0.0);
+  metrics_.set("fft.thread_plan_count",
+               static_cast<double>(plan_cache_.thread_plan_count()));
+  if (shards_) {
+    Transport& t = shards_->comm.transport();
+    metrics_.set("transport.respawn_events",
+                 static_cast<double>(t.respawn_events()));
+    metrics_.set("transport.allocations",
+                 static_cast<double>(t.allocations()));
+  }
+  result.metrics = metrics_.snapshot();
 }
 
 Ls3dfResult Ls3dfSolver::solve_dense() {
@@ -1505,51 +1606,66 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
   for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
+    Timer iter_timer;
+    const std::map<std::string, double> prof0 = profile_.totals();
+    double l1 = 0;
     {
-      ScopedPhase sp(profile_, "Gen_VF");
-      gen_vf(v_in);
+      TraceSpan iter_span("iter", TraceCat::kSolver,
+                          static_cast<std::uint64_t>(iter + 1));
+      {
+        ScopedPhase sp(profile_, "Gen_VF");
+        TraceSpan ts("Gen_VF", TraceCat::kPhase);
+        gen_vf(v_in);
+      }
+      {
+        ScopedPhase sp(profile_, "PEtot_F");
+        TraceSpan ts("PEtot_F", TraceCat::kPhase);
+        petot_f();
+      }
+      FieldR rho;
+      {
+        ScopedPhase sp(profile_, "Gen_dens");
+        TraceSpan ts("Gen_dens", TraceCat::kPhase);
+        rho = gen_dens();
+        // Normalize the patched charge to the exact electron count (the
+        // patching cancellation leaves a small residual). Plane-blocked
+        // sum: the deterministic reduction shared with the sharded path.
+        const double total = plane_sum(rho) * point_vol;
+        result.charge_patch_error = std::abs(total - n_electrons);
+        if (total > 0) rho *= n_electrons / total;
+      }
+      FieldR v_out;
+      {
+        ScopedPhase sp(profile_, "GENPOT");
+        TraceSpan ts("GENPOT", TraceCat::kPhase);
+        v_out = genpot(rho);
+      }
+      l1 = plane_l1(v_out, v_in) * point_vol;
+      result.conv_history.push_back(l1);
+      result.rho = std::move(rho);
+      // Never latch convergence from an fp32 iteration: the residual must
+      // be confirmed by the fp64 solver (the policy switches to fp64 next
+      // iteration once l1 is this small).
+      if (l1 < opt_.l1_tol && !use_fp32_iter_) {
+        result.converged = true;
+        result.v_eff = v_in;
+      } else {
+        TraceSpan ts("Mix", TraceCat::kPhase);
+        v_in = mixer.mix(v_in, v_out);
+      }
+      // The end-of-iteration sequence point: V_in now carries the next
+      // iteration's input (or the converged potential) and the mixer
+      // holds this iteration's DIIS update.
+      maybe_write_checkpoint(result, &v_in, &mixer, nullptr);
     }
-    {
-      ScopedPhase sp(profile_, "PEtot_F");
-      petot_f();
-    }
-    FieldR rho;
-    {
-      ScopedPhase sp(profile_, "Gen_dens");
-      rho = gen_dens();
-      // Normalize the patched charge to the exact electron count (the
-      // patching cancellation leaves a small residual). Plane-blocked
-      // sum: the deterministic reduction shared with the sharded path.
-      const double total = plane_sum(rho) * point_vol;
-      result.charge_patch_error = std::abs(total - n_electrons);
-      if (total > 0) rho *= n_electrons / total;
-    }
-    FieldR v_out;
-    {
-      ScopedPhase sp(profile_, "GENPOT");
-      v_out = genpot(rho);
-    }
-    const double l1 = plane_l1(v_out, v_in) * point_vol;
-    result.conv_history.push_back(l1);
-    result.rho = std::move(rho);
-    // Never latch convergence from an fp32 iteration: the residual must
-    // be confirmed by the fp64 solver (the policy switches to fp64 next
-    // iteration once l1 is this small).
-    if (l1 < opt_.l1_tol && !use_fp32_iter_) {
-      result.converged = true;
-      result.v_eff = v_in;
-    } else {
-      v_in = mixer.mix(v_in, v_out);
-    }
-    // The end-of-iteration sequence point: V_in now carries the next
-    // iteration's input (or the converged potential) and the mixer
-    // holds this iteration's DIIS update.
-    maybe_write_checkpoint(result, &v_in, &mixer, nullptr);
+    record_iteration(result, l1, iter_timer.seconds(), use_fp32_iter_,
+                     prof0);
     if (result.converged) break;
   }
   if (!result.converged) result.v_eff = v_in;
 
   if (opt_.compute_energy) compute_patched_energy(result);
+  finalize_observability(result);
   result.profile = profile_;
   return result;
 }
@@ -1596,37 +1712,52 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
   for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
+    Timer iter_timer;
+    const std::map<std::string, double> prof0 = profile_.totals();
+    double l1 = 0;
     {
-      ScopedPhase sp(profile_, "Gen_VF");
-      gen_vf_sharded(v_in);
-    }
-    {
-      ScopedPhase sp(profile_, "PEtot_F");
-      petot_f();
-    }
-    {
-      ScopedPhase sp(profile_, "Gen_dens");
-      gen_dens_sharded();
-      const double total = plane_sum(s.rho, s.comm) * point_vol;
-      result.charge_patch_error = std::abs(total - n_electrons);
-      if (total > 0) {
-        const double scale = n_electrons / total;
-        s.comm.each_rank([&](int r) { s.rho.slab(r) *= scale; });
+      TraceSpan iter_span("iter", TraceCat::kSolver,
+                          static_cast<std::uint64_t>(iter + 1));
+      {
+        ScopedPhase sp(profile_, "Gen_VF");
+        TraceSpan ts("Gen_VF", TraceCat::kPhase);
+        gen_vf_sharded(v_in);
       }
+      {
+        ScopedPhase sp(profile_, "PEtot_F");
+        TraceSpan ts("PEtot_F", TraceCat::kPhase);
+        petot_f();
+      }
+      {
+        ScopedPhase sp(profile_, "Gen_dens");
+        TraceSpan ts("Gen_dens", TraceCat::kPhase);
+        gen_dens_sharded();
+        const double total = plane_sum(s.rho, s.comm) * point_vol;
+        result.charge_patch_error = std::abs(total - n_electrons);
+        if (total > 0) {
+          const double scale = n_electrons / total;
+          s.comm.each_rank([&](int r) { s.rho.slab(r) *= scale; });
+        }
+      }
+      {
+        ScopedPhase sp(profile_, "GENPOT");
+        TraceSpan ts("GENPOT", TraceCat::kPhase);
+        genpot_sharded(s.rho, v_out);
+      }
+      l1 = plane_l1(v_out, v_in, s.comm) * point_vol;
+      result.conv_history.push_back(l1);
+      // As in solve_dense: convergence only latches from an fp64
+      // iteration.
+      if (l1 < opt_.l1_tol && !use_fp32_iter_) {
+        result.converged = true;
+      } else {
+        TraceSpan ts("Mix", TraceCat::kPhase);
+        v_in = mixer.mix(v_in, v_out);
+      }
+      maybe_write_checkpoint(result, nullptr, nullptr, &mixer);
     }
-    {
-      ScopedPhase sp(profile_, "GENPOT");
-      genpot_sharded(s.rho, v_out);
-    }
-    const double l1 = plane_l1(v_out, v_in, s.comm) * point_vol;
-    result.conv_history.push_back(l1);
-    // As in solve_dense: convergence only latches from an fp64 iteration.
-    if (l1 < opt_.l1_tol && !use_fp32_iter_) {
-      result.converged = true;
-    } else {
-      v_in = mixer.mix(v_in, v_out);
-    }
-    maybe_write_checkpoint(result, nullptr, nullptr, &mixer);
+    record_iteration(result, l1, iter_timer.seconds(), use_fp32_iter_,
+                     prof0);
     if (result.converged) break;
   }
   result.v_eff =
@@ -1635,6 +1766,7 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
     result.rho = spmd_ ? gather_dense(s.rho, s.comm) : s.rho.to_dense();
 
   if (opt_.compute_energy) compute_patched_energy(result);
+  finalize_observability(result);
   result.profile = profile_;
   return result;
 }
@@ -2014,8 +2146,17 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   // graph-side).
   std::vector<std::pair<double, double>> times(
       g.size(), std::make_pair(0.0, -1.0));
-  g.set_task_observer([&times](int id, double t0, double t1) {
+  // graph_epoch_us anchors the graph-relative node timestamps the
+  // observer receives onto the recorder's clock; set just before each
+  // g.run(). Node spans carry the chain id (+1; 0 = chainless) in arg.
+  std::uint64_t graph_epoch_us = 0;
+  g.set_task_observer([&](int id, double t0, double t1) {
     times[id] = std::make_pair(t0, t1);
+    if (TraceRecorder* rec = obs_context().trace)
+      rec->emit(kPhaseName[node_phase[id]], TraceCat::kNode,
+                graph_epoch_us + static_cast<std::uint64_t>(t0 * 1e6),
+                graph_epoch_us + static_cast<std::uint64_t>(t1 * 1e6),
+                static_cast<std::uint64_t>(node_chain[id] + 1));
   });
 
   for (int iter = iter0; iter < opt_.max_iterations && !converged; ++iter) {
@@ -2026,8 +2167,10 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     // the fixed `inner` above, widening as chains retire.
     lane_budget_.reset(opt_.n_workers, std::max(1, n_batches));
     Timer iter_timer;
+    const std::map<std::string, double> prof0 = profile_.totals();
     if (!sh) rho_d = FieldR(global_grid_);  // fresh (zeroed) patch target
     std::fill(times.begin(), times.end(), std::make_pair(0.0, -1.0));
+    if (opt_.trace) graph_epoch_us = opt_.trace->now_us();
     g.run(shared_pool(), lanes);
 
     if (!sh) result.rho = std::move(rho_d);
@@ -2035,6 +2178,10 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     // Same sequence point as the phased drivers: the mix node has
     // already updated V_in (or convergence latched with it unmixed).
     maybe_write_checkpoint(result, &v_in_d, mixer_d.get(), mixer_s.get());
+    if (opt_.trace)
+      opt_.trace->emit("iter", TraceCat::kSolver, graph_epoch_us,
+                       opt_.trace->now_us(),
+                       static_cast<std::uint64_t>(iter + 1));
 
     // Attribution: per-phase busy sums (one profile sample per phase per
     // iteration), per-chain times, and the measured window overlap.
@@ -2067,6 +2214,7 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
     profile_.add("PEtot_F.workers", busy[kPetot]);
     const double wall = iter_timer.seconds();
     profile_.add("Iter.wall", wall);
+    record_iteration(result, l1, wall, use_fp32_iter_, prof0);
 
     // Overlap fraction: how much of the phase windows' combined length
     // exceeds their union, relative to the iteration wall. Phased
@@ -2107,6 +2255,7 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   }
 
   if (opt_.compute_energy) compute_patched_energy(result);
+  finalize_observability(result);
   result.profile = profile_;
   return result;
 }

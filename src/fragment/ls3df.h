@@ -92,7 +92,10 @@
 #include "dft/energy.h"
 #include "dft/mixing.h"
 #include "dft/scf.h"
+#include "fft/plan_cache.h"
 #include "fragment/decomposition.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
 #include "parallel/scheduler.h"
 #include "transport/transport.h"
 
@@ -100,6 +103,7 @@ namespace ls3df {
 
 class FaultPlan;       // checkpoint/fault_injection.h
 class SnapshotReader;  // checkpoint/snapshot.h
+class TraceRecorder;   // obs/trace.h
 
 // Crash-safe checkpoint/restart (Ls3dfOptions::checkpoint). With a
 // non-empty path, solve() writes a versioned CRC-protected snapshot
@@ -124,6 +128,32 @@ enum class Precision {
   kDouble,  // fp64 everywhere: the bit-identity reference path
   kMixed,   // fp32 batched Davidson for early outer iterations, promoted
             // to fp64 once the mixer's L1 residual crosses the promotion threshold
+};
+
+// Per-outer-iteration progress report (Ls3dfOptions::progress), emitted
+// at the end-of-iteration sequence point of every solve driver — the
+// same point that writes checkpoints, after the mixer has produced the
+// next iteration's input. All fields are observations of work already
+// done; the callback cannot perturb the trajectory.
+struct Ls3dfProgress {
+  int iteration = 0;     // 1-based completed outer iteration
+  double residual = 0;   // int |V_out - V_in| d3r (the L1 metric)
+  // Rank-local signed band-energy partial: sum over *owned* fragments F
+  // of alpha_F * sum_i occ_i eps_i. Deliberately communication-free —
+  // enabling progress on one SPMD rank can never desynchronize the
+  // collective sequence — so under SPMD each rank reports its own
+  // share (they sum to the global signed band energy).
+  double band_energy = 0;
+  bool fp32 = false;     // this iteration ran the fp32 fast path
+  double wall_s = 0;     // measured iteration wall seconds
+  // Per-phase seconds attributed to this iteration (profiler deltas;
+  // under overlap these are the attributed per-node busy sums).
+  double gen_vf_s = 0;
+  double petot_s = 0;
+  double gen_dens_s = 0;
+  double genpot_s = 0;
+  double mix_s = 0;       // overlap driver only; 0 on the phased paths
+  double checkpoint_s = 0;
 };
 
 struct Ls3dfOptions {
@@ -230,6 +260,23 @@ struct Ls3dfOptions {
   // Checkpoint/restart snapshots (see CheckpointOptions above). Off by
   // default; an execution knob, never part of the state fingerprint.
   CheckpointOptions checkpoint;
+  // --- observability (obs/) -------------------------------------------
+  // Span recorder for end-to-end tracing (obs/trace.h): phase and
+  // TaskGraph-node windows, pool lane activity, collective phases with
+  // byte counts and wait split, Davidson sweeps, checkpoint writes.
+  // Null (default) disables tracing; every instrumentation site then
+  // costs one thread-local load + null check. Purely observational —
+  // results are bit-identical with tracing on or off — and, like every
+  // execution knob, never part of the state fingerprint. The recorder
+  // must outlive the solve; one recorder may serve many solves (and
+  // under SPMD each rank's solver typically gets its own recorder and
+  // writes a per-rank trace file merged by tools/trace_merge).
+  TraceRecorder* trace = nullptr;
+  // Per-outer-iteration callback (see Ls3dfProgress above), invoked on
+  // the driver thread at the end-of-iteration sequence point. An
+  // execution knob: never fingerprinted, never affects a bit of any
+  // result. Null disables it.
+  std::function<void(const Ls3dfProgress&)> progress;
 };
 
 struct Ls3dfResult {
@@ -260,6 +307,12 @@ struct Ls3dfResult {
   // windows — even on one core, where the win is structural, not wall
   // time.
   double overlap_fraction = 0;
+  // Snapshot of the solver's MetricsRegistry at the end of solve():
+  // transport bytes and phase-wait histograms, deadline margins,
+  // respawn events, checkpoint bytes/durations, fp32->fp64 promotions,
+  // lane-donation totals, per-iteration residual/energy series.
+  // Serialize with MetricsSnapshot::write_json ("ls3df-metrics-v1").
+  MetricsSnapshot metrics;
 };
 
 class Ls3dfSolver {
@@ -382,6 +435,9 @@ class Ls3dfSolver {
   // count is flat after the first outer iteration: the steady state
   // solves every fragment with zero workspace heap traffic.
   long workspace_allocations() const;
+  // Live view of the solver's metrics registry (Ls3dfResult::metrics is
+  // the end-of-solve snapshot of the same registry).
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
  private:
   struct FragmentContext;
@@ -475,6 +531,23 @@ class Ls3dfSolver {
                               const ShardedPotentialMixer* mixer_s);
   void load_resume(const SnapshotReader& r);
 
+  // --- observability internals (obs/) ----------------------------------
+  // The context every public entry point installs on its thread (and
+  // the pool propagates to every lane working for this solver): the
+  // options' trace recorder, this instance's metrics registry and FFT
+  // plan cache, and the local SPMD rank (0 otherwise).
+  ObsContext obs_ctx() const;
+  // End-of-iteration bookkeeping shared by the three drivers: pushes
+  // the per-iteration metrics series (residual, band energy, wall) and
+  // invokes the progress callback with phase-time deltas against
+  // `prof0`, the profiler totals captured at iteration start.
+  void record_iteration(const Ls3dfResult& result, double l1, double wall_s,
+                        bool fp32,
+                        const std::map<std::string, double>& prof0);
+  // End-of-solve gauges (donation, respawns, overlap fraction) and the
+  // registry snapshot into result.metrics.
+  void finalize_observability(Ls3dfResult& result);
+
   Structure structure_;
   Ls3dfOptions opt_;
   FragmentDecomposition decomp_;
@@ -534,7 +607,14 @@ class Ls3dfSolver {
   // Pending restore state between resume() and the driver that consumes
   // it (null outside a resume).
   std::unique_ptr<ResumeState> resume_;
+  // Per-instance observability and plan state (the SolverService
+  // prerequisite: nothing this solver accumulates is global). The
+  // profiler and registry are mutable because const phase hooks
+  // (genpot, gen_dens) record into them; the plan cache is mutable
+  // because const phases create plans on first use.
   mutable PhaseProfiler profile_;
+  mutable MetricsRegistry metrics_;
+  mutable FftPlanCache plan_cache_;
 };
 
 }  // namespace ls3df

@@ -1,0 +1,167 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+namespace ls3df {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kPhase: return "phase";
+    case TraceCat::kNode: return "node";
+    case TraceCat::kPool: return "pool";
+    case TraceCat::kCollective: return "comm";
+    case TraceCat::kSolver: return "solver";
+    case TraceCat::kCheckpoint: return "checkpoint";
+    case TraceCat::kMark: return "mark";
+  }
+  return "mark";
+}
+
+// One ring per recording thread. Single writer (the owning thread);
+// readers only at quiescent export.
+struct TraceRecorder::Lane {
+  explicit Lane(std::size_t capacity) : events(capacity) {}
+  std::vector<TraceEvent> events;  // sized once; never grows
+  std::uint64_t head = 0;          // monotonic; slot = head % size
+  std::uint64_t dropped = 0;
+};
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : id_(next_recorder_id()),
+      capacity_(capacity > 0 ? capacity : 1),
+      epoch_ns_(steady_ns()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Lane* TraceRecorder::lane_for_this_thread() {
+  // Cache keyed by the recorder's process-unique id: a recorder
+  // constructed at a reused address gets a fresh id, so stale cache
+  // entries from a destroyed recorder can never be returned for it.
+  // Entries for dead recorders are left behind in the (small) map;
+  // their Lane storage died with the recorder, but their keys are
+  // never looked up again.
+  thread_local std::unordered_map<std::uint64_t, Lane*> cache;
+  auto it = cache.find(id_);
+  if (it != cache.end()) return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  lanes_.push_back(std::make_unique<Lane>(capacity_));
+  Lane* lane = lanes_.back().get();
+  cache.emplace(id_, lane);
+  return lane;
+}
+
+void TraceRecorder::emit(const char* name, TraceCat cat, std::uint64_t t0_us,
+                         std::uint64_t t1_us, std::uint64_t arg,
+                         std::uint32_t arg2) {
+  Lane* lane = lane_for_this_thread();
+  const std::size_t slot =
+      static_cast<std::size_t>(lane->head % lane->events.size());
+  if (lane->head >= lane->events.size()) ++lane->dropped;
+  TraceEvent& ev = lane->events[slot];
+  ev.name = name;
+  ev.t0_us = static_cast<std::uint32_t>(t0_us);
+  ev.t1_us = static_cast<std::uint32_t>(t1_us);
+  ev.arg = arg;
+  ev.arg2 = arg2;
+  ev.rank = static_cast<std::uint16_t>(obs_context().rank);
+  ev.cat = static_cast<std::uint16_t>(cat);
+  ++lane->head;
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000u;
+}
+
+std::uint64_t TraceRecorder::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane->head;
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane->dropped;
+  return n;
+}
+
+int TraceRecorder::lane_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(lanes_.size());
+}
+
+std::vector<TraceEvent> TraceRecorder::lane_events(int lane_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  if (lane_index < 0 || lane_index >= static_cast<int>(lanes_.size()))
+    return out;
+  const Lane& lane = *lanes_[lane_index];
+  const std::uint64_t size = lane.events.size();
+  const std::uint64_t n = lane.head < size ? lane.head : size;
+  out.reserve(static_cast<std::size_t>(n));
+  // Oldest retained event first: when wrapped, that's slot head % size.
+  const std::uint64_t first = lane.head < size ? 0 : lane.head - size;
+  for (std::uint64_t i = 0; i < n; ++i)
+    out.push_back(lane.events[static_cast<std::size_t>((first + i) % size)]);
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& lane : lanes_) {
+    lane->head = 0;
+    lane->dropped = 0;
+  }
+  epoch_ns_ = steady_ns();
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  // One event per line — a format contract tools/trace_merge relies on.
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const int n_lanes = lane_count();
+  for (int tid = 0; tid < n_lanes; ++tid) {
+    for (const TraceEvent& ev : lane_events(tid)) {
+      const std::uint64_t dur =
+          ev.t1_us >= ev.t0_us ? ev.t1_us - ev.t0_us : 0u;
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"" << ev.name << "\",\"cat\":\""
+         << trace_cat_name(static_cast<TraceCat>(ev.cat))
+         << "\",\"ph\":\"X\",\"ts\":" << ev.t0_us << ",\"dur\":" << dur
+         << ",\"pid\":" << ev.rank << ",\"tid\":" << tid
+         << ",\"args\":{\"a\":" << ev.arg << ",\"b\":" << ev.arg2 << "}}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceRecorder::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_chrome_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace ls3df

@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace ls3df {
+
+namespace {
+
+// Per-collective observability epilogue: record the transport's
+// completion wait (wait-vs-transfer split) into the span's secondary
+// payload and the metrics registry. One virtual call when a recorder
+// or registry is installed; nothing otherwise.
+void record_collective(Transport& t, TraceSpan& span,
+                       const char* bytes_counter, std::uint64_t bytes) {
+  MetricsRegistry* m = obs_context().metrics;
+  if (!span.active() && !m) return;
+  const double wait_s = t.take_wait_seconds();
+  span.set_arg(bytes);
+  span.set_arg2(static_cast<std::uint32_t>(wait_s * 1e6));
+  if (!m) return;
+  if (bytes_counter) m->add(bytes_counter, static_cast<double>(bytes));
+  m->observe("transport.phase_wait_s", wait_s);
+  const double deadline = t.phase_deadline_seconds();
+  if (deadline > 0.0)
+    m->observe("transport.deadline_margin_s", deadline - wait_s);
+}
+
+}  // namespace
 
 ShardComm::ShardComm(int n_ranks, int n_workers, TransportKind transport)
     : ShardComm(n_ranks, n_workers,
@@ -24,17 +50,38 @@ ShardComm::ShardComm(int n_ranks, int n_workers,
 ShardComm::~ShardComm() = default;
 
 void ShardComm::each_rank(const std::function<void(int)>& fn) const {
+  // Install the rank being simulated (or embodied, under SPMD) so spans
+  // and metrics recorded inside the body attribute to the right pid.
   if (transport_->spmd()) {
+    ObsRankScope rank_scope(transport_->self_rank());
     fn(transport_->self_rank());
     return;
   }
-  parallel_for(n_ranks_, n_workers_, [&](int r, int /*worker*/) { fn(r); });
+  parallel_for(n_ranks_, n_workers_, [&](int r, int /*worker*/) {
+    ObsRankScope rank_scope(r);
+    fn(r);
+  });
 }
 
 void ShardComm::all_to_all(const std::function<void(int)>& pack,
                            const std::function<void(int)>& unpack) {
+  TraceSpan span("comm.alltoallv", TraceCat::kCollective);
   each_rank(pack);           // senders fill their lanes
   transport_->alltoallv();   // the exchange (zero-copy in process)
+  if (span.active() || obs_context().metrics) {
+    // complex<double> payload received by the ranks this process embodies
+    // (all of them in-process; only the local rank under SPMD, which is
+    // also all box_size lets an SPMD rank read).
+    const bool spmd = transport_->spmd();
+    const int dst_lo = spmd ? transport_->self_rank() : 0;
+    const int dst_hi = spmd ? dst_lo + 1 : n_ranks_;
+    std::uint64_t bytes = 0;
+    for (int src = 0; src < n_ranks_; ++src)
+      for (int dst = dst_lo; dst < dst_hi; ++dst)
+        bytes += static_cast<std::uint64_t>(transport_->box_size(src, dst)) *
+                 sizeof(std::complex<double>);
+    record_collective(*transport_, span, "transport.alltoallv_bytes", bytes);
+  }
   each_rank(unpack);         // receivers read their lanes
 }
 
@@ -58,9 +105,12 @@ ShardComm::GatherView ShardComm::all_gather(
   ++gather_generation_;  // views from earlier gathers latch stale now
   std::size_t total = 0;
   for (int c : counts) total += static_cast<std::size_t>(c);
+  TraceSpan span("comm.allgatherv", TraceCat::kCollective);
   transport_->gather_layout(counts);
   each_rank([&](int r) { fill(r, transport_->gather_block(r)); });
   transport_->allgatherv();
+  record_collective(*transport_, span, "transport.allgather_bytes",
+                    static_cast<std::uint64_t>(total) * sizeof(double));
   return GatherView(this, gather_generation_, total);
 }
 
@@ -76,18 +126,30 @@ ShardComm::GatherView ShardComm::gather_one(
                     });
 }
 
+void ShardComm::barrier() {
+  TraceSpan span("comm.barrier", TraceCat::kCollective);
+  transport_->barrier();
+  record_collective(*transport_, span, nullptr, 0);
+}
+
 void ShardComm::reduce_scatter(
     std::size_t n, const std::vector<std::size_t>& seg_begin,
     const std::function<const double*(int rank)>& contribute,
     const std::function<void(int rank, const double* seg)>& consume) {
   assert(static_cast<int>(seg_begin.size()) == n_ranks_ + 1);
   assert(seg_begin.front() == 0 && seg_begin.back() == n);
+  TraceSpan span("comm.reduce_scatter", TraceCat::kCollective);
   transport_->reduce_layout(n, seg_begin);
   each_rank([&](int r) {
     const double* c = contribute(r);
     std::copy(c, c + n, transport_->reduce_block(r));
   });
   transport_->reduce_scatter();
+  // Every rank contributes its full n-vector to the reduction.
+  record_collective(*transport_, span, "transport.reduce_bytes",
+                    static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(n_ranks_) *
+                        sizeof(double));
   each_rank(
       [&](int owner) { consume(owner, transport_->reduce_segment(owner)); });
 }

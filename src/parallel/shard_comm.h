@@ -180,7 +180,7 @@ class ShardComm {
       const std::function<void(int rank, const double* seg)>& consume);
 
   // Transport-level fence with no payload.
-  void barrier() { transport_->barrier(); }
+  void barrier();
 
   // Capacity-growth events across the transport's exchange buffers
   // (steady-state allocation probe; uniform semantics per backend).

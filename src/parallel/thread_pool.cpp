@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ls3df {
 
 // Shared completion state for one run_batch call. Tasks decrement
@@ -36,16 +38,22 @@ long ThreadPool::tasks_executed() const {
   return executed_;
 }
 
-void ThreadPool::run_task(const std::function<void()>& fn, Batch* batch) {
-  if (!batch) {
-    fn();
+void ThreadPool::run_task(const QueueItem& item) {
+  // Re-install the submitter's observability context for the duration of
+  // the task; the lane-activity span is recorded only when a recorder is
+  // installed (TraceSpan is a null check otherwise).
+  ObsContextScope obs_scope(item.ctx);
+  TraceSpan lane_span("pool.task", TraceCat::kPool);
+  if (!item.batch) {
+    item.fn();
     return;
   }
+  Batch* batch = item.batch;
   // Remaining tasks of a failed batch are skipped (but still counted
   // down in finish_batch_task so the waiter can return).
   if (batch->failed.load(std::memory_order_acquire)) return;
   try {
-    fn();
+    item.fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(batch->err_mu);
     if (!batch->error) batch->error = std::current_exception();
@@ -66,7 +74,7 @@ void ThreadPool::finish_batch_task(Batch* batch) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::pair<std::function<void()>, Batch*> item;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&]() { return stop_ || !queue_.empty(); });
@@ -75,14 +83,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++executed_;
     }
-    run_task(item.first, item.second);
-    finish_batch_task(item.second);
+    run_task(item);
+    finish_batch_task(item.batch);
   }
 }
 
 void ThreadPool::help_until_done(Batch& batch) {
   while (batch.remaining.load(std::memory_order_acquire) > 0) {
-    std::pair<std::function<void()>, Batch*> item;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (queue_.empty()) {
@@ -98,8 +106,8 @@ void ThreadPool::help_until_done(Batch& batch) {
       queue_.pop_front();
       ++executed_;
     }
-    run_task(item.first, item.second);
-    finish_batch_task(item.second);
+    run_task(item);
+    finish_batch_task(item.batch);
   }
 }
 
@@ -113,8 +121,11 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   batch.remaining.store(static_cast<int>(tasks.size()),
                         std::memory_order_release);
   {
+    // Capture the submitting thread's observability context once per
+    // batch; each task re-installs it on its executing lane.
+    const ObsContext ctx = obs_context();
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& fn : tasks) queue_.emplace_back(std::move(fn), &batch);
+    for (auto& fn : tasks) queue_.push_back(QueueItem{std::move(fn), &batch, ctx});
   }
   cv_work_.notify_all();
   // Also wake helpers parked in help_until_done: their wait predicate
@@ -128,7 +139,7 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
 void ThreadPool::post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back(std::move(fn), nullptr);
+    queue_.push_back(QueueItem{std::move(fn), nullptr, obs_context()});
   }
   cv_work_.notify_one();
   // Batch helpers parked in help_until_done sleep on cv_done_ with a
@@ -138,7 +149,7 @@ void ThreadPool::post(std::function<void()> fn) {
 
 void ThreadPool::help_while(const std::function<bool()>& done) {
   for (;;) {
-    std::pair<std::function<void()>, Batch*> item;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&]() { return !queue_.empty() || done(); });
@@ -147,8 +158,8 @@ void ThreadPool::help_while(const std::function<bool()>& done) {
       queue_.pop_front();
       ++executed_;
     }
-    run_task(item.first, item.second);
-    finish_batch_task(item.second);
+    run_task(item);
+    finish_batch_task(item.batch);
   }
 }
 

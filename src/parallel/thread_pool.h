@@ -45,6 +45,15 @@
 // the survivors fan the next parallel_for wider — without perturbing a
 // single bit of the result. The pool itself needs no changes for this:
 // donation only alters the n_workers argument callers pass in.
+//
+// Observability rides the queue: every enqueue (run_batch, post)
+// captures the submitting thread's ObsContext (obs/context.h) by value,
+// and the executing lane re-installs it around the task. Since TaskGraph
+// successors are posted from executing tasks, a solver's trace recorder,
+// metrics registry, and plan cache follow its work across lanes without
+// any of the kernels knowing. The inline fast paths (size-1 run_batch,
+// lanes <= 1 parallel_for) run on the submitting thread, where the
+// context is already installed.
 #pragma once
 
 #include <condition_variable>
@@ -54,6 +63,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/context.h"
 
 namespace ls3df {
 
@@ -102,17 +113,26 @@ class ThreadPool {
  private:
   struct Batch;
 
+  // One queued task: the callable, its batch (null for post()), and the
+  // submitting thread's observability context, re-installed around
+  // execution on whichever lane dequeues it.
+  struct QueueItem {
+    std::function<void()> fn;
+    Batch* batch = nullptr;
+    ObsContext ctx;
+  };
+
   void worker_loop();
   // Pop-and-run queued tasks until `batch` completes; sleep when the
   // queue is empty.
   void help_until_done(Batch& batch);
   void finish_batch_task(Batch* batch);
-  static void run_task(const std::function<void()>& fn, Batch* batch);
+  static void run_task(const QueueItem& item);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;  // workers: queue became non-empty
   std::condition_variable cv_done_;  // waiters: a batch task finished
-  std::deque<std::pair<std::function<void()>, Batch*>> queue_;
+  std::deque<QueueItem> queue_;
   std::vector<std::thread> threads_;
   long executed_ = 0;
   bool stop_ = false;

@@ -281,7 +281,17 @@ void ProcTransport::run_command(std::uint32_t cmd) {
   const std::uint64_t s =
       hdr_->seq.load(std::memory_order_relaxed) + 1;
   hdr_->seq.store(s, std::memory_order_release);
-  const double deadline = monotonic_seconds() + deadline_s_;
+  const double wait_start = monotonic_seconds();
+  const double deadline = wait_start + deadline_s_;
+  // Everything from seq publication to the last done[r] flip is
+  // completion wait: the workers do the memcpy/sum, the parent only
+  // spins. Accumulated for take_wait_seconds() (obs wait-vs-transfer
+  // split); the accounting costs two clock reads per command.
+  struct WaitAccumulator {
+    ProcTransport* t;
+    double start;
+    ~WaitAccumulator() { t->wait_seconds_ += monotonic_seconds() - start; }
+  } wait_acc{this, wait_start};
   for (int r = 0; r < n_ranks_; ++r) {
     int spins = 0;
     while (hdr_->done[r].load(std::memory_order_acquire) != s) {
@@ -320,6 +330,7 @@ void ProcTransport::respawn_rank(int rank) {
   const std::uint64_t s = hdr_->seq.load(std::memory_order_acquire);
   hdr_->done[rank].store(s, std::memory_order_release);
   spawn_worker(rank, s);
+  ++respawn_events_;
   failed_.clear();
 }
 

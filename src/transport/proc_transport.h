@@ -117,6 +117,18 @@ class ProcTransport : public Transport {
   // round (checkpoint/fault_injection.h). Null disables injection.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
+  // --- observability ---------------------------------------------------
+  // Completion-wait time accumulated by run_command since the last
+  // call (then reset), the deadline it was measured against, and the
+  // number of worker respawns — see transport.h.
+  double take_wait_seconds() override {
+    const double w = wait_seconds_;
+    wait_seconds_ = 0.0;
+    return w;
+  }
+  double phase_deadline_seconds() const override { return deadline_s_; }
+  long respawn_events() const override { return respawn_events_; }
+
   // Crash-detection hooks (tests): the worker process behind a rank.
   pid_t worker_pid(int rank) const { return pids_[rank]; }
   void kill_worker_for_test(int rank);
@@ -147,6 +159,8 @@ class ProcTransport : public Transport {
   pid_t pids_[kMaxRanks] = {};
   pid_t parent_pid_ = -1;                // for the PDEATHSIG race check
   double deadline_s_ = 120.0;
+  double wait_seconds_ = 0.0;            // completion-wait accumulator
+  long respawn_events_ = 0;
   FaultPlan* fault_plan_ = nullptr;
   std::uint64_t table_cap_ = 0;   // parent-side capacities of the two
   std::uint64_t result_cap_ = 0;  // single-region exchange targets

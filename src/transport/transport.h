@@ -177,6 +177,19 @@ class Transport {
   // report success trivially.
   virtual bool recover() { return true; }
 
+  // --- observability hooks (obs/) --------------------------------------
+  // Seconds this transport spent blocked waiting on remote completion
+  // since the last call, then reset — the "wait" half of ShardComm's
+  // wait-vs-transfer split. Zero-copy in-process backends never block,
+  // so the default is 0.
+  virtual double take_wait_seconds() { return 0.0; }
+  // The completion-wait deadline, if this backend enforces one (0 = no
+  // deadline). ShardComm derives per-collective deadline margins
+  // (deadline - observed wait) for the metrics registry.
+  virtual double phase_deadline_seconds() const { return 0.0; }
+  // Worker respawns (respawn_rank / recover sweeps) since construction.
+  virtual long respawn_events() const { return 0; }
+
   // Capacity-growth events across every exchange buffer this transport
   // owns (alltoallv lanes, gather table + blocks, reduce blocks +
   // result). All backends count the same way — one event per lane or

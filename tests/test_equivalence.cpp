@@ -18,11 +18,14 @@
 #include <stdexcept>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "atoms/builders.h"
 #include "common/rng.h"
 #include "fragment/ls3df.h"
+#include "obs/trace.h"
+#include "transport/thread_transport.h"
 
 namespace ls3df {
 namespace {
@@ -235,6 +238,109 @@ TEST(CrossPathEquivalence, KillAndResumeMatchesUninterruptedBitwise) {
     ASSERT_EQ(r.energy.total, ref.energy.total);
     std::remove(path.c_str());
     std::remove((path + ".1").c_str());
+  }
+}
+
+void expect_bitwise_equal(const Ls3dfResult& r, const Ls3dfResult& ref) {
+  ASSERT_EQ(r.iterations, ref.iterations);
+  ASSERT_EQ(r.conv_history.size(), ref.conv_history.size());
+  for (std::size_t k = 0; k < ref.conv_history.size(); ++k)
+    ASSERT_EQ(r.conv_history[k], ref.conv_history[k])
+        << "L1 metric differs at iteration " << k;
+  ASSERT_EQ(r.charge_patch_error, ref.charge_patch_error);
+  ASSERT_EQ(r.rho.size(), ref.rho.size());
+  for (std::size_t k = 0; k < ref.rho.size(); ++k)
+    ASSERT_EQ(r.rho[k], ref.rho[k]) << "density differs at point " << k;
+  ASSERT_EQ(r.v_eff.size(), ref.v_eff.size());
+  for (std::size_t k = 0; k < ref.v_eff.size(); ++k)
+    ASSERT_EQ(r.v_eff[k], ref.v_eff[k])
+        << "potential differs at point " << k;
+  ASSERT_EQ(r.energy.total, ref.energy.total);
+}
+
+// The observability dimension: a trace recorder, the metrics registry
+// and the per-iteration progress callback are execution knobs — a solve
+// with all of them live must reproduce the untraced bits exactly, on
+// the dense phased path, the sharded path, the barrier-free overlapped
+// path and a thread-SPMD group.
+TEST(CrossPathEquivalence, TracingAndMetricsAreBitwiseInvisible) {
+  const Structure s = h2_chain(3);
+  const Ls3dfOptions base = base_options(3);
+
+  struct Config {
+    int n_shards;
+    bool overlap;
+    const char* label;
+  };
+  for (const Config& c : {Config{0, false, "dense"},
+                          Config{2, false, "sharded"},
+                          Config{2, true, "overlap"}}) {
+    SCOPED_TRACE(c.label);
+    Ls3dfOptions lo = base;
+    lo.n_shards = c.n_shards;
+    lo.overlap = c.overlap;
+    lo.n_workers = 2;
+    Ls3dfResult ref;
+    {
+      Ls3dfSolver solver(s, lo);
+      ref = solver.solve();
+    }
+
+    TraceRecorder rec;
+    std::vector<double> residuals;
+    lo.trace = &rec;
+    lo.progress = [&residuals](const Ls3dfProgress& p) {
+      EXPECT_EQ(p.iteration, static_cast<int>(residuals.size()) + 1);
+      EXPECT_GE(p.wall_s, 0.0);
+      residuals.push_back(p.residual);
+    };
+    Ls3dfSolver solver(s, lo);
+    const Ls3dfResult r = solver.solve();
+    expect_bitwise_equal(r, ref);
+
+    // The observability layer actually observed the solve...
+    EXPECT_GT(rec.total_events(), 0u);
+    ASSERT_EQ(residuals.size(), r.conv_history.size());
+    for (std::size_t k = 0; k < residuals.size(); ++k)
+      EXPECT_EQ(residuals[k], r.conv_history[k]);
+    ASSERT_FALSE(r.metrics.empty());
+    EXPECT_EQ(r.metrics.counters.at("solver.iterations"),
+              static_cast<double>(r.iterations));
+  }
+
+  // Thread-SPMD: every rank carries its own recorder and registry; the
+  // solve must still land on the dense untraced reference's bits.
+  Ls3dfResult ref;
+  {
+    Ls3dfOptions lo = base;
+    Ls3dfSolver solver(s, lo);
+    ref = solver.solve();
+  }
+  const int shards = 2;
+  auto group = make_thread_spmd_group(shards);
+  std::vector<TraceRecorder> recs(shards);
+  std::vector<Ls3dfResult> res(shards);
+  std::vector<std::thread> threads;
+  for (int rk = 0; rk < shards; ++rk)
+    threads.emplace_back([&, rk]() {
+      Ls3dfOptions o = base;
+      o.n_shards = shards;
+      o.n_workers = 1;
+      o.overlap = true;
+      o.transport = TransportKind::kThreads;
+      o.transport_factory = [&group, rk](int, int, std::size_t) {
+        return std::move(group[rk]);
+      };
+      o.trace = &recs[rk];
+      Ls3dfSolver solver(s, o);
+      res[rk] = solver.solve();
+    });
+  for (auto& t : threads) t.join();
+  for (int rk = 0; rk < shards; ++rk) {
+    SCOPED_TRACE("spmd rank " + std::to_string(rk));
+    expect_bitwise_equal(res[rk], ref);
+    EXPECT_GT(recs[rk].total_events(), 0u);
+    EXPECT_FALSE(res[rk].metrics.empty());
   }
 }
 

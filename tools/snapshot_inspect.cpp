@@ -1,6 +1,6 @@
 // snapshot_inspect: dump an LS3DF checkpoint file record by record.
 //
-//   snapshot_inspect <snapshot> [--fallback]
+//   snapshot_inspect <snapshot> [--fallback] [--json]
 //
 // Prints the header (format version, option fingerprint, record count)
 // and one line per record: name, kind, payload bytes, element count and
@@ -10,6 +10,9 @@
 // printed and the exit status is nonzero — scripts can gate on it.
 // With --fallback the previous generation ("<path>.1") is tried when
 // the newest one is damaged, mirroring what Ls3dfSolver::resume() does.
+// With --json the same listing is emitted as one JSON object (schema
+// "ls3df-snapshot-v1", following the metrics JSON conventions of
+// src/obs/metrics.h: stable key order, one schema tag, machine-diffable).
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +45,29 @@ std::size_t element_size(RecordKind k) {
   return 1;
 }
 
+void dump_json(const SnapshotReader& r) {
+  std::printf("{\n  \"schema\": \"ls3df-snapshot-v1\",\n");
+  std::printf("  \"path\": \"%s\",\n", r.path().c_str());
+  std::printf("  \"version\": %u,\n", r.version());
+  std::printf("  \"fingerprint\": \"0x%016" PRIx64 "\",\n",
+              r.fingerprint());
+  std::size_t total = 0;
+  for (const auto& rec : r.records()) total += rec.bytes;
+  std::printf("  \"payload_bytes\": %zu,\n", total);
+  std::printf("  \"records\": [\n");
+  const auto& recs = r.records();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& rec = recs[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"kind\": \"%s\", \"bytes\": %zu, "
+        "\"count\": %zu, \"crc32\": \"0x%08x\"}%s\n",
+        rec.name.c_str(), kind_name(rec.kind), rec.bytes,
+        rec.bytes / element_size(rec.kind), rec.crc,
+        i + 1 < recs.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
 void dump(const SnapshotReader& r) {
   std::printf("snapshot   %s\n", r.path().c_str());
   std::printf("version    %u\n", r.version());
@@ -63,17 +89,21 @@ void dump(const SnapshotReader& r) {
 
 int main(int argc, char** argv) {
   bool fallback = false;
+  bool json = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fallback") == 0)
       fallback = true;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
     else if (!path)
       path = argv[i];
     else
       path = nullptr;  // too many positionals: force usage
   }
   if (!path) {
-    std::fprintf(stderr, "usage: snapshot_inspect <snapshot> [--fallback]\n");
+    std::fprintf(stderr,
+                 "usage: snapshot_inspect <snapshot> [--fallback] [--json]\n");
     return 2;
   }
 
@@ -81,12 +111,13 @@ int main(int argc, char** argv) {
     if (fallback) {
       bool used_fallback = false;
       auto r = open_snapshot_with_fallback(path, &used_fallback);
-      if (used_fallback)
+      if (used_fallback && !json)
         std::printf("note: newest generation damaged, showing %s\n\n",
                     r->path().c_str());
-      dump(*r);
+      json ? dump_json(*r) : dump(*r);
     } else {
-      dump(SnapshotReader(path));
+      const SnapshotReader r(path);
+      json ? dump_json(r) : dump(r);
     }
   } catch (const ls3df::SnapshotError& e) {
     std::fprintf(stderr, "snapshot_inspect: [%s] %s\n",

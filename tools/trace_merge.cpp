@@ -1,0 +1,351 @@
+// trace_merge: merge, validate and summarize LS3DF Chrome trace files.
+//
+//   trace_merge [--out=merged.json] [--report=report.json] <trace.json>...
+//
+// Inputs are the per-rank Chrome trace-event files TraceRecorder
+// exports (one complete "X" event per line — the format contract in
+// src/obs/trace.h). The tool:
+//
+//   1. validates every event (ph == "X", non-negative ts/dur, and
+//      proper nesting per (pid, tid) lane — RAII spans may share a
+//      boundary but never partially overlap);
+//   2. merges all inputs into one Perfetto-loadable trace (--out);
+//   3. recomputes the solver's timeline summary from the spans alone
+//      (--report, schema "ls3df-trace-report-v1"): per-iteration
+//      critical path (the busiest single lane inside each "iter"
+//      window), per-lane coverage of the iteration wall, and the
+//      overlap fraction the barrier-free driver reports — derived here
+//      independently, from node spans, as a cross-check.
+//
+// Exit status: 0 clean, 1 validation failure (scripts gate on it),
+// 2 usage.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::string name;
+  std::string cat;
+  unsigned long long ts = 0;
+  unsigned long long dur = 0;
+  int pid = 0;
+  int tid = 0;
+  unsigned long long arg_a = 0;
+  unsigned long long arg_b = 0;
+  std::string raw;  // the original line, re-emitted verbatim on merge
+};
+
+// Pull the value following `key` out of a single-event line. Events are
+// machine-written by TraceRecorder::write_chrome_json, so a plain
+// substring scan is exact — there is no nested or escaped structure
+// outside the quoted name.
+bool find_value(const std::string& line, const char* key,
+                std::string* out) {
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + std::strlen(key);
+  if (i < line.size() && line[i] == '"') {
+    const std::size_t end = line.find('"', i + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(i + 1, end - i - 1);
+    return true;
+  }
+  std::size_t end = i;
+  while (end < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[end])) ||
+          line[end] == '-'))
+    ++end;
+  if (end == i) return false;
+  *out = line.substr(i, end - i);
+  return true;
+}
+
+bool parse_event(const std::string& line, Event* ev, std::string* err) {
+  std::string v;
+  if (!find_value(line, "\"ph\":", &v)) {
+    *err = "event without \"ph\"";
+    return false;
+  }
+  if (v != "X") {
+    *err = "unsupported phase \"" + v + "\" (recorder emits only X)";
+    return false;
+  }
+  if (!find_value(line, "\"name\":", &ev->name) ||
+      !find_value(line, "\"cat\":", &ev->cat)) {
+    *err = "event missing name/cat";
+    return false;
+  }
+  std::string ts, dur, pid, tid;
+  if (!find_value(line, "\"ts\":", &ts) ||
+      !find_value(line, "\"dur\":", &dur) ||
+      !find_value(line, "\"pid\":", &pid) ||
+      !find_value(line, "\"tid\":", &tid)) {
+    *err = "event missing ts/dur/pid/tid";
+    return false;
+  }
+  if (ts.find('-') != std::string::npos ||
+      dur.find('-') != std::string::npos) {
+    *err = "negative ts/dur";
+    return false;
+  }
+  ev->ts = std::strtoull(ts.c_str(), nullptr, 10);
+  ev->dur = std::strtoull(dur.c_str(), nullptr, 10);
+  ev->pid = std::atoi(pid.c_str());
+  ev->tid = std::atoi(tid.c_str());
+  if (find_value(line, "\"a\":", &v))
+    ev->arg_a = std::strtoull(v.c_str(), nullptr, 10);
+  if (find_value(line, "\"b\":", &v))
+    ev->arg_b = std::strtoull(v.c_str(), nullptr, 10);
+  ev->raw = line;
+  return true;
+}
+
+// Total length of the union of [lo, hi) intervals.
+unsigned long long union_length(
+    std::vector<std::pair<unsigned long long, unsigned long long>>* iv) {
+  std::sort(iv->begin(), iv->end());
+  unsigned long long total = 0, lo = 0, hi = 0;
+  bool open = false;
+  for (const auto& w : *iv) {
+    if (!open || w.first > hi) {
+      if (open) total += hi - lo;
+      lo = w.first;
+      hi = w.second;
+      open = true;
+    } else {
+      hi = std::max(hi, w.second);
+    }
+  }
+  if (open) total += hi - lo;
+  return total;
+}
+
+// Proper-nesting check for one lane: sort by (ts asc, dur desc) so an
+// enclosing span precedes its children, then sweep with a stack of
+// open interval ends. A span must close before (or exactly when) every
+// enclosing span does.
+bool check_nesting(std::vector<const Event*>& lane, std::string* err) {
+  std::sort(lane.begin(), lane.end(), [](const Event* a, const Event* b) {
+    if (a->ts != b->ts) return a->ts < b->ts;
+    return a->dur > b->dur;
+  });
+  std::vector<unsigned long long> open_ends;
+  for (const Event* ev : lane) {
+    while (!open_ends.empty() && open_ends.back() <= ev->ts)
+      open_ends.pop_back();
+    const unsigned long long end = ev->ts + ev->dur;
+    if (!open_ends.empty() && end > open_ends.back()) {
+      *err = "span \"" + ev->name + "\" at ts=" + std::to_string(ev->ts) +
+             " partially overlaps an enclosing span";
+      return false;
+    }
+    open_ends.push_back(end);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path, report_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--report=", 9) == 0)
+      report_path = argv[i] + 9;
+    else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "trace_merge: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_merge [--out=merged.json] "
+                 "[--report=report.json] <trace.json>...\n");
+    return 2;
+  }
+
+  std::vector<Event> events;
+  for (const std::string& path : inputs) {
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "trace_merge: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(is, line)) {
+      if (line.find("\"traceEvents\"") != std::string::npos)
+        saw_header = true;
+      if (line.find("\"name\":") == std::string::npos) continue;
+      // Strip the inter-event separator the exporter appends.
+      while (!line.empty() && (line.back() == ',' || line.back() == '\r'))
+        line.pop_back();
+      Event ev;
+      std::string err;
+      if (!parse_event(line, &ev, &err)) {
+        std::fprintf(stderr, "trace_merge: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+      }
+      events.push_back(std::move(ev));
+    }
+    if (!saw_header) {
+      std::fprintf(stderr, "trace_merge: %s: not a trace-event file\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  // Per-lane nesting validation. "node" spans are excluded: they carry
+  // externally reconstructed timestamps (the TaskGraph observer's
+  // run-relative clock re-anchored onto the recorder epoch — see
+  // src/obs/trace.h), which can sit a few microseconds off the lane's
+  // RAII clock; only same-clock RAII spans promise proper nesting.
+  std::map<std::pair<int, int>, std::vector<const Event*>> lanes;
+  for (const Event& ev : events) {
+    if (ev.cat == "node") continue;
+    lanes[{ev.pid, ev.tid}].push_back(&ev);
+  }
+  for (auto& kv : lanes) {
+    std::string err;
+    if (!check_nesting(kv.second, &err)) {
+      std::fprintf(stderr, "trace_merge: pid=%d tid=%d: %s\n",
+                   kv.first.first, kv.first.second, err.c_str());
+      return 1;
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    os << "{\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      os << events[i].raw;
+      if (i + 1 < events.size()) os << ",\n";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  }
+
+  // --- timeline summary -------------------------------------------------
+  // Iteration windows come from the solver's explicit "iter" spans; all
+  // other spans are attributed to the window that contains their start.
+  std::vector<const Event*> iters;
+  for (const Event& ev : events)
+    if (ev.name == "iter") iters.push_back(&ev);
+  std::sort(iters.begin(), iters.end(), [](const Event* a, const Event* b) {
+    return a->ts < b->ts;
+  });
+
+  unsigned long long iter_wall = 0;
+  unsigned long long critical_path = 0;  // busiest lane per window, summed
+  double coverage = 0;                   // best lane busy / iter wall
+  double overlap_sum = 0;                // recomputed per window
+  std::map<std::pair<int, int>, unsigned long long> lane_busy;
+  for (const Event* it : iters) {
+    const unsigned long long w0 = it->ts, w1 = it->ts + it->dur;
+    iter_wall += it->dur;
+    // Per-lane busy union inside this window (excluding the iter span
+    // itself and its siblings on the orchestrating lane's outer level).
+    std::map<std::pair<int, int>,
+             std::vector<std::pair<unsigned long long, unsigned long long>>>
+        by_lane;
+    std::map<std::string,
+             std::pair<unsigned long long, unsigned long long>>
+        phase_window;
+    for (const Event& ev : events) {
+      if (ev.name == "iter") continue;
+      if (ev.ts < w0 || ev.ts >= w1) continue;
+      const unsigned long long hi = std::min(ev.ts + ev.dur, w1);
+      by_lane[{ev.pid, ev.tid}].emplace_back(ev.ts, hi);
+      if (ev.cat == "node" || ev.cat == "phase") {
+        auto f = phase_window.find(ev.name);
+        if (f == phase_window.end())
+          phase_window.emplace(ev.name, std::make_pair(ev.ts, hi));
+        else {
+          f->second.first = std::min(f->second.first, ev.ts);
+          f->second.second = std::max(f->second.second, hi);
+        }
+      }
+    }
+    unsigned long long best = 0;
+    for (auto& kv : by_lane) {
+      const unsigned long long busy = union_length(&kv.second);
+      lane_busy[kv.first] += busy;
+      best = std::max(best, busy);
+    }
+    critical_path += best;
+    // Overlap recompute, mirroring the barrier-free driver: how much the
+    // per-phase windows' combined length exceeds their union, relative
+    // to the iteration wall.
+    std::vector<std::pair<unsigned long long, unsigned long long>> wins;
+    unsigned long long span_sum = 0;
+    for (const auto& kv : phase_window) {
+      wins.push_back(kv.second);
+      span_sum += kv.second.second - kv.second.first;
+    }
+    const unsigned long long uni = union_length(&wins);
+    if (it->dur > 0 && span_sum > uni)
+      overlap_sum +=
+          static_cast<double>(span_sum - uni) / static_cast<double>(it->dur);
+  }
+  if (iter_wall > 0) {
+    unsigned long long best_total = 0;
+    for (const auto& kv : lane_busy)
+      best_total = std::max(best_total, kv.second);
+    coverage =
+        static_cast<double>(best_total) / static_cast<double>(iter_wall);
+  }
+  const double overlap_fraction =
+      iters.empty() ? 0.0 : overlap_sum / static_cast<double>(iters.size());
+
+  std::set<int> pids;
+  for (const Event& ev : events) pids.insert(ev.pid);
+
+  if (!report_path.empty()) {
+    std::ofstream os(report_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    os << "{\n  \"schema\": \"ls3df-trace-report-v1\",\n";
+    os << "  \"files\": " << inputs.size() << ",\n";
+    os << "  \"events\": " << events.size() << ",\n";
+    os << "  \"ranks\": " << pids.size() << ",\n";
+    os << "  \"lanes\": " << lanes.size() << ",\n";
+    os << "  \"iterations\": " << iters.size() << ",\n";
+    os << "  \"iter_wall_us\": " << iter_wall << ",\n";
+    os << "  \"critical_path_us\": " << critical_path << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", coverage);
+    os << "  \"best_lane_coverage\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6f", overlap_fraction);
+    os << "  \"overlap_fraction\": " << buf << "\n}\n";
+  }
+
+  std::printf("trace_merge: %zu events, %zu lanes, %zu ranks, %zu iters\n",
+              events.size(), lanes.size(), pids.size(), iters.size());
+  std::printf(
+      "iter wall %llu us, critical path %llu us, best-lane coverage %.3f, "
+      "overlap %.3f\n",
+      iter_wall, critical_path, coverage, overlap_fraction);
+  return 0;
+}
