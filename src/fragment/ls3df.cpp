@@ -282,6 +282,10 @@ Ls3dfSolver::Ls3dfSolver(const Structure& s, const Ls3dfOptions& opt)
 
   measured_seconds_.assign(contexts_.size(), -1.0);
   measured_seconds_f32_.assign(contexts_.size(), -1.0);
+  // Phase hooks (gen_vf, petot_f, ...) are callable outside solve():
+  // give them the full configured width until a driver's iteration
+  // boundary consults the live allowance.
+  live_workers_ = std::max(1, opt_.n_workers);
 
   if (opt_.n_shards > 0) {
     // Clamp to the grid's x extent and (without a factory) to the
@@ -449,7 +453,7 @@ void Ls3dfSolver::gen_vf(const FieldR& v_global) {
   assert(v_global.shape() == global_grid_);
   // Fragment restrictions are independent: fan out on the engine. Owned
   // fragments only — the rest have no solve state on this rank.
-  parallel_for(own_end_ - own_begin_, opt_.n_workers,
+  parallel_for(own_end_ - own_begin_, live_workers_,
                [&](int i, int /*worker*/) {
                  FragmentContext& ctx = *contexts_[own_begin_ + i];
                  v_global.extract_into(ctx.global_offset, ctx.vf);
@@ -527,16 +531,48 @@ long Ls3dfSolver::donated_lane_events() const {
   return lane_budget_.donation_events();
 }
 
+// The per-iteration width decision: the configured n_workers, clamped
+// by the live cross-job allowance when a service set one. Called at
+// every outer-iteration boundary — width is arithmetically invisible
+// everywhere it is consumed, so the refresh cadence is a pure
+// performance choice.
+int Ls3dfSolver::refresh_live_lanes() {
+  int w = std::max(1, opt_.n_workers);
+  if (opt_.lane_allowance) {
+    const int a = opt_.lane_allowance();
+    w = std::max(1, std::min(w, a));
+  }
+  live_workers_ = w;
+  return w;
+}
+
+void Ls3dfSolver::reset_state() {
+  // Re-seed every owned fragment's wavefunctions with the construction
+  // formula: the only numeric state that survives across solve() calls
+  // is psi (warm-started across outer iterations and across solves), so
+  // after this the next solve() is bit-identical to one on a newly
+  // constructed instance. Workspaces, transports, plans and measured
+  // costs are untouched — all execution-side, none of it reaches the
+  // arithmetic.
+  for (int f = own_begin_; f < own_end_; ++f) {
+    FragmentContext& ctx = *contexts_[f];
+    ctx.psi = random_wavefunctions(ctx.h->basis(), ctx.n_bands,
+                                   opt_.seed ^ (0x9e37u + f));
+  }
+  rng_ = Rng(opt_.seed);
+  resume_.reset();
+}
+
 void Ls3dfSolver::petot_f() {
   ObsContextScope obs_scope(obs_ctx());
   const int n_own = own_end_ - own_begin_;
   if (n_own == 0) return;
   if (opt_.batch_width > 0 && !batches_.empty()) {
     petot_f_batched(
-        std::max(1, std::min(opt_.n_workers,
+        std::max(1, std::min(live_workers_,
                              static_cast<int>(batches_.size()))));
   } else {
-    petot_f_per_fragment(std::max(1, std::min(opt_.n_workers, n_own)));
+    petot_f_per_fragment(std::max(1, std::min(live_workers_, n_own)));
   }
 }
 
@@ -709,8 +745,8 @@ void Ls3dfSolver::petot_f_batched(int n_groups) {
   // With donation on, `inner` is only the opening width: the budget's
   // allowance starts at exactly total/holders = inner and widens as
   // groups retire.
-  const int inner = std::max(1, opt_.n_workers / n_groups);
-  lane_budget_.reset(opt_.n_workers, n_groups);
+  const int inner = std::max(1, live_workers_ / n_groups);
+  lane_budget_.reset(live_workers_, n_groups);
   const std::vector<double> analytic = analytic_costs();
 
   std::vector<double> busy(n_groups, 0.0);
@@ -753,7 +789,7 @@ FieldR Ls3dfSolver::gen_dens() const {
   // always in the same order, so the patched density is bit-identical
   // for any worker count.
   const int nx = global_grid_.x;
-  const int slabs = std::max(1, std::min(opt_.n_workers, nx));
+  const int slabs = std::max(1, std::min(live_workers_, nx));
   parallel_for(slabs, slabs, [&](int s, int /*worker*/) {
     const int x0 = static_cast<int>(static_cast<long>(nx) * s / slabs);
     const int x1 = static_cast<int>(static_cast<long>(nx) * (s + 1) / slabs);
@@ -839,7 +875,7 @@ void Ls3dfSolver::gen_vf_sharded(const ShardedFieldR& v) {
     // owned fragment from (own slab + halo). Plane copies only — the
     // restricted values are bit-identical to dense extract_into.
     spmd_fill_halo(v);
-    parallel_for(own_end_ - own_begin_, opt_.n_workers,
+    parallel_for(own_end_ - own_begin_, live_workers_,
                  [&](int i, int /*worker*/) {
                    FragmentContext& ctx = *contexts_[own_begin_ + i];
                    spmd_extract(v, ctx.global_offset, ctx.vf);
@@ -851,7 +887,7 @@ void Ls3dfSolver::gen_vf_sharded(const ShardedFieldR& v) {
   // Fragment boxes straddle shard boundaries, so the restriction gathers
   // rows from every slab it overlaps (the halo seam); reads only, so the
   // fragment fan-out runs concurrently against the shared slabs.
-  parallel_for(static_cast<int>(contexts_.size()), opt_.n_workers,
+  parallel_for(static_cast<int>(contexts_.size()), live_workers_,
                [&](int f, int /*worker*/) {
                  FragmentContext& ctx = *contexts_[f];
                  v.extract_into(ctx.global_offset, ctx.vf);
@@ -1228,9 +1264,10 @@ std::uint64_t Ls3dfSolver::state_fingerprint() const {
   }
   // Every option that shapes the numerical trajectory. Deliberately
   // absent: max_iterations (resuming with a higher cap is the point),
-  // n_workers, batch_width, transport, overlap, donate, on_batch_solve
-  // and the checkpoint settings themselves — all bit-invariant execution
-  // knobs, so a resume may run on a different machine configuration.
+  // n_workers, batch_width, transport, overlap, donate, lane_allowance,
+  // trace, progress, on_batch_solve and the checkpoint settings
+  // themselves — all bit-invariant execution knobs, so a resume may run
+  // on a different machine configuration.
   fp.mix_i64(opt_.division.x);
   fp.mix_i64(opt_.division.y);
   fp.mix_i64(opt_.division.z);
@@ -1553,7 +1590,20 @@ void Ls3dfSolver::record_iteration(const Ls3dfResult& result, double l1,
   prog.genpot_s = delta("GENPOT");
   prog.mix_s = delta("Mix");
   prog.checkpoint_s = delta("Checkpoint");
-  opt_.progress(prog);
+  // The callback is user code running at the end-of-iteration sequence
+  // point — after the iteration's TaskGraph / engine work has fully
+  // drained. Latch anything it throws as a solver-attributed error so
+  // callers see one clean failure (and the pool, transport, and solver
+  // instance stay reusable) instead of an arbitrary user exception
+  // escaping the solve loop.
+  try {
+    opt_.progress(prog);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(
+        std::string("Ls3dfSolver: progress callback threw: ") + e.what());
+  } catch (...) {
+    throw std::runtime_error("Ls3dfSolver: progress callback threw");
+  }
 }
 
 // End-of-solve gauges + the result's metrics snapshot. Called by every
@@ -1606,6 +1656,7 @@ Ls3dfResult Ls3dfSolver::solve_dense() {
   for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
+    refresh_live_lanes();
     Timer iter_timer;
     const std::map<std::string, double> prof0 = profile_.totals();
     double l1 = 0;
@@ -1712,6 +1763,7 @@ Ls3dfResult Ls3dfSolver::solve_sharded() {
   for (int iter = iter0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
+    refresh_live_lanes();
     Timer iter_timer;
     const std::map<std::string, double> prof0 = profile_.totals();
     double l1 = 0;
@@ -1838,9 +1890,13 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   prepare_batch_workspaces();
   executed_group_of_.assign(n_frag, -1);
   const std::vector<double> analytic = analytic_costs();
-  const int lanes = std::max(1, opt_.n_workers);
+  // Graph topology (slab split, chain shape) and the donate-off inner
+  // width are fixed at entry from the live allowance; per-iteration
+  // liveness flows through the LaneBudget reset below (and, with donate
+  // on, the kernels' per-sweep allowance re-reads).
+  refresh_live_lanes();
   const int inner = std::max(
-      1, opt_.n_workers / std::max(1, std::min(n_batches, opt_.n_workers)));
+      1, live_workers_ / std::max(1, std::min(n_batches, live_workers_)));
 
   std::vector<int> batch_of(n_frag, -1);
   for (int b = 0; b < n_batches; ++b)
@@ -1857,7 +1913,7 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
       slabs.push_back({sh->rho.x0(r), sh->rho.x1(r), r});
   } else {
     const int nx = global_grid_.x;
-    const int ns = std::max(1, std::min(opt_.n_workers, nx));
+    const int ns = std::max(1, std::min(live_workers_, nx));
     for (int t = 0; t < ns; ++t)
       slabs.push_back({static_cast<int>(static_cast<long>(nx) * t / ns),
                        static_cast<int>(static_cast<long>(nx) * (t + 1) / ns),
@@ -2162,16 +2218,19 @@ Ls3dfResult Ls3dfSolver::solve_overlap() {
   for (int iter = iter0; iter < opt_.max_iterations && !converged; ++iter) {
     result.iterations = iter + 1;
     update_precision_policy(result.conv_history);
-    // Arm the lane budget for this round: every solve chain is a holder,
-    // opening at allowance == n_workers / min(n_batches, n_workers) ==
-    // the fixed `inner` above, widening as chains retire.
-    lane_budget_.reset(opt_.n_workers, std::max(1, n_batches));
+    // Arm the lane budget for this round from the LIVE width: every
+    // solve chain is a holder, opening at allowance == live / n_batches
+    // (== the fixed `inner` above when no allowance is installed),
+    // widening as chains retire — and, across jobs, as other service
+    // jobs finish and this one's allowance grows.
+    const int live = refresh_live_lanes();
+    lane_budget_.reset(live, std::max(1, n_batches));
     Timer iter_timer;
     const std::map<std::string, double> prof0 = profile_.totals();
     if (!sh) rho_d = FieldR(global_grid_);  // fresh (zeroed) patch target
     std::fill(times.begin(), times.end(), std::make_pair(0.0, -1.0));
     if (opt_.trace) graph_epoch_us = opt_.trace->now_us();
-    g.run(shared_pool(), lanes);
+    g.run(shared_pool(), live);
 
     if (!sh) result.rho = std::move(rho_d);
     if (converged) result.converged = true;

@@ -275,8 +275,25 @@ struct Ls3dfOptions {
   // Per-outer-iteration callback (see Ls3dfProgress above), invoked on
   // the driver thread at the end-of-iteration sequence point. An
   // execution knob: never fingerprinted, never affects a bit of any
-  // result. Null disables it.
+  // result. Null disables it. If the callback throws, the solve latches
+  // one clean solver-attributed error (std::runtime_error) after the
+  // iteration's engine work has fully drained — the pool, transport and
+  // solver instance all stay reusable.
   std::function<void(const Ls3dfProgress&)> progress;
+  // Live worker-lane allowance (the SolverService seam). When set, every
+  // outer iteration opens by clamping this solve's effective lane count
+  // to min(n_workers, max(1, lane_allowance())) — so concurrent solver
+  // instances can share one physical lane budget and a finishing job's
+  // lanes flow to the survivors at their next iteration boundary.
+  // Execution width is arithmetically invisible everywhere it is
+  // consumed (ordered reductions, ordered-commit patching, worker-
+  // invariant batched kernels), so a mid-run change of allowance cannot
+  // change a bit of any result; in the overlapped driver the graph
+  // topology is built once from n_workers and the live value flows
+  // through the per-iteration LaneBudget reset (and, with donate on,
+  // the per-sweep allowance re-reads). An execution knob: never part of
+  // the state fingerprint. Null keeps the fixed n_workers width.
+  std::function<int()> lane_allowance;
 };
 
 struct Ls3dfResult {
@@ -439,6 +456,35 @@ class Ls3dfSolver {
   // the end-of-solve snapshot of the same registry).
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
+  // --- job-facing execution-knob rebinding (service/) -------------------
+  // A warm instance outlives one job: the SolverService re-points the
+  // per-job hooks (trace recorder, progress callback, lane allowance,
+  // checkpoint cadence/path) at the next job instead of rebuilding the
+  // solver. All four are execution knobs excluded from
+  // state_fingerprint(), so rebinding can never change a bit of any
+  // result. Call between solves only — never while a solve is running.
+  void set_trace(TraceRecorder* trace) { opt_.trace = trace; }
+  void set_progress(std::function<void(const Ls3dfProgress&)> cb) {
+    opt_.progress = std::move(cb);
+  }
+  void set_lane_allowance(std::function<int()> fn) {
+    opt_.lane_allowance = std::move(fn);
+  }
+  void set_checkpoint(const CheckpointOptions& c) { opt_.checkpoint = c; }
+  // The instance's options as constructed (plus any rebinding above).
+  const Ls3dfOptions& options() const { return opt_; }
+
+  // Restore the freshly-constructed numeric state. Wavefunctions are
+  // warm-started across solve() calls (a deliberate convergence
+  // accelerator for iterate-on-one-problem callers), so back-to-back
+  // solves on one instance follow different — equally valid — SCF
+  // trajectories. A caller that needs the next solve() bit-identical to
+  // a brand-new instance (the SolverService reusing a pooled solver for
+  // a new job, or cold-retrying after a failed attempt) calls this
+  // first. resume() does not need it: snapshots restore psi wholesale.
+  // Call between solves only.
+  void reset_state();
+
  private:
   struct FragmentContext;
   struct ShardState;
@@ -575,6 +621,13 @@ class Ls3dfSolver {
   // (parallel/scheduler.h): holders are LPT groups when phased, solve
   // chains under overlap. Donation events accumulate across solve()s.
   LaneBudget lane_budget_;
+  // Effective lane count for the current outer iteration:
+  // min(n_workers, lane_allowance()) — refreshed at every iteration
+  // boundary by refresh_live_lanes(). Pure execution width, bit-
+  // invisible by the determinism contract (see Ls3dfOptions::
+  // lane_allowance).
+  int live_workers_ = 1;
+  int refresh_live_lanes();
   // Set by update_precision_policy for the upcoming outer iteration.
   bool use_fp32_iter_ = false;
   // One-way promotion latch: once a kMixed solve has run an fp64

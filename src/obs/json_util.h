@@ -1,0 +1,48 @@
+#pragma once
+
+// Obs-internal JSON primitives shared by every writer in the stack (the
+// metrics snapshot, the Chrome trace export, and the service-level
+// aggregation). Header-only so all emitters produce byte-identical
+// encodings of the same value.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ls3df {
+
+// Shortest round-trippable representation of a double, as the bench
+// JSON writer does: %.17g always round-trips, shorter when exact.
+// Non-finite values become null (JSON has no inf / nan).
+inline std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// RFC 8259 string escaping: quote, backslash, and control characters.
+// Everything else passes through byte-for-byte (UTF-8 stays UTF-8).
+inline std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ls3df

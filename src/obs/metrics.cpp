@@ -1,46 +1,12 @@
 #include "obs/metrics.h"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <ostream>
 
+#include "obs/json_util.h"
+
 namespace ls3df {
-
-namespace {
-
-// Shortest round-trippable representation of a double, as the bench
-// JSON writer does: %.17g always round-trips, shorter when exact.
-std::string json_double(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  for (int prec = 6; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
-
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
 
 int metrics_histogram_bin(double v) {
   const double scaled = v * 1e9;

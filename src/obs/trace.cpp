@@ -6,6 +6,8 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "obs/json_util.h"
+
 namespace ls3df {
 
 namespace {
@@ -147,7 +149,10 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
           ev.t1_us >= ev.t0_us ? ev.t1_us - ev.t0_us : 0u;
       if (!first) os << ",\n";
       first = false;
-      os << "{\"name\":\"" << ev.name << "\",\"cat\":\""
+      // Span names are escaped (obs/json_util.h): most are literals,
+      // but nothing stops a caller handing emit() a hostile name, and a
+      // raw quote or backslash here would corrupt the whole export.
+      os << "{\"name\":" << json_string(ev.name) << ",\"cat\":\""
          << trace_cat_name(static_cast<TraceCat>(ev.cat))
          << "\",\"ph\":\"X\",\"ts\":" << ev.t0_us << ",\"dur\":" << dur
          << ",\"pid\":" << ev.rank << ",\"tid\":" << tid

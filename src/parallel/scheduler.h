@@ -74,6 +74,58 @@ class LaneBudget {
   std::unique_ptr<std::atomic<bool>[]> retired_;
 };
 
+// == Cross-job lane sharing (the SolverService layer) ==
+//
+// LaneBudget splits one dispatch round's lanes across a FIXED holder set;
+// a service splits the machine's lanes across jobs that join and leave at
+// arbitrary times. SharedLaneBudget is the dynamic sibling: each running
+// job is one live holder, allowance(cap) is the even split of the total
+// clamped by the job's own max_lanes cap, and a finishing job's leave()
+// donates its lanes to the survivors — which pick them up at their next
+// allowance() read (the solver re-reads it at every outer-iteration
+// boundary via Ls3dfOptions::lane_allowance, and per sweep through its
+// own LaneBudget when donation is on). Execution width is arithmetically
+// invisible (thread_pool.h determinism contract), so the split schedule
+// can never change a bit of any job's result. All state is atomic:
+// join/leave/allowance never take a lock.
+class SharedLaneBudget {
+ public:
+  explicit SharedLaneBudget(int total_lanes = 1) {
+    total_.store(total_lanes < 1 ? 1 : total_lanes,
+                 std::memory_order_relaxed);
+  }
+
+  // Resize the pool (quiescent only — between jobs, not mid-read).
+  void set_total(int total_lanes) {
+    total_.store(total_lanes < 1 ? 1 : total_lanes,
+                 std::memory_order_relaxed);
+  }
+  int total() const { return total_.load(std::memory_order_relaxed); }
+
+  // A job starts running: one more live holder.
+  void join() { live_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // A running job finished: its lanes flow to the survivors. Counts one
+  // donation event when any survive.
+  void leave();
+
+  int live() const { return live_.load(std::memory_order_relaxed); }
+
+  // Lanes a live holder may use right now: the even split of the total
+  // over the live holders, clamped to [1, min(cap, total)].
+  int allowance(int cap) const;
+
+  // Cumulative count of leaves that had live survivors to widen.
+  long donation_events() const {
+    return donations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> total_{1};
+  std::atomic<int> live_{0};
+  std::atomic<long> donations_{0};
+};
+
 struct GroupAssignment {
   // group_of[f] = group index of fragment f.
   std::vector<int> group_of;

@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "fragment/ls3df.h"
 #include "obs/trace.h"
+#include "service/solver_service.h"
 #include "transport/thread_transport.h"
 
 namespace ls3df {
@@ -341,6 +342,59 @@ TEST(CrossPathEquivalence, TracingAndMetricsAreBitwiseInvisible) {
     expect_bitwise_equal(res[rk], ref);
     EXPECT_GT(recs[rk].total_events(), 0u);
     EXPECT_FALSE(res[rk].metrics.empty());
+  }
+}
+
+// The service dimension: heterogeneous draws submitted to one
+// SolverService — concurrent jobs on a shared lane budget, with live
+// cross-job donation as finishers leave — must land on the same dense
+// single-worker reference bits as their standalone solves. Multi-
+// tenancy is an execution knob like worker count: arithmetically
+// invisible.
+TEST(CrossPathEquivalence, ServiceJobsMatchDenseReferenceBitwise) {
+  const std::vector<Draw> draws = {
+      {3, 4, 0, TransportKind::kInProc, 4, true, true},
+      {3, 0, 2, TransportKind::kInProc, 2, false, true},
+      {4, 1, 0, TransportKind::kInProc, 4, true, false},
+      {3, 4, 2, TransportKind::kProc, 2, true, true},
+  };
+
+  std::map<int, Ls3dfResult> refs;
+  for (const Draw& d : draws) {
+    if (refs.count(d.ncells)) continue;
+    Structure s = h2_chain(d.ncells);
+    Ls3dfOptions lo = base_options(d.ncells);
+    lo.overlap = false;
+    lo.batch_width = 0;
+    lo.n_workers = 1;
+    lo.donate = false;
+    refs.emplace(d.ncells, Ls3dfSolver(s, lo).solve());
+  }
+
+  SolverServiceOptions so;
+  so.total_lanes = 4;
+  so.max_concurrent = static_cast<int>(draws.size());
+  SolverService service(so);
+  std::vector<SolverService::JobId> ids;
+  for (const Draw& d : draws) {
+    JobSpec spec;
+    Ls3dfOptions lo = base_options(d.ncells);
+    lo.batch_width = d.batch_width;
+    lo.n_shards = d.n_shards;
+    lo.transport = d.transport;
+    lo.n_workers = d.workers;
+    lo.overlap = d.overlap;
+    lo.donate = d.donate;
+    spec.options = lo;
+    ids.push_back(service.submit(h2_chain(d.ncells), std::move(spec)));
+  }
+  service.drain();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SCOPED_TRACE(draws[i].describe(0, static_cast<int>(i)));
+    const JobStatus st = service.status(ids[i]);
+    ASSERT_EQ(st.state, JobState::kDone) << st.error;
+    expect_bitwise_equal(service.result(ids[i]), refs.at(draws[i].ncells));
   }
 }
 

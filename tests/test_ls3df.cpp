@@ -1055,6 +1055,58 @@ TEST(Ls3df, OverlapChainFailureSurfacesCleanlyAndPoolIsReusable) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
+TEST(Ls3df, ProgressCallbackThrowLatchesCleanSolverError) {
+  // Regression: an exception escaping the user's Ls3dfOptions::progress
+  // callback used to unwind solve() as whatever the user threw, leaving
+  // the failure unattributed. It must latch as a clean solver error that
+  // names the callback (and carries the user's message), and the
+  // solver, its shard transport, and the shared pool must all stay
+  // reusable — exactly like an injected engine fault.
+  Structure s = h2_chain(3);
+  Ls3dfOptions lo = chain_options();
+  lo.max_iterations = 2;
+  lo.l1_tol = 0.0;
+
+  Ls3dfResult ref = Ls3dfSolver(s, lo).solve();  // clean reference
+
+  lo.n_workers = 4;
+  lo.n_shards = 2;
+  auto armed = std::make_shared<bool>(true);
+  lo.progress = [armed](const Ls3dfProgress&) {
+    if (*armed) {
+      *armed = false;
+      throw std::out_of_range("user callback bug");
+    }
+  };
+  Ls3dfSolver solver(s, lo);
+  try {
+    solver.solve();
+    FAIL() << "expected the progress-callback throw to surface";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("progress callback threw"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("user callback bug"), std::string::npos) << what;
+  }
+
+  // Same solver, disarmed callback: the retry completes on the same
+  // pool and the same (still warm) shard transport. It runs on warm
+  // wavefunctions from the failed attempt — a different, equally valid
+  // trajectory — so bit-identity to a fresh instance needs
+  // reset_state() first.
+  Ls3dfResult retry = solver.solve();
+  EXPECT_EQ(retry.iterations, 2);
+  solver.reset_state();
+  Ls3dfResult reset = solver.solve();
+  ASSERT_EQ(reset.rho.size(), ref.rho.size());
+  for (std::size_t i = 0; i < ref.rho.size(); ++i)
+    ASSERT_EQ(reset.rho[i], ref.rho[i]) << "point " << i;
+  // And an unrelated parallel_for still drains normally.
+  std::vector<int> hits(64, 0);
+  parallel_for(64, 4, [&](int i, int) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(Ls3df, OverlapProcWorkerDeathLatchesNotHangs) {
   // A ProcTransport worker killed mid-solve (OOM-kill stand-in) must
   // surface as a clean latched error from the overlapped solve() — the

@@ -94,6 +94,49 @@ TEST(Obs, SpanWellFormednessAndNesting) {
   EXPECT_EQ(events, 2);
 }
 
+TEST(Obs, ChromeJsonEscapesHostileSpanNames) {
+  // Regression: span names used to be streamed raw into the Chrome
+  // trace export, so a name carrying a quote, backslash, or control
+  // byte corrupted the whole JSON document. Names are escaped through
+  // the shared obs/json_util.h encoder now.
+  TraceRecorder rec;
+  ObsContext ctx;
+  ctx.trace = &rec;
+  ObsContextScope scope(ctx);
+  static const char kHostile[] = "evil\"name\\ with\nnewline and \x01 ctl";
+  rec.emit(kHostile, TraceCat::kMark, 0, 1);
+  rec.emit("clean", TraceCat::kMark, 1, 2);
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+
+  // The raw bytes never reach the stream...
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find("with\nnewline"), std::string::npos);
+  // ...their RFC 8259 escapes do (\n and the control byte as \u00xx).
+  EXPECT_NE(json.find("\"evil\\\"name\\\\ with\\u000anewline and "
+                      "\\u0001 ctl\""),
+            std::string::npos)
+      << json;
+
+  // Structural validity: outside escape pairs, quotes must balance, and
+  // no literal control characters may remain anywhere in the document.
+  int quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '\\') {
+      ++i;  // skip the escaped character
+      continue;
+    }
+    if (c == '"') ++quotes;
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control byte at offset " << i;
+  }
+  EXPECT_EQ(quotes % 2, 0);
+}
+
 TEST(Obs, RingWraparoundKeepsNewestAndCountsDrops) {
   const std::size_t cap = 8;
   TraceRecorder rec(cap);

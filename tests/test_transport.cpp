@@ -443,6 +443,52 @@ TEST(ProcTransport, RespawnRankReplacesADeadWorker) {
     EXPECT_EQ(t.reduce_segment(owner)[0], 6.0) << owner;
 }
 
+TEST(ProcTransport, RecoverOnHealthyTransportIsIdempotentNoOp) {
+  // recover() is the service layer's blanket "heal before retry" call,
+  // so invoking it on a perfectly healthy transport — and invoking it
+  // twice back to back — must be a no-op: no worker re-forked, no
+  // respawn event counted, no phase-protocol skew.
+  ProcTransport t(3);
+  t.barrier();  // workers are up and past the first fence
+  pid_t pids[3];
+  for (int r = 0; r < 3; ++r) {
+    pids[r] = t.worker_pid(r);
+    ASSERT_GT(pids[r], 0) << r;
+  }
+  ASSERT_EQ(t.respawn_events(), 0);
+
+  EXPECT_TRUE(t.recover());
+  EXPECT_TRUE(t.recover());
+
+  EXPECT_EQ(t.respawn_events(), 0);
+  for (int r = 0; r < 3; ++r)
+    EXPECT_EQ(t.worker_pid(r), pids[r]) << "rank " << r << " re-forked";
+
+  // The protocol cursor is not skewed: a real collective still computes
+  // the right answer on the same workers.
+  t.reduce_layout(3, {0, 1, 2, 3});
+  for (int r = 0; r < 3; ++r) {
+    double* block = t.reduce_block(r);
+    for (int i = 0; i < 3; ++i) block[i] = r + 1;
+  }
+  t.reduce_scatter();
+  for (int owner = 0; owner < 3; ++owner)
+    EXPECT_EQ(t.reduce_segment(owner)[0], 6.0) << owner;
+
+  // After a real death, recover() respawns exactly the dead rank — and
+  // a second recover() on the now-healthy transport adds nothing.
+  t.kill_worker_for_test(1);
+  EXPECT_THROW(t.barrier(), std::runtime_error);
+  EXPECT_TRUE(t.recover());
+  EXPECT_EQ(t.respawn_events(), 1);
+  EXPECT_NE(t.worker_pid(1), pids[1]);
+  EXPECT_EQ(t.worker_pid(0), pids[0]);
+  EXPECT_EQ(t.worker_pid(2), pids[2]);
+  EXPECT_TRUE(t.recover());
+  EXPECT_EQ(t.respawn_events(), 1);
+  t.barrier();
+}
+
 #ifdef __linux__
 TEST(ProcTransport, WorkersDieWithTheirParent) {
   // The orphan-leak fix: workers arm PR_SET_PDEATHSIG, so a parent that
